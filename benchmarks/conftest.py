@@ -1,0 +1,32 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures, asserts
+its shape criteria, and writes the rendered artifact to
+``benchmarks/out/<name>.txt`` so the reproduction record can be inspected
+after a run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(artifact_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,57 @@
+"""Ablation: how good is the Eq.-5 assumption P_corecap = beta * P_cap?
+
+The model assumes RAPL splits the package budget between core and uncore
+in the ratio of the application's compute-boundedness. This benchmark
+measures the *actual* steady-state core share of package power under a
+binding cap and compares it with beta — quantifying the assumption the
+paper could not check directly ("we have access to power usage only at
+the package level").
+"""
+
+from repro.experiments import Testbed
+from repro.experiments.report import ascii_table
+from repro.experiments.table6 import PAPER as TABLE6
+from repro.nrm.schemes import FixedCapSchedule
+
+_CASES = {
+    "lammps": ({"n_steps": 1_000_000}, 100.0),
+    "stream": ({"n_iterations": 1_000_000}, 90.0),
+    "amg": ({"n_iterations": 1_000_000, "setup_iterations": 0}, 95.0),
+}
+
+
+def test_bench_ablation_beta_split(benchmark, save_artifact):
+    tb = Testbed(seed=0)
+
+    def run():
+        out = {}
+        for app, (sizing, cap) in _CASES.items():
+            r = tb.run(app, duration=10.0, schedule=FixedCapSchedule(cap),
+                       app_kwargs=sizing)
+            pkg = r.power.window(5.0, 10.1).mean()
+            uncore = r.uncore_power.window(5.0, 10.1).mean()
+            out[app] = (pkg, uncore)
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    shares = {}
+    for app, (pkg, uncore) in measured.items():
+        core_share = (pkg - uncore) / pkg
+        beta = TABLE6[app][0]
+        shares[app] = (core_share, beta)
+        rows.append([app, f"{TABLE6[app][0]:.2f}", f"{core_share:.2f}",
+                     f"{core_share - beta:+.2f}"])
+    save_artifact("ablation_beta_split", ascii_table(
+        ["app", "beta (Eq. 5 assumed core share)",
+         "measured core share of P_pkg", "difference"], rows,
+        title="Ablation: the Eq.-5 beta-split assumption vs firmware truth",
+    ))
+
+    # The assumption is directionally right (compute-bound codes keep a
+    # larger core share) but quantitatively generous for memory-bound
+    # codes — part of why the model misses for STREAM.
+    assert shares["lammps"][0] > shares["amg"][0] > shares["stream"][0]
+    assert shares["lammps"][0] > 0.85
+    assert shares["stream"][0] > TABLE6["stream"][0]

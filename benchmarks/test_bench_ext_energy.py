@@ -1,0 +1,27 @@
+"""Extension benchmark: the energy-to-solution frontier under caps."""
+
+from repro.experiments import extension_energy
+
+
+def test_bench_ext_energy(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: extension_energy.run(seed=0), rounds=1, iterations=1
+    )
+    save_artifact("ext_energy", extension_energy.render(result))
+
+    for app, points in result.points.items():
+        # Capping saves substantial energy on fixed work (the voltage
+        # curve makes power fall faster than speed across most of the
+        # ladder) ...
+        assert result.min_energy_cap(app) is not None, app
+        assert result.energy_saving_at_min(app) > 0.10, app
+        # ... at a real time cost,
+        assert result.slowdown_at_min_energy(app) > 0.0, app
+        # and capping never makes a fixed-work run finish faster.
+        uncapped = next(p for p in points if p.cap is None)
+        for p in points:
+            assert p.seconds >= uncapped.seconds * 0.999, (app, p)
+        # EDP has an interior optimum: some cap beats both extremes.
+        edps = [p.edp for p in points]
+        assert min(edps[1:-1]) < edps[0], app
+        assert min(edps[1:-1]) <= edps[-1], app

@@ -1,0 +1,27 @@
+"""Extension benchmark: instrumentation intrusiveness vs resolution."""
+
+import pytest
+
+from repro.experiments import extension_intrusiveness as ext
+
+
+def test_bench_ext_intrusiveness(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: ext.run(duration=30.0, seed=0), rounds=1, iterations=1
+    )
+    save_artifact("ext_intrusiveness", ext.render(result))
+
+    costly = max(c.overhead_cycles for c in result.cells)
+    # Costly per-iteration reporting visibly slows the application ...
+    assert result.slowdown(costly, 1) > 0.10
+    # ... batching amortizes it away ...
+    assert result.slowdown(costly, 60) < 0.02
+    # ... but once the report interval crosses the 1 Hz collection
+    # interval, the monitor's buckets go empty and the series quantizes.
+    fine = result.cell(0.0, 1)
+    coarse = result.cell(0.0, 60)
+    assert fine.empty_fraction == pytest.approx(0.0, abs=0.02)
+    assert coarse.empty_fraction > 0.5
+    assert coarse.cv > fine.cv
+    # The monitor's *mean* stays unbiased regardless of batching.
+    assert coarse.monitor_mean == pytest.approx(fine.monitor_mean, rel=0.05)

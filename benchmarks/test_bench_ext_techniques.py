@@ -1,0 +1,33 @@
+"""Extension benchmark: DVFS vs DDCM vs RAPL technique comparison."""
+
+from repro.experiments import extension_techniques as ext
+
+
+def test_bench_ext_techniques(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: ext.run(duration=8.0, warmup=3.0, seed=0),
+        rounds=1, iterations=1,
+    )
+    save_artifact("ext_techniques", ext.render(result))
+
+    for app in ("lammps", "stream"):
+        lo, hi = result.common_power_range(app)
+        probes = [lo + f * (hi - lo) for f in (0.25, 0.5, 0.75)]
+        for power in probes:
+            dvfs = result.progress_at(app, "dvfs", power)
+            ddcm = result.progress_at(app, "ddcm", power)
+            rapl = result.progress_at(app, "rapl", power)
+            # DVFS dominates DDCM at equal power (voltage scaling).
+            assert dvfs > ddcm * 1.05, (app, power)
+            # RAPL never degenerates to DDCM-level losses.
+            assert rapl > ddcm, (app, power)
+
+    # DDCM's relative penalty is worst for the memory-bound code: at
+    # mid-range power it loses a larger progress fraction vs DVFS.
+    def ddcm_loss(app):
+        lo, hi = result.common_power_range(app)
+        mid = (lo + hi) / 2
+        return 1.0 - (result.progress_at(app, "ddcm", mid)
+                      / result.progress_at(app, "dvfs", mid))
+
+    assert ddcm_loss("stream") > ddcm_loss("lammps")

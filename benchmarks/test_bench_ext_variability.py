@@ -1,0 +1,66 @@
+"""Extension benchmark: progress-aware power balancing under variability.
+
+Not a paper figure — this exercises the policy the paper's contribution
+enables. Six nodes with manufacturing variability run the same
+compute-bound job under a tight total budget; budgets are distributed
+either uniformly or by the progress-aware rebalancer (which only uses
+the paper's online progress metric). The rebalancer must narrow the
+per-node rate spread — i.e. move power toward the critical path —
+without lowering the critical-path rate.
+"""
+
+import numpy as np
+
+from repro.cluster import (
+    ClusterSimulation,
+    ProgressAwareRebalancer,
+    UniformPowerPolicy,
+)
+from repro.experiments.report import ascii_table
+
+N_NODES = 6
+BUDGET = N_NODES * 72.0
+VARIABILITY = (0.10, 0.25)
+APP_KW = {"n_steps": 1_000_000}
+DURATION = 40.0
+
+
+def _spread(sim):
+    rates = sim.node_rates(window=8.0)
+    return max(rates) - min(rates)
+
+
+def test_bench_ext_variability(benchmark, save_artifact):
+    def run():
+        uniform = ClusterSimulation(
+            N_NODES, "lammps", UniformPowerPolicy(BUDGET),
+            app_kwargs=APP_KW, variability=VARIABILITY, seed=4)
+        uniform.run(DURATION, epoch=2.0)
+        rebalanced = ClusterSimulation(
+            N_NODES, "lammps", ProgressAwareRebalancer(BUDGET, gain=3.0),
+            app_kwargs=APP_KW, variability=VARIABILITY, seed=4)
+        rebalanced.run(DURATION, epoch=2.0)
+        return uniform, rebalanced
+
+    uniform, rebalanced = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    crit_uni = uniform.steady_critical_path(16.0)
+    crit_reb = rebalanced.steady_critical_path(16.0)
+    rows = [
+        ["uniform budgets", f"{crit_uni:,.0f}", f"{_spread(uniform):,.0f}"],
+        ["progress-aware rebalancer", f"{crit_reb:,.0f}",
+         f"{_spread(rebalanced):,.0f}"],
+    ]
+    save_artifact("ext_variability", ascii_table(
+        ["policy", "critical-path rate (atom-steps/s)",
+         "node rate spread"], rows,
+        title=(f"Extension: {N_NODES} nodes, +/-10% dynamic & 25% leakage "
+               f"variability, {BUDGET:.0f} W job budget"),
+    ))
+
+    # Variability is visible under the uniform policy...
+    assert _spread(uniform) > 0.0
+    # ...the rebalancer narrows it...
+    assert _spread(rebalanced) < _spread(uniform)
+    # ...without sacrificing the critical path (allowing 1.5% noise).
+    assert crit_reb >= crit_uni * 0.985

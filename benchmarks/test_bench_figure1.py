@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 1 (online-performance characterization)."""
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: figure1.run(duration=40.0, seed=0), rounds=1, iterations=1
+    )
+    save_artifact("figure1", figure1.render(result))
+
+    assert result.lammps_class.trace_class == "consistent"
+    assert result.amg_class.trace_class == "fluctuating"
+    assert result.qmcpack_class.trace_class == "phased"
+    rates = result.qmcpack_class.segment_rates
+    assert rates[0] > rates[1] > rates[2]

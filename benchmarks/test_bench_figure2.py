@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 2 (application-aware RAPL)."""
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: figure2.run(duration=10.0, seed=0), rounds=1, iterations=1
+    )
+    save_artifact("figure2", figure2.render(result))
+
+    # Fig. 2's claim: same cap => compute-bound runs at least as fast.
+    assert result.compute_bound_always_faster()
+    # And the gap is real somewhere in the sweep, not just ties.
+    gaps = [
+        fl - fs
+        for fl, fs in zip(result.frequency_ghz["lammps"],
+                          result.frequency_ghz["stream"])
+    ]
+    assert max(gaps) >= 0.1

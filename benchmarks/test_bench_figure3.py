@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 3 (dynamic schemes vs progress)."""
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: figure3.run(duration=60.0, seed=0), rounds=1, iterations=1
+    )
+    save_artifact("figure3", figure3.render(result))
+
+    # Progress follows the cap for every Category-1 app and scheme.
+    for cell in result.cells:
+        if cell.app in ("lammps", "qmcpack"):
+            assert cell.cap_progress_correlation() > 0.7, (
+                cell.app, cell.scheme)
+    # OpenMC follows coarsely and shows the transport-glitch zeros.
+    openmc_cells = [c for c in result.cells if c.app == "openmc"]
+    assert any(c.cap_progress_correlation(smooth=8.0) > 0.4
+               for c in openmc_cells)
+    assert any(c.has_zero_glitches() for c in openmc_cells)

@@ -1,0 +1,45 @@
+"""Benchmark regenerating Figure 4 (measured vs predicted Δprogress).
+
+All five panels (4a-4e). The assertions encode the paper's qualitative
+findings; absolute numbers are testbed-specific.
+"""
+
+import os
+
+from repro.experiments import figure4
+from repro.experiments.export import figure4_to_csv
+
+
+def test_bench_figure4(benchmark, save_artifact, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: figure4.run(repeats=3, seed=0, warmup=2.5),
+        rounds=1, iterations=1,
+    )
+    save_artifact("figure4", figure4.render(result))
+    figure4_to_csv(result, os.path.join(artifact_dir, "figure4.csv"))
+
+    for panel in result.panels:
+        deltas = [m.delta_mean for m in panel.measurements]
+        # impact grows as the cap tightens
+        assert deltas[-1] > deltas[0], panel.app
+
+    # CPU-bound codes: usable midrange accuracy (tens of percent).
+    for app in ("lammps", "qmcpack"):
+        mid = result.panel(app).errors.per_point[1:-1]
+        assert all(abs(e) < 60.0 for e in mid), (app, mid)
+    # OpenMC reports ~1 batch/s, so each delta carries one-batch
+    # quantization noise; allow more headroom (the paper's own OpenMC
+    # errors span 3.8-27.7% with finer-grained measurements).
+    openmc_mid = result.panel("openmc").errors.per_point[1:-1]
+    assert all(abs(e) < 80.0 for e in openmc_mid), openmc_mid
+
+    # STREAM: the DVFS-only model underestimates RAPL's impact
+    # (paper: by up to 70%), because RAPL also throttles the uncore/duty.
+    stream = result.panel("stream")
+    assert stream.errors.max_underestimate < -25.0
+    assert all(e <= 10.0 for e in stream.errors.per_point)
+
+    # AMG: the model overestimates somewhere midrange (plateaus are
+    # unmodeled), as in Fig. 4b.
+    amg = result.panel("amg")
+    assert amg.errors.max_overestimate > 5.0

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 5 (STREAM: DVFS vs RAPL)."""
+
+import os
+
+from repro.experiments import figure5
+from repro.experiments.export import figure5_to_csv
+
+
+def test_bench_figure5(benchmark, save_artifact, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: figure5.run(duration=10.0, warmup=4.0, seed=0),
+        rounds=1, iterations=1,
+    )
+    save_artifact("figure5", figure5.render(result))
+    figure5_to_csv(result, os.path.join(artifact_dir, "figure5.csv"))
+
+    lo, hi = result.overlap_range()
+    # DVFS is at least as good as RAPL across its applicable range and
+    # clearly better toward the low end (paper's conclusion).
+    low_point = lo + 0.1 * (hi - lo)
+    assert result.dvfs_advantage_at(low_point) > 0.3
+    for frac in (0.3, 0.5, 0.7):
+        assert result.dvfs_advantage_at(lo + frac * (hi - lo)) > -0.2
+    # Only RAPL can limit power below the DVFS ladder floor.
+    assert (min(p.power for p in result.rapl)
+            < min(p.power for p in result.dvfs))

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Table I (MIPS vs online performance)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: table1.run(n_procs=24, n_iterations=5, seed=0),
+        rounds=1, iterations=1,
+    )
+    save_artifact("table1", table1.render(result))
+
+    by = {r.routine: r for r in result.rows}
+    # Definition 1 identical (one iteration/s) for both variants.
+    assert abs(by["do_equal_work"].def1_iterations_per_s
+               - by["do_unequal_work"].def1_iterations_per_s) < 0.05
+    # Definition 2 roughly halves under imbalance.
+    assert (by["do_equal_work"].def2_work_units_per_s
+            / by["do_unequal_work"].def2_work_units_per_s) > 1.8
+    # MIPS explodes ~20x — the paper's headline point.
+    assert 15.0 < result.mips_inflation < 30.0

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table II (application descriptions)."""
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, save_artifact):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    save_artifact("table2", table2.render(result))
+    assert len(result.descriptions) == 9

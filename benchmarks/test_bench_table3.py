@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table III (specialist questionnaire)."""
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, save_artifact):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    save_artifact("table3", table3.render(result))
+    assert len(result.questions) == 8

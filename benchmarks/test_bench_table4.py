@@ -1,0 +1,11 @@
+"""Benchmark regenerating Table IV (summary of responses)."""
+
+from repro.experiments import table4
+
+
+def test_bench_table4(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: table4.run(check_consistency=True), rounds=1, iterations=1
+    )
+    save_artifact("table4", table4.render(result))
+    assert len(result.responses) == 9

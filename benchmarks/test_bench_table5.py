@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table V (categorization + online metrics)."""
+
+from repro.experiments import table5
+
+
+def test_bench_table5(benchmark, save_artifact):
+    result = benchmark.pedantic(table5.run, rounds=1, iterations=1)
+    save_artifact("table5", table5.render(result))
+    # The rule-based derivation must reproduce the paper's table exactly.
+    assert result.matches_paper()

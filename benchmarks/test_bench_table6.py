@@ -1,0 +1,18 @@
+"""Benchmark regenerating Table VI (beta and MPO characterization)."""
+
+import pytest
+
+from repro.experiments import table6
+
+
+def test_bench_table6(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: table6.run(seed=0, scale=1.0), rounds=1, iterations=1
+    )
+    save_artifact("table6", table6.render(result))
+
+    assert result.beta_ordering_matches_paper()
+    for c in result.characterizations:
+        beta_paper, mpo_paper = table6.PAPER[c.app_name]
+        assert c.beta == pytest.approx(beta_paper, abs=0.05), c.app_name
+        assert c.mpo == pytest.approx(mpo_paper, rel=0.20), c.app_name

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Progress-aware power balancing across a variable cluster.
+
+Six "identical" nodes — with realistic manufacturing variability in
+leakage and switching efficiency — run the same compute-bound job under
+a tight total power budget. Under uniform budgets the inefficient nodes
+settle at lower frequencies and their progress lags: for a
+bulk-synchronous job, the whole job runs at the slowest node's pace
+(the paper's Table-I critical-path lesson, at cluster scale).
+
+A progress-aware rebalancer — possible *only* because progress is
+monitored online, which is the paper's thesis — shifts budget toward the
+lagging nodes every epoch, narrowing the spread.
+
+Usage::
+
+    python examples/cluster_variability.py
+"""
+
+from repro.cluster import (
+    ClusterSimulation,
+    ProgressAwareRebalancer,
+    UniformPowerPolicy,
+)
+from repro.experiments.report import series_block
+
+N_NODES = 6
+BUDGET = N_NODES * 72.0
+VARIABILITY = (0.10, 0.25)   # dynamic, static lognormal sigmas
+
+
+def summarize(name: str, sim: ClusterSimulation) -> None:
+    rates = sim.node_rates(window=8.0)
+    freqs = sim.node_frequencies()
+    print(f"--- {name} ---")
+    for node, rate, freq in zip(sim.nodes, rates, freqs):
+        bar = "#" * int(rate / 2e4)
+        print(f"  node{node.node_id}: {freq / 1e9:.1f} GHz "
+              f"{rate:10,.0f} atom-steps/s {bar}")
+    print(f"  spread: {max(rates) - min(rates):,.0f}  "
+          f"critical path: {sim.steady_critical_path(16.0):,.0f}")
+    print(series_block("  critical-path trace", sim.critical_path))
+    print()
+
+
+def main() -> None:
+    print(f"{N_NODES} nodes, job budget {BUDGET:.0f} W, variability "
+          f"sigma(dyn)={VARIABILITY[0]}, sigma(leak)={VARIABILITY[1]}\n")
+
+    uniform = ClusterSimulation(
+        N_NODES, "lammps", UniformPowerPolicy(BUDGET),
+        app_kwargs={"n_steps": 1_000_000}, variability=VARIABILITY, seed=4)
+    uniform.run(40.0, epoch=2.0)
+    summarize("uniform node budgets", uniform)
+
+    rebalanced = ClusterSimulation(
+        N_NODES, "lammps", ProgressAwareRebalancer(BUDGET, gain=3.0),
+        app_kwargs={"n_steps": 1_000_000}, variability=VARIABILITY, seed=4)
+    rebalanced.run(40.0, epoch=2.0)
+    summarize("progress-aware rebalancer", rebalanced)
+
+    gain = (rebalanced.steady_critical_path(16.0)
+            / uniform.steady_critical_path(16.0) - 1.0) * 100.0
+    print(f"critical-path change from rebalancing: {gain:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Characterize, model, fit, and pick a power budget for a progress target.
+
+The full Section VI workflow, plus the paper's proposed refinement:
+
+1. measure beta for QMCPACK's DMC (execution times at 3300/1600 MHz);
+2. measure the uncapped baseline and build the Eq.-7 model (alpha = 2);
+3. sweep package caps, comparing measured vs predicted progress change;
+4. *fit* alpha to the sweep (Section VI-B3 suggests parameterizing RAPL
+   instead of fixing alpha = 2) and show the error shrink;
+5. invert the model to choose the smallest package budget sustaining 85 %
+   of full progress — and verify it by running.
+
+Usage::
+
+    python examples/model_fit_and_budget.py
+"""
+
+from repro import Testbed
+from repro.core.errors import summarize_errors
+from repro.core.fitting import fit_alpha
+from repro.core.model import PowerCapModel
+from repro.nrm.schemes import FixedCapSchedule
+
+APP = "qmcpack"
+SIZING = {"vmc1_blocks": 0, "vmc2_blocks": 0, "dmc_blocks": 1_000_000}
+CHAR_SIZING = {"vmc1_blocks": 0, "vmc2_blocks": 0, "dmc_blocks": 240}
+CAPS = (140.0, 120.0, 100.0, 85.0, 70.0, 60.0)
+
+
+def main() -> None:
+    tb = Testbed(seed=5)
+
+    print("1) characterizing beta (3300 vs 1600 MHz) ...")
+    char = tb.characterize(APP, app_kwargs=CHAR_SIZING)
+    print(f"   beta = {char.beta:.2f}, MPO = {char.mpo * 1e3:.2f}e-3")
+
+    print("2) uncapped baseline ...")
+    base = tb.run(APP, duration=14.0, app_kwargs=SIZING)
+    r_max = base.steady_progress(3.0, 14.01)
+    p_un = base.power.window(3.0, 14.01).mean()
+    model = PowerCapModel(beta=char.beta, r_max=r_max,
+                          p_coremax=char.beta * p_un, alpha=2.0)
+    print(f"   r_max = {r_max:.2f} blocks/s at {p_un:.1f} W")
+
+    print("3) cap sweep: measured vs predicted (alpha = 2) ...")
+    measured, corecaps = [], []
+    for cap in CAPS:
+        m = tb.measure_delta_progress(APP, cap, beta=char.beta, repeats=3,
+                                      uncapped_window=9.0,
+                                      capped_window=11.0, warmup=2.5,
+                                      app_kwargs=SIZING)
+        measured.append(m)
+        corecaps.append(m.p_corecap)
+        pred = model.delta_progress(m.p_corecap)
+        print(f"   cap {cap:6.1f} W | corecap {m.p_corecap:6.1f} W | "
+              f"measured d={m.delta_mean:6.3f} | predicted d={pred:6.3f}")
+    fixed_errors = summarize_errors(
+        [model.delta_progress(c) for c in corecaps],
+        [m.delta_mean for m in measured],
+    )
+    print(f"   fixed-alpha MAPE: {fixed_errors.mape:.1f}%")
+
+    print("4) fitting alpha to the sweep (paper's proposed refinement) ...")
+    fit = fit_alpha(corecaps, [r_max - m.delta_mean for m in measured],
+                    beta=char.beta, r_max=r_max,
+                    p_coremax=char.beta * p_un)
+    fitted_errors = summarize_errors(
+        [fit.model.delta_progress(c) for c in corecaps],
+        [m.delta_mean for m in measured],
+    )
+    print(f"   fitted alpha = {fit.alpha:.2f}; "
+          f"MAPE {fixed_errors.mape:.1f}% -> {fitted_errors.mape:.1f}%")
+
+    print("5) inverse: budget for 85% of full progress ...")
+    target = 0.85 * r_max
+    budget = fit.model.package_cap_for_progress(target)
+    print(f"   model says {budget:.1f} W; verifying ...")
+    check = tb.run(APP, duration=16.0,
+                   schedule=FixedCapSchedule(budget),
+                   app_kwargs=SIZING)
+    achieved = check.steady_progress(6.0, 16.01)
+    print(f"   achieved {achieved:.2f} blocks/s "
+          f"(target {target:.2f}, {achieved / r_max * 100:.1f}% of full)")
+
+
+if __name__ == "__main__":
+    main()

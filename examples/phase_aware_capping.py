@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Phase-aware power capping: exploiting the phases Figure 1 reveals.
+
+The paper's motivation notes that execution-time-based management
+"misses power management opportunities within fine-grained demarcations
+such as phases". This example runs QMCPACK's three phases (VMC1, VMC2,
+DMC — each computing blocks at a different rate) under the
+measure-then-cap policy from :mod:`repro.nrm.phase_aware`:
+
+* at each detected phase, run uncapped briefly to learn the phase's
+  rate and power,
+* then apply the smallest cap that sustains 85 % of that phase's rate
+  (the Eq.-4 model inverse),
+* re-measure when the progress monitor shows the rate level shift.
+
+Compare against the uncapped run: substantial energy savings at a small,
+*controlled* progress cost.
+
+Usage::
+
+    python examples/phase_aware_capping.py
+"""
+
+from repro.apps import build
+from repro.experiments.report import series_block
+from repro.hardware import SimulatedNode
+from repro.hardware.msr import MSRDevice
+from repro.hardware.msr_safe import MSRSafe
+from repro.hardware.rapl import RaplFirmware
+from repro.libmsr import LibMSR
+from repro.nrm import PhaseAwareCapPolicy
+from repro.runtime.engine import Engine
+from repro.telemetry import MessageBus, ProgressMonitor
+
+DURATION = 70.0
+APP_KW = dict(vmc1_blocks=500, vmc2_blocks=400, dmc_blocks=1_000_000,
+              seed=2)
+
+
+def run(with_policy: bool):
+    node = SimulatedNode()
+    engine = Engine(node)
+    firmware = RaplFirmware(node, engine)
+    libmsr = LibMSR(MSRSafe(MSRDevice(node, firmware)), node.clock)
+    bus = MessageBus(node.clock)
+    pub = bus.pub_socket()
+    engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+    app = build("qmcpack", **APP_KW)
+    monitor = ProgressMonitor(engine, bus.sub_socket(app.topic))
+    policy = None
+    if with_policy:
+        policy = PhaseAwareCapPolicy(engine, libmsr, monitor, beta=0.84,
+                                     target_fraction=0.85)
+    app.launch(engine)
+    engine.run(until=DURATION)
+    return node, monitor, policy
+
+
+def main() -> None:
+    node_u, mon_u, _ = run(with_policy=False)
+    node_c, mon_c, policy = run(with_policy=True)
+
+    print("uncapped run:")
+    print(series_block("  progress (blocks/s)", mon_u.series))
+    print(f"  energy: {node_u.pkg_energy:,.0f} J\n")
+
+    print("phase-aware capped run:")
+    print(series_block("  progress (blocks/s)", mon_c.series))
+    print(series_block("  applied cap (W)", policy.cap_series))
+    print(f"  energy: {node_c.pkg_energy:,.0f} J")
+    print(f"  phases adapted to: {policy.n_phases_seen} "
+          f"(learned rates: {[round(r, 1) for r in policy.phase_rates]}, "
+          f"caps: {[round(c, 1) for c in policy.phase_caps]} W)\n")
+
+    blocks_u = sum(mon_u.series.values)
+    blocks_c = sum(mon_c.series.values)
+    print(f"progress kept: {blocks_c / blocks_u * 100:.1f}% "
+          f"(target floor 85% per phase)")
+    print(f"energy saved:  "
+          f"{(1 - node_c.pkg_energy / node_u.pkg_energy) * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

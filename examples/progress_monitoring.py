@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Progress extraction and characterization across the application suite.
+
+Reproduces the Section IV workflow: every application publishes its
+online-performance metric over the pub/sub transport, a 1 Hz monitor
+aggregates it, and the trace is characterized as consistent /
+fluctuating / phased. Category-3 applications (HACC, Nek5000) show why
+a single metric fails for them; URBAN demonstrates the paper's proposed
+remedy — a weighted composite of per-component progress.
+
+Usage::
+
+    python examples/progress_monitoring.py
+"""
+
+from repro import Testbed
+from repro.core.composite import ComponentSpec, CompositeProgress
+from repro.core.progress import classify_trace
+from repro.experiments.report import series_block
+
+
+def main() -> None:
+    tb = Testbed(seed=3)
+
+    print("=== Category 1 / 2: a single online metric works ===\n")
+    runs = {
+        "lammps (atom-steps/s)": tb.run(
+            "lammps", duration=25.0, app_kwargs={"n_steps": 10_000}),
+        "amg (GMRES iterations/s)": tb.run(
+            "amg", duration=25.0,
+            app_kwargs={"n_iterations": 10_000, "setup_iterations": 0}),
+        "qmcpack (blocks/s, 3 phases)": tb.run(
+            "qmcpack", duration=30.0,
+            app_kwargs={"vmc1_blocks": 250, "vmc2_blocks": 200,
+                        "dmc_blocks": 10_000}),
+        "openmc (particles/s, lossy transport)": tb.run(
+            "openmc", duration=30.0,
+            app_kwargs={"inactive_batches": 5, "active_batches": 10_000}),
+    }
+    for label, result in runs.items():
+        cls = classify_trace(result.progress)
+        print(series_block(label, result.progress))
+        print(f"  -> {cls.trace_class} (cv={cls.cv:.3f}, "
+              f"segment rates={tuple(round(r, 2) for r in cls.segment_rates)})\n")
+
+    print("=== Category 3: no single reliable metric ===\n")
+    hacc = tb.run("hacc", duration=30.0,
+                  app_kwargs={"n_steps": 10_000, "growth": 0.03})
+    print(series_block("hacc (timesteps/s — drifts with clustering)",
+                       hacc.progress))
+    cls = classify_trace(hacc.progress)
+    print(f"  -> {cls.trace_class}: the rate is not stationary, so a "
+          "baseline cannot be learned from it\n")
+
+    print("=== URBAN: weighted composite of component progress ===\n")
+    urban = tb.run("urban", duration=30.0,
+                   app_kwargs={"duration_steps": 1_000, "n_workers": 24})
+    nek = urban.topics["progress/urban/nek"]
+    eplus = urban.topics["progress/urban/eplus"]
+    print(series_block("urban/nek (CFD steps/s)", nek))
+    print(series_block("urban/eplus (building steps/s)", eplus))
+    # Baselines are the uncapped mean rates (zeros included — a slow
+    # component legitimately reports only every few seconds); a 10 s
+    # combining interval smooths the slow component's reporting grain.
+    composite = CompositeProgress([
+        ComponentSpec("progress/urban/nek",
+                      baseline_rate=max(nek.mean(), 1e-9)),
+        ComponentSpec("progress/urban/eplus",
+                      baseline_rate=max(eplus.mean(), 1e-9)),
+    ]).combine(urban.topics, interval=10.0)
+    print(series_block("urban composite (fraction of full speed)",
+                       composite))
+
+
+if __name__ == "__main__":
+    main()

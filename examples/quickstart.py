@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: run an application under a dynamic power cap.
+
+Runs the LAMMPS analogue on the simulated 24-core node, uncapped for
+15 s and then under a 100 W package cap, and prints what the paper's
+node resource manager would see: the online progress rate (atom
+timesteps per second), package power, and CPU frequency — plus the
+paper's Eq.-7 model prediction for the progress change.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import Testbed
+from repro.core.model import PowerCapModel
+from repro.nrm.schemes import FixedCapSchedule
+
+CAP_W = 100.0
+SWITCH_T = 15.0
+END_T = 30.0
+BETA = 0.99  # LAMMPS compute-boundedness (Table VI)
+
+
+def main() -> None:
+    tb = Testbed(seed=1)
+    result = tb.run(
+        "lammps",
+        duration=END_T,
+        schedule=FixedCapSchedule(CAP_W, start=SWITCH_T),
+        app_kwargs={"n_steps": 1_000_000},
+    )
+
+    r_uncapped = result.steady_progress(3.0, SWITCH_T)
+    r_capped = result.steady_progress(SWITCH_T + 3.0, END_T + 1e-9)
+    p_uncapped = result.power.window(3.0, SWITCH_T).mean()
+    p_capped = result.power.window(SWITCH_T + 3.0, END_T + 1e-9).mean()
+
+    print(f"uncapped: {r_uncapped:12,.0f} atom-steps/s at "
+          f"{p_uncapped:6.1f} W, {result.frequency.values[10] / 1e9:.1f} GHz")
+    print(f"capped:   {r_capped:12,.0f} atom-steps/s at "
+          f"{p_capped:6.1f} W, {result.frequency.values[-1] / 1e9:.1f} GHz")
+    print(f"measured change in progress: {r_uncapped - r_capped:12,.0f}")
+
+    model = PowerCapModel(beta=BETA, r_max=r_uncapped,
+                          p_coremax=BETA * p_uncapped, alpha=2.0)
+    predicted = model.delta_progress_at_package_cap(CAP_W)
+    print(f"model-predicted change:      {predicted:12,.0f} "
+          f"(alpha=2, P_corecap=beta*P_cap)")
+
+    print("\nprogress trace (1 Hz):")
+    for t, v in result.progress:
+        bar = "#" * int(40 * v / max(result.progress.max(), 1e-9))
+        print(f"  t={t:5.1f}s  {v:12,.0f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

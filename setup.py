@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs work on environments whose setuptools predates
+PEP-660 editable wheels (no ``wheel`` package available offline):
+
+    pip install -e . --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Statistical utilities for repeated measurements.
+
+See :mod:`repro.analysis.stats`.
+"""
+
+from repro.analysis.stats import (
+    RepeatSummary,
+    bootstrap_ci,
+    mean_confidence_interval,
+    summarize_repeats,
+)
+
+__all__ = [
+    "RepeatSummary",
+    "mean_confidence_interval",
+    "bootstrap_ci",
+    "summarize_repeats",
+]

@@ -1,0 +1,28 @@
+"""Synthetic analogues of the paper's applications (Table II).
+
+Each application is a :class:`~repro.apps.base.SyntheticApp` built from
+per-iteration work kernels calibrated so that, on the simulated node, the
+measured beta and MPO metrics land on the paper's Table VI values and the
+progress behaviour matches Section IV-C (LAMMPS consistent, AMG
+fluctuating, QMCPACK/OpenMC phased, Category-3 codes unstable).
+
+Use the registry to construct applications by name::
+
+    from repro.apps import build, available
+    app = build("lammps", n_steps=600, seed=1)
+"""
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
+from repro.apps.registry import available, build, get_spec
+
+__all__ = [
+    "AppSpec",
+    "SyntheticApp",
+    "KernelSpec",
+    "PhaseSpec",
+    "cycles_for_rate",
+    "available",
+    "build",
+    "get_spec",
+]

@@ -1,0 +1,72 @@
+"""AMG analogue — algebraic-multigrid-preconditioned GMRES (paper §IV-B2).
+
+Category 2, memory-bandwidth bound (Table VI: beta = 0.52, MPO =
+30.1e-3). The paper's setup: HYPRE's solver 3 (GMRES + diagonal scaling),
+pooldist 1, pure MPI with 24 pinned processes; progress is the number of
+GMRES iterations per second (~2.5-3, visibly fluctuating — Fig. 1,
+center) and only the solve phase matters for performance. The number of
+iterations to convergence is not predictable in advance, which is what
+makes AMG Category 2.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
+from repro.core.categories import Category, OnlineMetric
+from repro.hardware.config import NodeConfig, skylake_config
+
+__all__ = ["build", "SOLVE_RATE"]
+
+SOLVE_RATE = 2.75  #: GMRES iterations/s at nominal frequency (paper: 2.5-3)
+
+# beta = 0.52 -> bytes/cycle = (0.48/0.52) * (link/f_nom); MPO = 30.1e-3
+# with misses = bytes/64 fixes IPC = (bpc/64)/MPO.
+_BYTES_PER_CYCLE = (0.48 / 0.52) * (12e9 / 3.3e9)
+_IPC = (_BYTES_PER_CYCLE / 64.0) / 30.1e-3
+
+
+def build(n_iterations: int = 90, n_workers: int = 24, seed: int = 0,
+          cfg: NodeConfig | None = None,
+          setup_iterations: int = 4) -> SyntheticApp:
+    """AMG solver-benchmark instance.
+
+    ``n_iterations`` GMRES iterations (~:data:`SOLVE_RATE` per second);
+    the setup phase builds the multigrid hierarchy and publishes no
+    progress (the paper instruments only the solve).
+    """
+    cfg = cfg or skylake_config()
+    solve = KernelSpec(
+        cycles=cycles_for_rate(SOLVE_RATE, _BYTES_PER_CYCLE, cfg),
+        bytes_per_cycle=_BYTES_PER_CYCLE,
+        ipc=_IPC,
+        jitter=0.015,
+        shared_jitter=0.055,   # the visible iteration-rate fluctuation
+    )
+    setup = KernelSpec(
+        cycles=cycles_for_rate(2.0, _BYTES_PER_CYCLE * 0.5, cfg),
+        bytes_per_cycle=_BYTES_PER_CYCLE * 0.5,
+        ipc=_IPC,
+        jitter=0.02,
+    )
+    spec = AppSpec(
+        name="amg",
+        description=(
+            "Iterative solver benchmark that uses algebraic multigrid "
+            "preconditioning. Only the solve phase is important for "
+            "performance."
+        ),
+        category=Category.CATEGORY_2,
+        metric=OnlineMetric("Conjugate gradient iterations per second",
+                            "iterations/s"),
+        parallelism="mpi",
+        phases=(
+            PhaseSpec("setup", setup, iterations=setup_iterations,
+                      publish=False),
+            PhaseSpec("solve", solve, iterations=n_iterations,
+                      progress_per_iteration=1.0),
+        ),
+        resource_bound="memory bandwidth",
+        has_fom=False,
+    )
+    return SyntheticApp(spec, n_workers=n_workers, seed=seed)

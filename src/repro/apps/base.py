@@ -1,0 +1,222 @@
+"""Base machinery for the synthetic applications.
+
+A :class:`SyntheticApp` executes its spec's phases as an SPMD program:
+every worker runs the same iteration loop (one pinned worker per core, as
+in the paper's setup), iterations end in a barrier, and worker 0
+publishes the phase's progress increment after each barrier — the
+source-level instrumentation of Section IV-B.
+
+The paper's progress definitions map onto the published values directly:
+the 1 Hz monitor's rate series is "<metric> per second" (Definition 1
+when ``progress_per_iteration`` is 1, Definition 2 when it carries work
+units such as atoms or particles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.core.categories import Category, OnlineMetric
+from repro.exceptions import ConfigurationError
+from repro.apps.kernels import PhaseSpec
+from repro.runtime.engine import Publish, TaskState, Work
+from repro.runtime.mpi import SimMPI
+from repro.runtime.openmp import OmpTeam
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Engine
+
+__all__ = ["AppSpec", "SyntheticApp"]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Static description of an application (paper Tables II & V)."""
+
+    name: str
+    description: str
+    category: Category
+    metric: OnlineMetric | None          #: None for Category-3 codes
+    parallelism: str                     #: "mpi" or "openmp"
+    phases: tuple[PhaseSpec, ...]
+    resource_bound: str = "compute"      #: Table IV Q8 answer
+    has_fom: bool = False                #: Table IV Q1
+    transport_drop_prob: float = 0.0     #: progress-report loss (OpenMC glitch)
+    category_label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.parallelism not in ("mpi", "openmp"):
+            raise ConfigurationError(
+                f"parallelism must be 'mpi' or 'openmp', got {self.parallelism!r}"
+            )
+        if not self.phases:
+            raise ConfigurationError(f"app {self.name!r} needs at least one phase")
+        if not self.category_label:
+            object.__setattr__(self, "category_label", str(int(self.category)))
+
+
+class SyntheticApp:
+    """A runnable instance of an :class:`AppSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The application description.
+    n_workers:
+        Ranks/threads, one pinned per core (paper: 24).
+    seed:
+        Seed for the per-run noise processes; runs with the same seed are
+        bit-identical.
+    """
+
+    def __init__(self, spec: AppSpec, n_workers: int = 24, seed: int = 0) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        self.spec = spec
+        self.n_workers = n_workers
+        self.seed = seed
+        #: When set (before launch), every worker additionally publishes
+        #: its own share of each iteration's progress on
+        #: ``{rank_topic_prefix}/rank{k}`` as soon as *it* finishes —
+        #: i.e. before the barrier — enabling per-processing-element
+        #: monitoring and imbalance detection (paper future work; see
+        #: :class:`repro.telemetry.reduction.JobProgressReducer`).
+        self.per_rank_progress = False
+        #: Optional static per-worker work multiplier (worker id ->
+        #: factor); models load imbalance from data decomposition. The
+        #: largest factor defines the critical path.
+        self.rank_work_scale: dict[int, float] | None = None
+        #: Instrumentation intrusiveness (paper §VIII: "the resolution of
+        #: these progress reports or the intrusiveness of the
+        #: instrumentation might need to be changed"): compute cycles the
+        #: publishing worker spends per report (serialization, socket
+        #: I/O), and how many iterations are batched into one report.
+        self.publish_overhead_cycles: float = 0.0
+        self.report_every: int = 1
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def topic(self) -> str:
+        """Topic the application publishes progress on."""
+        return f"progress/{self.spec.name}"
+
+    @property
+    def rank_topic_prefix(self) -> str:
+        """Prefix of the per-rank progress topics (kept disjoint from
+        :attr:`topic` — subscriptions are ZeroMQ-style *prefix* filters,
+        so nesting rank topics under the app topic would double-count in
+        the app-level monitor)."""
+        return f"rank-progress/{self.spec.name}"
+
+    # ------------------------------------------------------------------
+    # Launching
+    # ------------------------------------------------------------------
+
+    def launch(self, engine: "Engine", core_offset: int = 0) -> list[TaskState]:
+        """Spawn one worker per core starting at ``core_offset``; workers
+        begin executing on the engine's next :meth:`~repro.runtime.engine.Engine.run`."""
+        if self.spec.parallelism == "mpi":
+            mpi = SimMPI(engine, self.n_workers)
+            if core_offset:
+                return [
+                    engine.spawn(self._body(mpi.comm.barrier, rank),
+                                 core_id=core_offset + rank,
+                                 name=f"{self.name}:rank{rank}")
+                    for rank in range(self.n_workers)
+                ]
+            return mpi.launch(lambda comm, rank: self._body(comm.barrier, rank),
+                              name=self.name)
+        team = OmpTeam(engine, self.n_workers)
+        if core_offset:
+            return [
+                engine.spawn(self._body(team.region_barrier, tid),
+                             core_id=core_offset + tid,
+                             name=f"{self.name}:thr{tid}")
+                for tid in range(self.n_workers)
+            ]
+        return team.launch(lambda tm, tid: self._body(tm.region_barrier, tid),
+                           name=self.name)
+
+    # ------------------------------------------------------------------
+    # Worker body (subclasses with irregular structure override this)
+    # ------------------------------------------------------------------
+
+    def _worker_rng(self, wid: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed, wid + 1])
+
+    def _phase_rng(self, phase_idx: int) -> np.random.Generator:
+        # Shared (iteration-wide) noise stream: identical for all workers.
+        return np.random.default_rng([self.seed, 0, phase_idx])
+
+    def _body(self, barrier, wid: int) -> Generator:
+        rng = self._worker_rng(wid)
+        skew = 1.0
+        if self.rank_work_scale is not None:
+            skew = self.rank_work_scale.get(wid, 1.0)
+        if self.report_every < 1:
+            raise ConfigurationError(
+                f"report_every must be >= 1, got {self.report_every}"
+            )
+        if self.publish_overhead_cycles < 0:
+            raise ConfigurationError("publish overhead must be >= 0")
+        pending = 0.0
+        batched = 0
+        for p_idx, phase in enumerate(self.spec.phases):
+            shared_rng = self._phase_rng(p_idx)
+            for _ in range(phase.iterations):
+                shared = phase.kernel.shared_factor(shared_rng) * skew
+                yield phase.kernel.sample(rng, shared)
+                if self.per_rank_progress and phase.publish:
+                    # Published pre-barrier: rank-level rates expose the
+                    # imbalance the barrier otherwise hides. The value is
+                    # the rank's own work share (its fraction of the
+                    # iteration's progress units, scaled by any static
+                    # decomposition skew).
+                    yield Publish(
+                        f"{self.rank_topic_prefix}/rank{wid}",
+                        phase.progress_per_iteration * skew / self.n_workers,
+                    )
+                yield barrier()
+                if wid == 0 and phase.publish:
+                    pending += phase.progress_per_iteration
+                    batched += 1
+                    if batched >= self.report_every:
+                        if self.publish_overhead_cycles > 0:
+                            # the report itself costs the publisher time
+                            yield Work(cycles=self.publish_overhead_cycles)
+                        yield Publish(self.topic, pending)
+                        pending = 0.0
+                        batched = 0
+        if wid == 0 and pending > 0:
+            yield Publish(self.topic, pending)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_iterations(self) -> int:
+        """Iterations across all phases (per worker)."""
+        return sum(p.iterations for p in self.spec.phases)
+
+    def expected_duration(self, cfg) -> float:
+        """Rough uncontended wall time at nominal frequency (seconds) —
+        used by harnesses to size measurement windows."""
+        total = 0.0
+        for p in self.spec.phases:
+            k = p.kernel
+            t_iter = k.cycles / cfg.f_nominal + \
+                k.cycles * k.bytes_per_cycle / cfg.core_link_bandwidth
+            total += p.iterations * t_iter
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SyntheticApp({self.name!r}, workers={self.n_workers}, "
+            f"category={self.spec.category_label})"
+        )

@@ -1,0 +1,119 @@
+"""CANDLE analogue — deep-learning cancer benchmark (paper Table II).
+
+Category 1/2: online performance is well defined — epochs completed per
+second during the training phase — but when training is bounded by a
+target accuracy the number of epochs cannot be predicted in advance
+(Section III-A), which is the Category-2 trait. The paper could not
+instrument the real CANDLE (prebuilt TensorFlow binaries); this analogue
+implements what the paper describes *in principle*: an epoch loop whose
+length is decided online by a convergence criterion.
+
+Each epoch performs a compute-heavy pass (DL training on CPU) and
+updates a noisy, geometrically decaying validation loss; training stops
+when the loss crosses the target or ``max_epochs`` is hit. Runs differ
+by seed — exactly the unpredictability that puts accuracy-bounded
+training in Category 2.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
+from repro.core.categories import Category, OnlineMetric
+from repro.exceptions import ConfigurationError
+from repro.hardware.config import NodeConfig, skylake_config
+from repro.runtime.engine import Publish
+
+__all__ = ["build", "CandleApp", "EPOCH_RATE"]
+
+EPOCH_RATE = 0.5  #: training epochs/s at nominal frequency
+
+_BYTES_PER_CYCLE = 0.10   # moderately compute-bound (vectorized GEMMs)
+_IPC = 2.5
+
+
+class CandleApp(SyntheticApp):
+    """Training loop with an online convergence criterion."""
+
+    def __init__(self, spec: AppSpec, *, target_loss: float,
+                 loss_decay: float, loss_noise: float, max_epochs: int,
+                 n_workers: int, seed: int) -> None:
+        super().__init__(spec, n_workers=n_workers, seed=seed)
+        if not 0.0 < loss_decay < 1.0:
+            raise ConfigurationError("loss_decay must lie in (0, 1)")
+        if target_loss <= 0:
+            raise ConfigurationError("target_loss must be positive")
+        if max_epochs < 1:
+            raise ConfigurationError("max_epochs must be >= 1")
+        self.target_loss = target_loss
+        self.loss_decay = loss_decay
+        self.loss_noise = loss_noise
+        self.max_epochs = max_epochs
+        self.epochs_run = 0
+        self.final_loss = float("nan")
+
+    def _body(self, barrier, wid: int) -> Generator:
+        kernel = self.spec.phases[0].kernel
+        rng = self._worker_rng(wid)
+        # The loss trajectory is data-determined: every worker replays the
+        # same stream, so all workers stop after the same epoch.
+        loss_rng = np.random.default_rng([self.seed, 0, 0])
+        loss = 1.0
+        epoch = 0
+        while loss > self.target_loss and epoch < self.max_epochs:
+            yield kernel.sample(rng)
+            yield barrier()
+            loss *= self.loss_decay * float(
+                np.exp(loss_rng.normal(0.0, self.loss_noise))
+            )
+            epoch += 1
+            if wid == 0:
+                yield Publish(self.topic, 1.0)
+        if wid == 0:
+            self.epochs_run = epoch
+            self.final_loss = loss
+
+    def total_iterations(self) -> int:
+        # Unknown in advance — the defining Category-2 property.
+        raise ConfigurationError(
+            "CANDLE's epoch count is decided online by the convergence "
+            "criterion and cannot be predicted (paper Table IV, Q5 = No)"
+        )
+
+
+def build(target_loss: float = 0.25, loss_decay: float = 0.93,
+          loss_noise: float = 0.05, max_epochs: int = 60,
+          n_workers: int = 24, seed: int = 0,
+          cfg: NodeConfig | None = None) -> CandleApp:
+    """CANDLE training-benchmark instance (accuracy-bounded epochs)."""
+    cfg = cfg or skylake_config()
+    kernel = KernelSpec(
+        cycles=cycles_for_rate(EPOCH_RATE, _BYTES_PER_CYCLE, cfg),
+        bytes_per_cycle=_BYTES_PER_CYCLE,
+        ipc=_IPC,
+        jitter=0.01,
+        shared_jitter=0.02,
+    )
+    spec = AppSpec(
+        name="candle",
+        description=(
+            "Deep Learning based cancer suite. Benchmark code that uses "
+            "TensorFlow to solve problems related to precision medicine "
+            "for cancer."
+        ),
+        category=Category.CATEGORY_2,
+        category_label="1/2",
+        metric=OnlineMetric("Epochs per second (training phase)",
+                            "epochs/s"),
+        parallelism="openmp",
+        phases=(PhaseSpec("train", kernel, iterations=max_epochs),),
+        resource_bound="compute",
+        has_fom=False,
+    )
+    return CandleApp(spec, target_loss=target_loss, loss_decay=loss_decay,
+                     loss_noise=loss_noise, max_epochs=max_epochs,
+                     n_workers=n_workers, seed=seed)

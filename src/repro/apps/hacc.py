@@ -1,0 +1,99 @@
+"""HACC analogue — cosmology N-body simulation (paper Table II).
+
+Category 3: "many individual components with distinct performance
+characteristics". Each timestep interleaves a compute-bound short-range
+force kernel, a memory-bound long-range (FFT) kernel, and a periodic
+analysis/output step that mostly waits on I/O. On top of that, the
+short-range cost *grows* over the run as structure forms (clustering
+deepens the tree walks), so timesteps per second drifts downward — the
+paper's reason why "the number of timesteps per second cannot be used to
+measure online performance reliably" (Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
+from repro.core.categories import Category
+from repro.hardware.config import NodeConfig, skylake_config
+from repro.runtime.engine import Publish, Sleep
+
+__all__ = ["build", "HaccApp"]
+
+_SHORT_BPC = 0.02     # tree/force kernel: compute bound
+_LONG_BPC = 3.0       # FFT/transpose: memory bound
+_IO_SLEEP = 0.4       # analysis/output stall, seconds
+_IO_EVERY = 10        # timesteps between outputs
+
+
+class HaccApp(SyntheticApp):
+    """Timestep loop with drifting per-step cost and mixed components."""
+
+    def __init__(self, spec: AppSpec, *, n_steps: int, growth: float,
+                 n_workers: int, seed: int) -> None:
+        super().__init__(spec, n_workers=n_workers, seed=seed)
+        self.n_steps = n_steps
+        self.growth = growth
+
+    def _body(self, barrier, wid: int) -> Generator:
+        short = self.spec.phases[0].kernel
+        long_range = self.spec.phases[1].kernel
+        rng = self._worker_rng(wid)
+        shared_rng = self._phase_rng(0)
+        for step in range(self.n_steps):
+            # Clustering growth: the short-range kernel inflates over the
+            # run, identically on every rank.
+            inflation = (1.0 + self.growth) ** step
+            shared = short.shared_factor(shared_rng) * inflation
+            yield short.sample(rng, shared)
+            yield barrier()
+            yield long_range.sample(rng)
+            yield barrier()
+            if (step + 1) % _IO_EVERY == 0:
+                yield Sleep(_IO_SLEEP)
+                yield barrier()
+            if wid == 0:
+                yield Publish(self.topic, 1.0)
+
+    def total_iterations(self) -> int:
+        return self.n_steps
+
+
+def build(n_steps: int = 80, growth: float = 0.02, n_workers: int = 24,
+          seed: int = 0, cfg: NodeConfig | None = None) -> HaccApp:
+    """HACC instance; per-step cost grows by ``growth`` per timestep."""
+    cfg = cfg or skylake_config()
+    short = KernelSpec(
+        cycles=cycles_for_rate(4.0, _SHORT_BPC, cfg),
+        bytes_per_cycle=_SHORT_BPC, ipc=1.8,
+        jitter=0.02, shared_jitter=0.05,
+    )
+    long_range = KernelSpec(
+        cycles=cycles_for_rate(6.0, _LONG_BPC, cfg),
+        bytes_per_cycle=_LONG_BPC, ipc=1.2, jitter=0.01,
+    )
+    spec = AppSpec(
+        name="hacc",
+        description=(
+            "Cosmology application that uses N-body techniques for "
+            "simulation of galaxies. Many individual components with "
+            "distinct performance characteristics."
+        ),
+        category=Category.CATEGORY_3,
+        metric=None,
+        parallelism="mpi",
+        phases=(
+            PhaseSpec("short-range", short, iterations=n_steps,
+                      publish=False),
+            PhaseSpec("long-range", long_range, iterations=n_steps,
+                      publish=False),
+        ),
+        resource_bound="compute",   # Table IV: dominated by the force kernel
+        has_fom=True,
+    )
+    return HaccApp(spec, n_steps=n_steps, growth=growth,
+                   n_workers=n_workers, seed=seed)

@@ -1,0 +1,107 @@
+"""The paper's Listing-1 MPI load-imbalance example.
+
+The code sample motivates the whole study (Section II): an MPI program
+whose outer loop always progresses at exactly one iteration per second
+(the highest rank is on the critical path with 1,000,000 work units —
+one unit per microsecond of ``usleep``), but whose MIPS reading explodes
+by ~20x when the load is unbalanced, because waiting ranks busy-poll at
+``MPI_Barrier``. Table I's lesson: hardware-counter metrics capture
+wasted cycles, not progress.
+
+Two progress definitions are published on separate topics:
+
+* ``progress/imbalance/iterations`` — Definition 1, one unit per outer
+  iteration (iterations per second);
+* ``progress/imbalance/work_units`` — Definition 2, the total work units
+  all ranks completed that iteration (work units per second).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec
+from repro.core.categories import Category, OnlineMetric
+from repro.exceptions import ConfigurationError
+from repro.runtime.engine import Publish, Sleep, Work
+
+__all__ = ["build", "ImbalanceApp", "WORK_UNITS_CRITICAL"]
+
+WORK_UNITS_CRITICAL = 1_000_000  #: work units on the critical-path rank
+
+# usleep + MPI-stack overhead, per second slept: a small compute burst
+# retiring ~1.7e8 instructions. This is what keeps the equal-work MIPS
+# reading at a few thousand (Table I: 4115.5) instead of zero.
+_OVERHEAD_CYCLES = 1.65e7
+_OVERHEAD_INS = 1.71e8
+
+
+class ImbalanceApp(SyntheticApp):
+    """Listing 1: ``do_equal_work`` / ``do_unequal_work`` for 5 iterations."""
+
+    def __init__(self, spec: AppSpec, *, equal: bool, n_iterations: int,
+                 n_workers: int, seed: int) -> None:
+        super().__init__(spec, n_workers=n_workers, seed=seed)
+        self.equal = equal
+        self.n_iterations = n_iterations
+
+    def _sleep_seconds(self, wid: int) -> float:
+        # Listing 1 passes world_rank + 1, so rank r sleeps (r+1)/size
+        # seconds; the highest rank always sleeps the full second.
+        if self.equal:
+            return 1.0
+        return (wid + 1) / self.n_workers
+
+    def work_units(self, wid: int) -> float:
+        """Work units rank ``wid`` performs per iteration (1 per us)."""
+        return self._sleep_seconds(wid) * 1e6
+
+    def total_work_units_per_iteration(self) -> float:
+        """Work units across all ranks for one outer iteration."""
+        return sum(self.work_units(w) for w in range(self.n_workers))
+
+    def _body(self, barrier, wid: int) -> Generator:
+        sleep_s = self._sleep_seconds(wid)
+        for _ in range(self.n_iterations):
+            # do_(un)equal_work: usleep performs the "work"; the tiny
+            # Work quantum accounts for syscall/MPI overhead instructions.
+            yield Sleep(sleep_s)
+            yield Work(cycles=_OVERHEAD_CYCLES * sleep_s,
+                       instructions=_OVERHEAD_INS * sleep_s)
+            yield barrier()
+            if wid == 0:
+                yield Publish("progress/imbalance/iterations", 1.0)
+                yield Publish("progress/imbalance/work_units",
+                              self.total_work_units_per_iteration())
+
+    def total_iterations(self) -> int:
+        return self.n_iterations
+
+
+def build(equal: bool = True, n_iterations: int = 5, n_workers: int = 24,
+          seed: int = 0, cfg=None) -> ImbalanceApp:
+    """Listing-1 instance; ``equal`` selects the ``do_work`` variant."""
+    if n_iterations < 1:
+        raise ConfigurationError("n_iterations must be >= 1")
+    # The placeholder kernel is never sampled (custom body), but AppSpec
+    # requires a phase; it documents the loop structure.
+    placeholder = KernelSpec(cycles=_OVERHEAD_CYCLES,
+                             ipc=_OVERHEAD_INS / _OVERHEAD_CYCLES)
+    variant = "equal" if equal else "unequal"
+    spec = AppSpec(
+        name="imbalance",
+        description=(
+            f"Listing-1 MPI code sample (do_{variant}_work): fixed outer "
+            "loop at one iteration/s; the highest rank is always on the "
+            "critical path."
+        ),
+        category=Category.CATEGORY_1,
+        metric=OnlineMetric("Iterations per second", "iterations/s"),
+        parallelism="mpi",
+        phases=(PhaseSpec("outer-loop", placeholder,
+                          iterations=n_iterations),),
+        resource_bound="compute",
+    )
+    return ImbalanceApp(spec, equal=equal, n_iterations=n_iterations,
+                        n_workers=n_workers, seed=seed)

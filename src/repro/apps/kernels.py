@@ -1,0 +1,119 @@
+"""Work kernels and phases for the synthetic applications.
+
+A :class:`KernelSpec` describes one iteration's per-worker resource
+demand in machine-independent terms:
+
+* ``cycles`` — compute cycles retired per iteration,
+* ``bytes_per_cycle`` — memory traffic intensity (bytes of
+  bandwidth-time demand per compute cycle); together with the node's
+  frequency and per-core link bandwidth this fixes the compute fraction —
+  i.e. the application's beta, per the engine's exact Eq.-1 behaviour,
+* ``ipc`` — instructions retired per cycle (sets MIPS),
+* ``misses_per_instruction`` — explicit L3 MPO for latency-bound kernels;
+  streaming kernels leave it None and get ``bytes / cache_line``,
+* ``jitter`` / ``shared_jitter`` — lognormal sigma of per-iteration noise
+  that is private per worker (load imbalance) or common to all workers
+  (iteration-to-iteration variability, visible as fluctuation in the
+  1 Hz progress series even though the barrier removes private noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.config import NodeConfig
+from repro.runtime.engine import Work
+
+__all__ = ["KernelSpec", "PhaseSpec", "cycles_for_rate"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Per-worker, per-iteration resource demand (see module docstring)."""
+
+    cycles: float
+    bytes_per_cycle: float = 0.0
+    ipc: float = 1.0
+    misses_per_instruction: float | None = None
+    jitter: float = 0.0
+    shared_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ConfigurationError(f"cycles must be positive, got {self.cycles}")
+        if self.bytes_per_cycle < 0:
+            raise ConfigurationError("bytes_per_cycle must be non-negative")
+        if self.ipc <= 0:
+            raise ConfigurationError(f"ipc must be positive, got {self.ipc}")
+        if self.misses_per_instruction is not None and self.misses_per_instruction < 0:
+            raise ConfigurationError("misses_per_instruction must be non-negative")
+        if self.jitter < 0 or self.shared_jitter < 0:
+            raise ConfigurationError("jitter sigmas must be non-negative")
+
+    def sample(self, worker_rng: np.random.Generator,
+               shared_factor: float = 1.0) -> Work:
+        """Draw one iteration's :class:`~repro.runtime.engine.Work`.
+
+        ``shared_factor`` is the iteration-wide multiplier (identical for
+        every worker of the same iteration); private jitter is drawn from
+        ``worker_rng``.
+        """
+        factor = shared_factor
+        if self.jitter > 0:
+            factor *= float(np.exp(worker_rng.normal(0.0, self.jitter)))
+        cycles = self.cycles * factor
+        nbytes = cycles * self.bytes_per_cycle
+        ins = cycles * self.ipc
+        misses = None
+        if self.misses_per_instruction is not None:
+            misses = ins * self.misses_per_instruction
+        return Work(cycles=cycles, bytes=nbytes, instructions=ins,
+                    l3_misses=misses)
+
+    def shared_factor(self, iteration_rng: np.random.Generator) -> float:
+        """Iteration-wide multiplier drawn from the iteration's RNG."""
+        if self.shared_jitter <= 0:
+            return 1.0
+        return float(np.exp(iteration_rng.normal(0.0, self.shared_jitter)))
+
+    def beta_at(self, cfg: NodeConfig) -> float:
+        """Analytic beta of this kernel on ``cfg`` (uncontended memory):
+        the compute fraction of iteration time at the nominal frequency."""
+        compute = 1.0 / cfg.f_nominal
+        memory = self.bytes_per_cycle / cfg.core_link_bandwidth
+        return compute / (compute + memory)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """A named run of identical iterations (paper: VMC1/VMC2/DMC blocks,
+    OpenMC inactive/active batches, AMG setup/solve, ...)."""
+
+    name: str
+    kernel: KernelSpec
+    iterations: int
+    progress_per_iteration: float = 1.0
+    publish: bool = True
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ConfigurationError("iterations must be non-negative")
+        if self.progress_per_iteration < 0:
+            raise ConfigurationError("progress_per_iteration must be non-negative")
+
+
+def cycles_for_rate(rate: float, bytes_per_cycle: float,
+                    cfg: NodeConfig) -> float:
+    """Per-worker cycles per iteration so that iterations complete at
+    ``rate`` per second at the nominal frequency (uncontended memory).
+
+    This is the calibration inverse of the engine's iteration-time model
+    ``t = C/f + C*bpc/link``.
+    """
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be positive, got {rate}")
+    t_per_cycle = 1.0 / cfg.f_nominal + bytes_per_cycle / cfg.core_link_bandwidth
+    return 1.0 / (rate * t_per_cycle)

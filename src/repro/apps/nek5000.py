@@ -1,0 +1,81 @@
+"""Nek5000 analogue — spectral-element CFD library (paper Table II).
+
+Category 3: Nek5000 is used as a library inside larger applications, and
+its per-timestep cost varies with the flow state — the pressure solve
+runs a data-dependent number of inner iterations (CFL-driven timestep
+adaptation). Timesteps per second therefore does not stay uniform, and a
+high-level rate "provides little insight into the progress of the
+science" (Section III-A).
+
+The per-step work multiplier follows a bounded random walk shared by all
+ranks, so the published step rate wanders by design.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
+from repro.core.categories import Category
+from repro.hardware.config import NodeConfig, skylake_config
+from repro.runtime.engine import Publish
+
+__all__ = ["build", "NekApp"]
+
+_BPC = 1.2   # spectral-element operators: mixed compute/memory
+_WALK_LO, _WALK_HI = 0.5, 3.0
+
+
+class NekApp(SyntheticApp):
+    """Timestep loop with a random-walking inner-solve cost."""
+
+    def __init__(self, spec: AppSpec, *, n_steps: int, walk_sigma: float,
+                 n_workers: int, seed: int) -> None:
+        super().__init__(spec, n_workers=n_workers, seed=seed)
+        self.n_steps = n_steps
+        self.walk_sigma = walk_sigma
+
+    def _body(self, barrier, wid: int) -> Generator:
+        kernel = self.spec.phases[0].kernel
+        rng = self._worker_rng(wid)
+        walk_rng = np.random.default_rng([self.seed, 0, 7])
+        multiplier = 1.0
+        for _ in range(self.n_steps):
+            multiplier *= float(np.exp(walk_rng.normal(0.0, self.walk_sigma)))
+            multiplier = float(np.clip(multiplier, _WALK_LO, _WALK_HI))
+            yield kernel.sample(rng, multiplier)
+            yield barrier()
+            if wid == 0:
+                yield Publish(self.topic, 1.0)
+
+    def total_iterations(self) -> int:
+        return self.n_steps
+
+
+def build(n_steps: int = 150, walk_sigma: float = 0.12, n_workers: int = 24,
+          seed: int = 0, cfg: NodeConfig | None = None) -> NekApp:
+    """Nek5000 instance with CFL-style per-step cost wandering."""
+    cfg = cfg or skylake_config()
+    kernel = KernelSpec(
+        cycles=cycles_for_rate(5.0, _BPC, cfg),
+        bytes_per_cycle=_BPC, ipc=1.5, jitter=0.02,
+    )
+    spec = AppSpec(
+        name="nek5000",
+        description=(
+            "Computational fluid dynamics library that is a part of "
+            "larger applications."
+        ),
+        category=Category.CATEGORY_3,
+        metric=None,
+        parallelism="mpi",
+        phases=(PhaseSpec("timestep", kernel, iterations=n_steps,
+                          publish=False),),
+        resource_bound="compute",
+        has_fom=True,
+    )
+    return NekApp(spec, n_steps=n_steps, walk_sigma=walk_sigma,
+                  n_workers=n_workers, seed=seed)

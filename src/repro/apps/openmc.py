@@ -1,0 +1,93 @@
+"""OpenMC analogue — Monte Carlo neutron transport (paper §IV-B5).
+
+Category 1, memory-latency bound but frequency-sensitive (Table VI,
+active phase: beta = 0.93, MPO = 0.20e-3). Two phases: *inactive*
+batches (source convergence, no tallies — faster) and *active* batches.
+OpenMP with 24 pinned threads; the paper uses 10 inactive + 300 active
+batches over 100,000 particles, publishing progress once per batch
+(~1/s) as the particles simulated, so the monitor reports particles per
+second.
+
+Two reproduction-relevant details:
+
+* **Latency vs. bandwidth** — OpenMC's unstructured memory accesses make
+  it *latency* bound: its miss count is low (MPO = 0.2e-3) but each miss
+  stalls the core for a full round trip. The kernel therefore sets
+  ``bytes_per_cycle`` to the *bandwidth-time equivalent* of that latency
+  (yielding beta = 0.93) and pins the counter-visible miss rate
+  separately via ``misses_per_instruction``.
+* **The zero-progress glitch** — the paper notes OpenMC's progress is
+  "occasionally reported as zero ... due to a flaw in the design of the
+  ZeroMQ-based progress monitoring framework". The spec carries a
+  transport drop probability; harnesses apply it to the app's message
+  bus, reproducing the spurious zeros of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
+from repro.core.categories import Category, OnlineMetric
+from repro.hardware.config import NodeConfig, skylake_config
+
+__all__ = ["build", "N_PARTICLES", "ACTIVE_BATCH_RATE"]
+
+N_PARTICLES = 100_000     #: particles per batch (paper's problem size)
+ACTIVE_BATCH_RATE = 1.0   #: active batches/s at nominal frequency
+INACTIVE_BATCH_RATE = 2.0  #: inactive batches/s (no tallies)
+
+# beta = 0.93 -> latency-equivalent bytes/cycle; MPO pinned explicitly.
+_BYTES_PER_CYCLE = (0.07 / 0.93) * (12e9 / 3.3e9)
+_IPC = 1.0
+_MPO = 0.20e-3
+
+
+def _kernel(rate: float, cfg: NodeConfig) -> KernelSpec:
+    return KernelSpec(
+        cycles=cycles_for_rate(rate, _BYTES_PER_CYCLE, cfg),
+        bytes_per_cycle=_BYTES_PER_CYCLE,
+        ipc=_IPC,
+        misses_per_instruction=_MPO,
+        jitter=0.01,
+        shared_jitter=0.015,
+    )
+
+
+def build(inactive_batches: int = 10, active_batches: int = 60,
+          n_workers: int = 24, seed: int = 0,
+          cfg: NodeConfig | None = None,
+          transport_drop_prob: float = 0.05) -> SyntheticApp:
+    """OpenMC assembly-benchmark instance.
+
+    Defaults scale the paper's 300 active batches down to ~60 s; pass
+    ``inactive_batches=0`` to measure the active phase alone.
+    """
+    cfg = cfg or skylake_config()
+    phases = []
+    if inactive_batches:
+        phases.append(
+            PhaseSpec("inactive", _kernel(INACTIVE_BATCH_RATE, cfg),
+                      iterations=inactive_batches,
+                      progress_per_iteration=float(N_PARTICLES))
+        )
+    phases.append(
+        PhaseSpec("active", _kernel(ACTIVE_BATCH_RATE, cfg),
+                  iterations=active_batches,
+                  progress_per_iteration=float(N_PARTICLES))
+    )
+    spec = AppSpec(
+        name="openmc",
+        description=(
+            "Monte Carlo neutron transport code that simulates particle "
+            "movement inside a nuclear reactor. Phased application."
+        ),
+        category=Category.CATEGORY_1,
+        metric=OnlineMetric("Particles per second", "particles/s",
+                            per_iteration=float(N_PARTICLES)),
+        parallelism="openmp",
+        phases=tuple(phases),
+        resource_bound="memory latency",
+        has_fom=False,
+        transport_drop_prob=transport_drop_prob,
+    )
+    return SyntheticApp(spec, n_workers=n_workers, seed=seed)

@@ -1,0 +1,73 @@
+"""QMCPACK analogue — performance-NiO benchmark (paper §IV-B3).
+
+Category 1, compute-bound (Table VI, DMC phase: beta = 0.84, MPO =
+3.91e-3). The benchmark has three phases — VMC1, VMC2 and DMC — each
+computing *blocks* at its own rate, so the phases are clearly
+distinguishable in the blocks-per-second trace (Fig. 1, right). The
+paper's setup: pure OpenMP, 24 pinned threads; the DMC phase (15 steps
+per block, 3000 blocks) dominates and is the phase used for the
+power-capping evaluation (Fig. 4c); progress is published from the
+block-reporting level outside the parallel region, ~16 blocks/s.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
+from repro.core.categories import Category, OnlineMetric
+from repro.hardware.config import NodeConfig, skylake_config
+
+__all__ = ["build", "DMC_RATE", "VMC1_RATE", "VMC2_RATE"]
+
+VMC1_RATE = 25.0   #: blocks/s in VMC1 at nominal frequency
+VMC2_RATE = 20.0   #: blocks/s in VMC2 at nominal frequency
+DMC_RATE = 16.0    #: blocks/s in DMC at nominal frequency (paper: ~16)
+
+# DMC calibration: beta = 0.84 -> bytes/cycle; MPO = 3.91e-3 via IPC.
+_BYTES_PER_CYCLE = (0.16 / 0.84) * (12e9 / 3.3e9)
+_IPC = (_BYTES_PER_CYCLE / 64.0) / 3.91e-3
+
+
+def _kernel(rate: float, cfg: NodeConfig, jitter: float) -> KernelSpec:
+    return KernelSpec(
+        cycles=cycles_for_rate(rate, _BYTES_PER_CYCLE, cfg),
+        bytes_per_cycle=_BYTES_PER_CYCLE,
+        ipc=_IPC,
+        jitter=0.01,
+        shared_jitter=jitter,
+    )
+
+
+def build(vmc1_blocks: int = 150, vmc2_blocks: int = 150,
+          dmc_blocks: int = 480, n_workers: int = 24, seed: int = 0,
+          cfg: NodeConfig | None = None) -> SyntheticApp:
+    """performance-NiO benchmark instance.
+
+    Defaults are scaled down from the paper's 3000 DMC blocks to ~30 s of
+    DMC; pass ``vmc1_blocks=0, vmc2_blocks=0`` to run the DMC phase alone
+    (as the characterization and Fig. 4c measurements do).
+    """
+    cfg = cfg or skylake_config()
+    phases = []
+    if vmc1_blocks:
+        phases.append(PhaseSpec("vmc1", _kernel(VMC1_RATE, cfg, 0.015),
+                                iterations=vmc1_blocks))
+    if vmc2_blocks:
+        phases.append(PhaseSpec("vmc2", _kernel(VMC2_RATE, cfg, 0.015),
+                                iterations=vmc2_blocks))
+    phases.append(PhaseSpec("dmc", _kernel(DMC_RATE, cfg, 0.02),
+                            iterations=dmc_blocks))
+    spec = AppSpec(
+        name="qmcpack",
+        description=(
+            "Monte Carlo quantum chemistry code that samples particle "
+            "positions randomly. Phased application."
+        ),
+        category=Category.CATEGORY_1,
+        metric=OnlineMetric("Blocks per second", "blocks/s"),
+        parallelism="openmp",
+        phases=tuple(phases),
+        resource_bound="compute",
+        has_fom=True,
+    )
+    return SyntheticApp(spec, n_workers=n_workers, seed=seed)

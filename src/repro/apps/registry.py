@@ -1,0 +1,66 @@
+"""Application registry: build the paper's applications by name.
+
+Builders accept per-app sizing keywords (see each module); all accept
+``n_workers``, ``seed`` and ``cfg``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps import (
+    amg,
+    base,
+    candle,
+    hacc,
+    imbalance,
+    lammps,
+    nek5000,
+    openmc,
+    qmcpack,
+    stream,
+    urban,
+)
+from repro.exceptions import ConfigurationError
+
+__all__ = ["available", "build", "get_spec", "BUILDERS"]
+
+#: Application name -> builder function.
+BUILDERS: dict[str, Callable[..., base.SyntheticApp]] = {
+    "lammps": lammps.build,
+    "amg": amg.build,
+    "qmcpack": qmcpack.build,
+    "stream": stream.build,
+    "openmc": openmc.build,
+    "candle": candle.build,
+    "imbalance": imbalance.build,
+    "hacc": hacc.build,
+    "nek5000": nek5000.build,
+    "urban": urban.build,
+}
+
+
+def available() -> list[str]:
+    """Names of all registered applications, sorted."""
+    return sorted(BUILDERS)
+
+
+def build(name: str, **kwargs) -> base.SyntheticApp:
+    """Construct an application instance by name.
+
+    Keyword arguments are forwarded to the app's builder (sizing, seed,
+    worker count, node config).
+    """
+    try:
+        builder = BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown application {name!r}; available: {available()}"
+        ) from None
+    return builder(**kwargs)
+
+
+def get_spec(name: str, **kwargs) -> base.AppSpec:
+    """The :class:`~repro.apps.base.AppSpec` of an application (builds a
+    default instance and returns its spec)."""
+    return build(name, **kwargs).spec

@@ -1,0 +1,55 @@
+"""STREAM analogue — memory-bandwidth benchmark (paper §IV-B4).
+
+Category 1, memory-bandwidth bound (Table VI: beta = 0.37, MPO =
+50.9e-3). OpenMP with 24 pinned threads; each iteration performs the
+four kernels (copy, scale, add, triad) and the instrumented outer loop
+publishes one progress unit per iteration, ~16 iterations/s. STREAM's
+aggregate traffic runs the node's memory system near saturation, which
+is what makes it the paper's stress case for RAPL (Figs. 4d and 5): the
+impact of capping is dominated by what happens to achievable bandwidth,
+not core throughput.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
+from repro.core.categories import Category, OnlineMetric
+from repro.hardware.config import NodeConfig, skylake_config
+
+__all__ = ["build", "ITERATION_RATE"]
+
+ITERATION_RATE = 16.0  #: copy+scale+add+triad iterations/s at nominal freq
+
+# beta = 0.37 -> bytes/cycle; MPO = 50.9e-3 via IPC.
+_BYTES_PER_CYCLE = (0.63 / 0.37) * (12e9 / 3.3e9)
+_IPC = (_BYTES_PER_CYCLE / 64.0) / 50.9e-3
+
+
+def build(n_iterations: int = 500, n_workers: int = 24, seed: int = 0,
+          cfg: NodeConfig | None = None) -> SyntheticApp:
+    """STREAM benchmark instance (~:data:`ITERATION_RATE` iterations/s)."""
+    cfg = cfg or skylake_config()
+    kernel = KernelSpec(
+        cycles=cycles_for_rate(ITERATION_RATE, _BYTES_PER_CYCLE, cfg),
+        bytes_per_cycle=_BYTES_PER_CYCLE,
+        ipc=_IPC,
+        jitter=0.004,
+        shared_jitter=0.004,
+    )
+    spec = AppSpec(
+        name="stream",
+        description=(
+            "Memory bandwidth benchmark designed to stress-test the "
+            "memory subsystem."
+        ),
+        category=Category.CATEGORY_1,
+        metric=OnlineMetric("Iterations per second", "iterations/s"),
+        parallelism="openmp",
+        phases=(
+            PhaseSpec("triad-loop", kernel, iterations=n_iterations),
+        ),
+        resource_bound="memory bandwidth",
+        has_fom=True,
+    )
+    return SyntheticApp(spec, n_workers=n_workers, seed=seed)

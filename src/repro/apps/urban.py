@@ -1,0 +1,129 @@
+"""URBAN analogue — multiphysics city-infrastructure suite (paper §III-A).
+
+Category 3: URBAN couples the Nek5000 CFD library with EnergyPlus (a
+building-energy simulator), and the two "run at timescales that are
+orders of magnitude apart". An arbitrary combined metric such as
+"buildings simulated per second" has no power-management meaning because
+it does not translate to the performance of the component applications.
+
+This analogue runs two concurrent components on disjoint core sets:
+
+* ``urban/nek`` — a fast CFD loop (tens of steps/s) on half the cores,
+* ``urban/eplus`` — a slow building-energy loop (~0.2 steps/s) on the
+  other half,
+
+each publishing on its own topic. The paper's proposed remedy — a
+weighted combination of component progress — is implemented in
+:mod:`repro.core.composite` and exercised against this application.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
+from repro.core.categories import Category
+from repro.exceptions import ConfigurationError
+from repro.hardware.config import NodeConfig, skylake_config
+from repro.runtime.engine import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Engine
+
+__all__ = ["build", "UrbanApp", "NEK_RATE", "EPLUS_RATE"]
+
+NEK_RATE = 40.0     #: CFD timesteps/s at nominal frequency
+EPLUS_RATE = 0.2    #: building-energy timesteps/s at nominal frequency
+
+
+class UrbanApp(SyntheticApp):
+    """Two concurrent component apps on disjoint cores."""
+
+    def __init__(self, spec: AppSpec, components: list[SyntheticApp],
+                 n_workers: int, seed: int) -> None:
+        super().__init__(spec, n_workers=n_workers, seed=seed)
+        self.components = components
+
+    def launch(self, engine: "Engine", core_offset: int = 0) -> list[TaskState]:
+        tasks: list[TaskState] = []
+        offset = core_offset
+        for comp in self.components:
+            tasks.extend(comp.launch(engine, core_offset=offset))
+            offset += comp.n_workers
+        return tasks
+
+    def total_iterations(self) -> int:
+        raise ConfigurationError(
+            "URBAN has no single iteration space; inspect .components "
+            "(paper: Category 3, multi-component)"
+        )
+
+
+def build(duration_steps: int = 40, n_workers: int = 24, seed: int = 0,
+          cfg: NodeConfig | None = None) -> UrbanApp:
+    """URBAN instance: Nek component on the first half of the cores,
+    EnergyPlus component on the second half.
+
+    ``duration_steps`` sets the slow component's step count scale: the
+    fast component runs ``duration_steps * NEK_RATE / EPLUS_RATE`` steps
+    so both components finish at roughly the same time... which at the
+    defaults is ~200 s of simulated time; the harness normally bounds the
+    run with ``engine.run(until=...)`` instead.
+    """
+    cfg = cfg or skylake_config()
+    if n_workers < 2:
+        raise ConfigurationError("URBAN needs at least 2 workers")
+    half = n_workers // 2
+
+    nek_kernel = KernelSpec(
+        cycles=cycles_for_rate(NEK_RATE, 1.2, cfg),
+        bytes_per_cycle=1.2, ipc=1.5, jitter=0.02, shared_jitter=0.04,
+    )
+    eplus_kernel = KernelSpec(
+        cycles=cycles_for_rate(EPLUS_RATE, 0.15, cfg),
+        bytes_per_cycle=0.15, ipc=1.1, jitter=0.03,
+    )
+    nek_steps = int(duration_steps * NEK_RATE / EPLUS_RATE)
+
+    nek = SyntheticApp(
+        AppSpec(
+            name="urban/nek",
+            description="URBAN component: Nek5000 CFD around buildings.",
+            category=Category.CATEGORY_3,
+            metric=None,
+            parallelism="openmp",
+            phases=(PhaseSpec("cfd-step", nek_kernel, iterations=nek_steps),),
+            resource_bound="compute",
+        ),
+        n_workers=half, seed=seed,
+    )
+    eplus = SyntheticApp(
+        AppSpec(
+            name="urban/eplus",
+            description="URBAN component: EnergyPlus building-energy model.",
+            category=Category.CATEGORY_3,
+            metric=None,
+            parallelism="openmp",
+            phases=(PhaseSpec("building-step", eplus_kernel,
+                              iterations=duration_steps),),
+            resource_bound="compute",
+        ),
+        n_workers=n_workers - half, seed=seed + 1,
+    )
+    spec = AppSpec(
+        name="urban",
+        description=(
+            "Collection of applications for modeling and simulation of "
+            "city infrastructure and transport mechanisms. Multiphysics "
+            "application where individual components run at different "
+            "timescales."
+        ),
+        category=Category.CATEGORY_3,
+        metric=None,
+        parallelism="openmp",
+        phases=(PhaseSpec("composite", nek_kernel, iterations=0,
+                          publish=False),),
+        resource_bound="component-dependent",
+    )
+    return UrbanApp(spec, [nek, eplus], n_workers=n_workers, seed=seed)

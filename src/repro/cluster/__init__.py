@@ -1,0 +1,32 @@
+"""Multi-node cluster simulation (extension).
+
+The paper notes its single-node study "directly maps to a multi node
+study without any change" and motivates the work with hierarchical,
+job-level power management; its related work (Rountree et al.) observes
+that *manufacturing variability* between nodes becomes a first-order
+performance problem once power is capped. This subpackage provides that
+scale-up:
+
+* :mod:`repro.cluster.variability` — per-node perturbation of the power
+  model (leakage / dynamic coefficient spread),
+* :mod:`repro.cluster.node_instance` — one node's full stack (hardware,
+  firmware, telemetry, budget policy, application) advanced in epochs,
+* :mod:`repro.cluster.simulation` — lockstep cluster execution with a
+  pluggable cluster-level power policy,
+* :mod:`repro.cluster.policies` — uniform budgets vs a progress-aware
+  rebalancer that shifts power toward the critical-path nodes (the use
+  case the paper's online-progress metric enables).
+"""
+
+from repro.cluster.node_instance import NodeInstance
+from repro.cluster.policies import ProgressAwareRebalancer, UniformPowerPolicy
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.variability import perturb_config
+
+__all__ = [
+    "NodeInstance",
+    "ClusterSimulation",
+    "UniformPowerPolicy",
+    "ProgressAwareRebalancer",
+    "perturb_config",
+]

@@ -1,0 +1,97 @@
+"""One cluster node's complete software/hardware stack.
+
+A :class:`NodeInstance` owns a simulated node, its RAPL firmware, the
+libmsr access path, a budget-tracking policy, the progress bus/monitor,
+and one application — everything the single-node Testbed wires, but
+advanceable in *epochs* so many nodes can run in lockstep under a
+cluster-level power policy.
+"""
+
+from __future__ import annotations
+
+from repro.apps import build as build_app
+from repro.exceptions import ConfigurationError
+from repro.hardware.config import NodeConfig
+from repro.hardware.msr import MSRDevice
+from repro.hardware.msr_safe import MSRSafe
+from repro.hardware.node import SimulatedNode
+from repro.hardware.rapl import RaplFirmware
+from repro.libmsr import LibMSR
+from repro.nrm.policies import BudgetTrackingPolicy
+from repro.runtime.engine import Engine
+from repro.telemetry.monitor import ProgressMonitor
+from repro.telemetry.pubsub import MessageBus
+
+__all__ = ["NodeInstance"]
+
+
+class NodeInstance:
+    """A self-contained node running one application under a budget."""
+
+    def __init__(self, node_id: int, cfg: NodeConfig, app_name: str,
+                 app_kwargs: dict | None = None, seed: int = 0) -> None:
+        self.node_id = node_id
+        self.node = SimulatedNode(cfg)
+        self.engine = Engine(self.node)
+        self.firmware = RaplFirmware(self.node, self.engine)
+        self.libmsr = LibMSR(MSRSafe(MSRDevice(self.node, self.firmware)),
+                             self.node.clock)
+        self.policy = BudgetTrackingPolicy(self.engine, self.libmsr)
+
+        kwargs = dict(app_kwargs or {})
+        kwargs.setdefault("seed", seed)
+        kwargs.setdefault("cfg", cfg)
+        self.app = build_app(app_name, **kwargs)
+
+        bus = MessageBus(self.node.clock,
+                         drop_prob=self.app.spec.transport_drop_prob,
+                         seed=seed + 1)
+        pub = bus.pub_socket()
+        self.engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+        self.monitor = ProgressMonitor(
+            self.engine, bus.sub_socket(self.app.topic),
+            name=f"node{node_id}:{self.app.topic}",
+        )
+        self.app.launch(self.engine)
+        self._energy_mark = 0.0
+
+    # ------------------------------------------------------------------
+
+    def receive_budget(self, watts: float | None) -> None:
+        """Deliver a node power budget (applied on the policy's next tick)."""
+        self.policy.receive_budget(watts)
+
+    def advance(self, until: float) -> None:
+        """Run this node's engine to absolute simulated time ``until``."""
+        if until < self.now:
+            raise ConfigurationError(
+                f"node {self.node_id}: cannot rewind to {until} from {self.now}"
+            )
+        self.engine.run(until=until)
+
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.node.clock.now
+
+    def recent_rate(self, window: float = 5.0) -> float:
+        """Mean progress rate over the trailing ``window`` seconds
+        (zeros included; 0.0 when nothing has been collected yet)."""
+        series = self.monitor.series
+        if series.is_empty():
+            return 0.0
+        recent = series.window(self.now - window, self.now + 1e-9)
+        if recent.is_empty():
+            return 0.0
+        return float(recent.values.mean())
+
+    def epoch_energy(self) -> float:
+        """Package energy consumed since the previous call (joules)."""
+        delta = self.node.pkg_energy - self._energy_mark
+        self._energy_mark = self.node.pkg_energy
+        return delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"NodeInstance(id={self.node_id}, t={self.now:.1f}s, "
+                f"f={self.node.frequency / 1e9:.1f}GHz)")

@@ -1,0 +1,127 @@
+"""Cluster-level power policies.
+
+Both policies distribute a fixed job power budget across nodes each
+epoch; they differ in what they know:
+
+* :class:`UniformPowerPolicy` — the baseline: every node gets
+  ``budget / n``. Under manufacturing variability this leaves the
+  inefficient nodes slow, and for bulk-synchronous applications the
+  slowest node *is* the job's speed.
+* :class:`ProgressAwareRebalancer` — uses exactly the paper's
+  contribution, the online progress metric, to steer power: nodes
+  running below the mean rate receive proportionally more budget, nodes
+  above it less (bounded by per-node floor/ceiling, always summing to
+  the job budget). This is the Conductor/POW-style policy the paper says
+  online progress enables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["UniformPowerPolicy", "ProgressAwareRebalancer"]
+
+
+class UniformPowerPolicy:
+    """Equal share for every node."""
+
+    def __init__(self, budget: float) -> None:
+        if budget <= 0:
+            raise ConfigurationError(f"budget must be positive, got {budget}")
+        self.budget = budget
+
+    def allocate(self, rates: list[float]) -> list[float]:
+        """Per-node budgets given the latest per-node progress rates
+        (ignored by this policy)."""
+        n = len(rates)
+        if n == 0:
+            raise ConfigurationError("no nodes to allocate to")
+        return [self.budget / n] * n
+
+
+class ProgressAwareRebalancer:
+    """Shift budget toward slow (critical-path) nodes.
+
+    Parameters
+    ----------
+    budget:
+        Total job budget (watts).
+    min_node, max_node:
+        Per-node clamp (watts).
+    gain:
+        How aggressively the deficit is converted into extra budget:
+        a node running fraction ``d`` below the mean rate requests
+        ``gain * d`` of its uniform share extra.
+    """
+
+    def __init__(self, budget: float, *, min_node: float = 45.0,
+                 max_node: float = 200.0, gain: float = 1.5) -> None:
+        if budget <= 0:
+            raise ConfigurationError(f"budget must be positive, got {budget}")
+        if not 0 < min_node < max_node:
+            raise ConfigurationError("need 0 < min_node < max_node")
+        if gain <= 0:
+            raise ConfigurationError(f"gain must be positive, got {gain}")
+        self.budget = budget
+        self.min_node = min_node
+        self.max_node = max_node
+        self.gain = gain
+
+    def allocate(self, rates: list[float]) -> list[float]:
+        """Per-node budgets from the latest per-node progress rates."""
+        n = len(rates)
+        if n == 0:
+            raise ConfigurationError("no nodes to allocate to")
+        if not n * self.min_node <= self.budget <= n * self.max_node:
+            raise ConfigurationError(
+                f"budget {self.budget} is infeasible for {n} nodes with "
+                f"bounds [{self.min_node}, {self.max_node}]"
+            )
+        r = np.asarray(rates, dtype=float)
+        uniform = self.budget / n
+        mean = r.mean()
+        if mean <= 0:
+            # no progress signal yet: fall back to uniform
+            return [uniform] * n
+        # deficit > 0 for slow nodes, < 0 for fast ones; zero-sum before
+        # the bound projection
+        deficit = (mean - r) / mean
+        raw = np.maximum(uniform * (1.0 + self.gain * deficit),
+                         self.budget * 1e-6)
+        return self._project(raw)
+
+    def _project(self, raw: np.ndarray) -> list[float]:
+        """Scale ``raw`` onto the budget subject to per-node bounds.
+
+        Solves ``sum(clip(raw * lam, min, max)) == budget`` for the
+        scaling factor by bisection; the sum is continuous and monotone
+        non-decreasing in ``lam``, and feasibility
+        (``n*min <= budget <= n*max``, ``raw > 0``) guarantees a root.
+        """
+        def total(lam: float) -> float:
+            return float(np.clip(raw * lam, self.min_node,
+                                 self.max_node).sum())
+
+        lo, hi = 0.0, 1.0
+        while total(hi) < self.budget - 1e-9:
+            hi *= 2.0
+            if hi > 1e18:  # pragma: no cover - feasibility guards this
+                break
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if total(mid) < self.budget:
+                lo = mid
+            else:
+                hi = mid
+        budgets = np.clip(raw * hi, self.min_node, self.max_node)
+        # polish any residual rounding onto the unclamped entries
+        slack = self.budget - budgets.sum()
+        if abs(slack) > 1e-9:
+            headroom = (budgets < self.max_node - 1e-12) \
+                if slack > 0 else (budgets > self.min_node + 1e-12)
+            k = int(headroom.sum())
+            if k:
+                budgets[headroom] += slack / k
+        return [float(b) for b in budgets]

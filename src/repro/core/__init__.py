@@ -1,0 +1,29 @@
+"""The paper's contribution: online progress, categorization, and the
+power-capping impact model.
+
+* :mod:`repro.core.progress` — online-performance definitions and trace
+  characterization (consistent / fluctuating / phased),
+* :mod:`repro.core.categories` — the Category 1/2/3 taxonomy and
+  rule-based categorization from specialist answers,
+* :mod:`repro.core.survey` — the questionnaire (Table III) and the
+  recorded specialist responses (Table IV),
+* :mod:`repro.core.beta` — the beta compute-boundedness metric and MPO,
+* :mod:`repro.core.model` — Eqs. 1-7: the impact of a RAPL power cap on
+  progress,
+* :mod:`repro.core.fitting` — fitting beta/alpha to measurements,
+* :mod:`repro.core.errors` — prediction-error analysis,
+* :mod:`repro.core.composite` — weighted multi-component progress for
+  Category-3 applications (the paper's proposed extension).
+"""
+
+from repro.core.beta import beta_from_times, mpo_from_delta
+from repro.core.categories import Category, OnlineMetric
+from repro.core.model import PowerCapModel
+
+__all__ = [
+    "Category",
+    "OnlineMetric",
+    "PowerCapModel",
+    "beta_from_times",
+    "mpo_from_delta",
+]

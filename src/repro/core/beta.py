@@ -1,0 +1,62 @@
+"""The beta compute-boundedness metric and MPO (paper Section IV-A).
+
+The beta metric (Hsu & Kremer) measures how strongly execution time
+responds to CPU frequency; the paper computes it from execution times at
+the maximum (3300 MHz) and a reduced (1600 MHz) frequency by inverting
+its Eq. 1::
+
+    T(f) / T(f_max) = beta * (f_max / f - 1) + 1
+    => beta = (T(f_low)/T(f_high) - 1) / (f_high/f_low - 1)
+
+MPO (misses per operation) is the frequency-independent companion:
+L3 total cache misses divided by total instructions, both from PAPI
+counters.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ModelError
+from repro.hardware.counters import CounterSnapshot
+
+__all__ = ["beta_from_times", "mpo_from_delta"]
+
+
+def beta_from_times(t_low: float, t_high: float,
+                    f_low: float, f_high: float) -> float:
+    """Beta from execution times at two frequencies.
+
+    Parameters
+    ----------
+    t_low, t_high:
+        Execution times at ``f_low`` and ``f_high`` respectively
+        (``f_high`` is the nominal maximum; ``t_low >= t_high`` for any
+        physical workload).
+    f_low, f_high:
+        The two frequencies, ``0 < f_low < f_high``.
+
+    Returns
+    -------
+    float
+        Beta clipped to [0, 1]: 1 for ideally compute-bound code (time
+        scales inversely with frequency), 0 for frequency-insensitive
+        code.
+    """
+    if not 0 < f_low < f_high:
+        raise ModelError(f"need 0 < f_low < f_high, got {f_low}, {f_high}")
+    if t_low <= 0 or t_high <= 0:
+        raise ModelError("execution times must be positive")
+    beta = (t_low / t_high - 1.0) / (f_high / f_low - 1.0)
+    return min(max(beta, 0.0), 1.0)
+
+
+def mpo_from_delta(delta: CounterSnapshot) -> float:
+    """Misses per operation over a counter interval.
+
+    ``delta`` is a difference of two snapshots
+    (:meth:`~repro.hardware.counters.CounterSnapshot.delta`); the value is
+    L3_TCM / TOT_INS, as the paper computes with PAPI.
+    """
+    ins = delta.total("PAPI_TOT_INS")
+    if ins <= 0:
+        raise ModelError("MPO undefined: no instructions in the interval")
+    return delta.total("PAPI_L3_TCM") / ins

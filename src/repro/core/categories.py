@@ -1,0 +1,79 @@
+"""Application categories for online performance (paper Section III-B).
+
+* **Category 1** — iterative codes with a well-defined online-performance
+  metric that correlates with the application's scientific goal (and FOM,
+  when defined): QMCPACK, OpenMC, LAMMPS, STREAM.
+* **Category 2** — codes whose online performance is well defined but
+  does not indicate how far the application has progressed toward its
+  goal (iteration counts unknown in advance): AMG, CANDLE's training.
+* **Category 3** — codes without a reliable single metric, or composed of
+  components that each need their own: URBAN, Nek5000, HACC.
+
+:func:`categorize` derives the category mechanically from the
+questionnaire answers of :mod:`repro.core.survey`, reproducing Table V
+from Table IV rather than hard-coding it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.survey import SurveyResponse
+
+__all__ = ["Category", "OnlineMetric", "categorize"]
+
+
+class Category(enum.IntEnum):
+    """The paper's three-way application taxonomy."""
+
+    CATEGORY_1 = 1
+    CATEGORY_2 = 2
+    CATEGORY_3 = 3
+
+    def describe(self) -> str:
+        """One-line description matching Section III-B."""
+        return {
+            Category.CATEGORY_1:
+                "well-defined online performance correlated with the "
+                "scientific goal",
+            Category.CATEGORY_2:
+                "well-defined online performance that does not indicate "
+                "progress toward the goal",
+            Category.CATEGORY_3:
+                "no reliable single online-performance metric",
+        }[self]
+
+
+@dataclass(frozen=True)
+class OnlineMetric:
+    """An application's online-performance metric (paper Table V)."""
+
+    name: str          #: e.g. "Blocks per second"
+    unit: str          #: e.g. "blocks/s"
+    per_iteration: float = 1.0  #: progress units published per iteration
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def categorize(response: "SurveyResponse") -> Category:
+    """Derive the category from questionnaire answers (Table IV -> V).
+
+    Rules, following Section III-B verbatim:
+
+    * If online performance cannot be monitored reliably, or the
+      application is multi-component in a way that defeats a single
+      metric (Q2 is No, or Q7 is Yes while Q3 is No and Q2 is No) —
+      Category 3.
+    * Else if online performance does not measure progress toward the
+      scientific goal (Q3 is No) — Category 2.
+    * Else — Category 1.
+    """
+    if not response.q2_online_measurable:
+        return Category.CATEGORY_3
+    if not response.q3_measures_goal:
+        return Category.CATEGORY_2
+    return Category.CATEGORY_1

@@ -1,0 +1,147 @@
+"""The paper's model of power capping's impact on progress (Section VI-A).
+
+Chain of reasoning, equation by equation:
+
+1. DVFS impact on execution time (Etinski et al.)::
+
+       T(f)/T(f_max) = beta * (f_max/f - 1) + 1                    (Eq. 1)
+
+2. Core power follows frequency: ``P_core ~ f**alpha``, alpha in
+   [1, 3] (the paper fixes alpha = 2 in all predictions).       (Eq. 2)
+
+3. Progress is inverse time: ``r(f) ~ 1/T(f)``.                 (Eq. 3)
+
+4. Change of variable f -> P_core::
+
+       r(P_core) = r(P_coremax) /
+                   (beta * ((P_coremax/P_core)**(1/alpha) - 1) + 1)  (Eq. 4)
+
+5. RAPL splits a package cap in the ratio of compute-boundedness::
+
+       P_corecap = beta * P_cap                                    (Eq. 5)
+
+6. A binding cap is fully used: ``P_core ~= P_corecap``.        (Eq. 6)
+
+7. Change in progress when capping from the uncapped state::
+
+       delta = r(P_coremax) * [1 - 1/(beta*((P_coremax/P_corecap)**(1/alpha) - 1) + 1)]   (Eq. 7)
+
+The model is deliberately *not* the simulator's ground truth: it assumes
+a fixed alpha, ignores static power, ladder discreteness, turbo and the
+DDCM fallback — the exact simplifications whose consequences the paper's
+Fig. 4 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+__all__ = ["PowerCapModel"]
+
+
+@dataclass(frozen=True)
+class PowerCapModel:
+    """Predicts progress under a package power cap.
+
+    Parameters
+    ----------
+    beta:
+        Application compute-boundedness in [0, 1] (measured per
+        Section IV-A).
+    r_max:
+        Uncapped progress rate ``r(P_coremax)`` in the application's
+        progress units per second.
+    p_coremax:
+        Core power at the uncapped operating point (watts). The paper
+        estimates it from the uncapped package power and beta.
+    alpha:
+        Exponent of the core power/frequency relation; the paper fixes 2.
+    """
+
+    beta: float
+    r_max: float
+    p_coremax: float
+    alpha: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.beta <= 1.0:
+            raise ModelError(f"beta must lie in [0, 1], got {self.beta}")
+        if self.r_max <= 0:
+            raise ModelError(f"r_max must be positive, got {self.r_max}")
+        if self.p_coremax <= 0:
+            raise ModelError(f"p_coremax must be positive, got {self.p_coremax}")
+        if self.alpha < 1.0:
+            raise ModelError(f"alpha must be >= 1, got {self.alpha}")
+
+    # -- Eq. 1 ---------------------------------------------------------------
+
+    def time_ratio(self, f: float, f_max: float) -> float:
+        """``T(f)/T(f_max)`` from Eq. 1."""
+        if not 0 < f <= f_max:
+            raise ModelError(f"need 0 < f <= f_max, got f={f}, f_max={f_max}")
+        return self.beta * (f_max / f - 1.0) + 1.0
+
+    # -- Eq. 4 -----------------------------------------------------------------
+
+    def progress_at_core_power(self, p_core: float) -> float:
+        """``r(P_core)`` from Eq. 4, clamped at the uncapped rate for
+        ``P_core >= p_coremax`` (a cap above the operating point has no
+        effect)."""
+        if p_core <= 0:
+            raise ModelError(f"p_core must be positive, got {p_core}")
+        if p_core >= self.p_coremax:
+            return self.r_max
+        denom = self.beta * ((self.p_coremax / p_core) ** (1.0 / self.alpha)
+                             - 1.0) + 1.0
+        return self.r_max / denom
+
+    # -- Eq. 5 -------------------------------------------------------------------
+
+    def effective_core_cap(self, p_cap: float) -> float:
+        """``P_corecap = beta * P_cap`` (Eq. 5): the model's estimate of
+        the core-power budget RAPL grants under a package cap."""
+        if p_cap <= 0:
+            raise ModelError(f"p_cap must be positive, got {p_cap}")
+        return self.beta * p_cap
+
+    # -- Eq. 7 ---------------------------------------------------------------------
+
+    def delta_progress(self, p_corecap: float) -> float:
+        """Predicted *change* in progress when capping the core at
+        ``p_corecap`` from the uncapped state (Eq. 7). Non-negative;
+        zero when the cap does not bind."""
+        return self.r_max - self.progress_at_core_power(p_corecap)
+
+    def delta_progress_at_package_cap(self, p_cap: float) -> float:
+        """Eq. 5 + Eq. 7: predicted change in progress for a *package*
+        cap."""
+        return self.delta_progress(self.effective_core_cap(p_cap))
+
+    # -- inverse (the paper's stated use case: pick a budget for a target
+    # performance) ---------------------------------------------------------
+
+    def core_power_for_progress(self, r_target: float) -> float:
+        """Smallest core power budget that sustains ``r_target``
+        (inverse of Eq. 4)."""
+        if not 0 < r_target <= self.r_max:
+            raise ModelError(
+                f"target rate must lie in (0, r_max={self.r_max}], got {r_target}"
+            )
+        if r_target == self.r_max:
+            return self.p_coremax
+        if self.beta == 0.0:
+            # frequency-insensitive code sustains any rate <= r_max at
+            # arbitrarily low core power, per the model
+            raise ModelError(
+                "beta = 0: the model places no core-power requirement on "
+                "a frequency-insensitive application"
+            )
+        # denom = r_max/r = beta*((Pmax/P)^(1/alpha) - 1) + 1
+        ratio = (self.r_max / r_target - 1.0) / self.beta + 1.0
+        return self.p_coremax / ratio**self.alpha
+
+    def package_cap_for_progress(self, r_target: float) -> float:
+        """Package cap that sustains ``r_target`` (inverse of Eq. 5+7)."""
+        return self.core_power_for_progress(r_target) / self.beta

@@ -1,0 +1,135 @@
+"""Online-performance trace characterization (paper Section IV-C).
+
+The paper characterizes each application's 1 Hz progress series as
+
+* **consistent** — LAMMPS, STREAM: the rate barely moves,
+* **fluctuating** — AMG: the rate bounces between 2.5 and 3 iterations/s
+  and "needs to be averaged out",
+* **phased** — QMCPACK, OpenMC: distinct phases compute at clearly
+  different rates.
+
+:func:`classify_trace` reproduces that judgment mechanically, and
+:func:`steady_rate` implements the measurement protocol used throughout
+the evaluation (trim the warmup/cooldown edges, ignore transport-glitch
+zeros, average the rest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.timeseries import TimeSeries
+
+__all__ = ["TraceClass", "TraceCharacterization", "classify_trace",
+           "steady_rate"]
+
+#: Trace classes, as string constants (kept readable in reports).
+class TraceClass:
+    CONSISTENT = "consistent"
+    FLUCTUATING = "fluctuating"
+    PHASED = "phased"
+
+
+@dataclass(frozen=True)
+class TraceCharacterization:
+    """Result of classifying a progress trace."""
+
+    trace_class: str
+    cv: float                      #: coefficient of variation (nonzero samples)
+    n_segments: int                #: detected constant-rate segments
+    segment_rates: tuple[float, ...]  #: mean rate per segment
+
+
+def steady_rate(series: TimeSeries, *, warmup: float = 2.0,
+                cooldown: float = 0.0, ignore_zeros: bool = True) -> float:
+    """Mean progress rate over the steady portion of a run.
+
+    Drops ``warmup`` seconds from the start and ``cooldown`` from the
+    end; optionally ignores zero samples (transport glitches, see
+    OpenMC). Raises if nothing remains.
+    """
+    if series.is_empty():
+        raise ConfigurationError("cannot take the steady rate of an empty series")
+    t0 = series.times[0] + warmup
+    t1 = series.times[-1] - cooldown
+    window = series.window(t0, t1 + 1e-9)
+    values = window.values
+    if ignore_zeros:
+        values = values[values > 0.0]
+    if values.size == 0:
+        raise ConfigurationError(
+            "no samples left after trimming; widen the measurement window"
+        )
+    return float(values.mean())
+
+
+def _segment(values: np.ndarray, rel_step: float) -> list[np.ndarray]:
+    """Greedy segmentation: start a new segment when the running segment
+    mean and the next sample differ by more than ``rel_step``."""
+    segments: list[list[float]] = [[float(values[0])]]
+    for v in values[1:]:
+        seg = segments[-1]
+        mean = float(np.mean(seg))
+        scale = max(abs(mean), 1e-12)
+        if abs(v - mean) / scale > rel_step:
+            segments.append([float(v)])
+        else:
+            seg.append(float(v))
+    return [np.asarray(s) for s in segments]
+
+
+def classify_trace(series: TimeSeries, *, consistent_cv: float = 0.04,
+                   phase_step: float = 0.15, min_segment: int = 3,
+                   ignore_zeros: bool = True) -> TraceCharacterization:
+    """Classify a 1 Hz progress series (see module docstring).
+
+    Parameters
+    ----------
+    series:
+        The monitor's rate series.
+    consistent_cv:
+        CV at or below which a single-segment trace counts as consistent.
+    phase_step:
+        Relative rate change that opens a new segment.
+    min_segment:
+        Segments shorter than this are treated as noise, not phases.
+    ignore_zeros:
+        Drop zero samples (transport glitches) before classifying.
+    """
+    if series.is_empty():
+        raise ConfigurationError("cannot classify an empty series")
+    values = series.values
+    if ignore_zeros:
+        values = values[values > 0.0]
+    if values.size < 2:
+        raise ConfigurationError("need at least 2 nonzero samples to classify")
+
+    mean = float(values.mean())
+    cv = float(values.std() / abs(mean)) if mean else float("inf")
+
+    segments = [s for s in _segment(values, phase_step) if len(s) >= min_segment]
+    segment_rates = tuple(float(s.mean()) for s in segments)
+
+    # Phases are *sustained, distinct* rate levels; oscillation between
+    # quantized bucket values (AMG's 2 vs 3 iterations per bucket) yields
+    # several segments at indistinguishable means and is fluctuation.
+    distinct_levels = False
+    if len(segment_rates) >= 2:
+        spread = max(segment_rates) - min(segment_rates)
+        distinct_levels = spread / max(abs(mean), 1e-12) > phase_step
+
+    if distinct_levels:
+        trace_class = TraceClass.PHASED
+    elif cv <= consistent_cv:
+        trace_class = TraceClass.CONSISTENT
+    else:
+        trace_class = TraceClass.FLUCTUATING
+    return TraceCharacterization(
+        trace_class=trace_class,
+        cv=cv,
+        n_segments=max(len(segments), 1),
+        segment_rates=segment_rates or (mean,),
+    )

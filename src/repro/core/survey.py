@@ -1,0 +1,109 @@
+"""The semi-structured specialist interviews (paper Tables III & IV).
+
+:data:`QUESTIONS` reproduces Table III verbatim. :data:`RESPONSES`
+encodes Table IV; where the published table is typographically ambiguous
+the answers follow the unambiguous statements in Section III's prose
+(e.g. "the number of iterations cannot be predicted in advance" for AMG
+and CANDLE; "online performance cannot be monitored reliably" for the
+Category-3 codes).
+
+:func:`category_label` combines the responses with the rule-based
+categorizer to regenerate Table V's category column (including CANDLE's
+"1/2" borderline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.categories import Category, categorize
+from repro.exceptions import ConfigurationError
+
+__all__ = ["QUESTIONS", "SurveyResponse", "RESPONSES", "category_label"]
+
+#: Table III, verbatim.
+QUESTIONS: tuple[str, ...] = (
+    "Is there a well-defined FOM for the application?",
+    "Can we measure online performance during execution that correlates "
+    "well with either FOM or the execution time?",
+    "Does online performance measure progress toward an "
+    "application-defined scientific goal?",
+    "Is the execution time accurately predictable based on a performance "
+    "model of the application?",
+    "If the application is loop based, is the number of loop iterations "
+    "decided prior to execution?",
+    "If application is loop based, do loop iterations proceed in a "
+    "uniform manner in terms of instructions executed?",
+    "Does the application have multiple phases or components that are "
+    "clearly demarcated from a design or performance characteristic "
+    "standpoint?",
+    "What system resource is the application limited by?",
+)
+
+
+@dataclass(frozen=True)
+class SurveyResponse:
+    """One application's answers (Table IV row)."""
+
+    app: str
+    q1_has_fom: bool
+    q2_online_measurable: bool
+    q3_measures_goal: bool
+    q4_time_predictable: bool
+    q5_iterations_known: bool
+    q6_iterations_uniform: bool
+    q7_phased: bool
+    q8_resource: str
+    borderline: bool = False  #: CANDLE: Category 1 during training, 2 overall
+
+    def answers(self) -> tuple:
+        """Answers in question order (Y/N booleans then the resource)."""
+        return (self.q1_has_fom, self.q2_online_measurable,
+                self.q3_measures_goal, self.q4_time_predictable,
+                self.q5_iterations_known, self.q6_iterations_uniform,
+                self.q7_phased, self.q8_resource)
+
+
+#: Table IV.
+RESPONSES: dict[str, SurveyResponse] = {
+    r.app: r for r in (
+        SurveyResponse("qmcpack", True, True, True, True, True, True, True,
+                       "compute"),
+        SurveyResponse("openmc", False, True, True, True, True, True, True,
+                       "memory latency"),
+        SurveyResponse("amg", False, True, False, False, False, True, True,
+                       "memory bandwidth"),
+        SurveyResponse("lammps", False, True, True, True, True, True, False,
+                       "compute"),
+        SurveyResponse("candle", False, True, False, False, False, True,
+                       True, "compute", borderline=True),
+        SurveyResponse("stream", True, True, True, True, True, True, False,
+                       "memory bandwidth"),
+        SurveyResponse("urban", False, False, False, False, False, False,
+                       True, "component-dependent"),
+        SurveyResponse("nek5000", True, False, False, False, False, False,
+                       False, "compute"),
+        SurveyResponse("hacc", True, False, False, False, False, False,
+                       True, "compute"),
+    )
+}
+
+
+def get_response(app: str) -> SurveyResponse:
+    """Response row for an application name."""
+    try:
+        return RESPONSES[app]
+    except KeyError:
+        raise ConfigurationError(
+            f"no survey response recorded for {app!r}; "
+            f"known: {sorted(RESPONSES)}"
+        ) from None
+
+
+def category_label(app: str) -> str:
+    """Table V's category column, derived from the Table IV answers."""
+    response = get_response(app)
+    category = categorize(response)
+    if response.borderline and category is Category.CATEGORY_2:
+        return "1/2"
+    return str(int(category))

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing hardware-emulation faults (bad MSR access, privilege
+violations) from simulation misuse (scheduling in the past, double-starting
+an application) and from modelling problems (unfittable data).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "MSRError",
+    "MSRAccessError",
+    "MSRPermissionError",
+    "PowercapError",
+    "ModelError",
+    "FittingError",
+    "TelemetryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied (bad core count, empty
+    frequency ladder, non-positive bandwidth, ...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """A timer or event was scheduled at a time in the simulated past."""
+
+
+class MSRError(ReproError):
+    """Base class for model-specific-register emulation faults."""
+
+
+class MSRAccessError(MSRError, KeyError):
+    """An MSR address that does not exist on the emulated CPU was accessed."""
+
+
+class MSRPermissionError(MSRError, PermissionError):
+    """msr-safe denied the access: the register (or write mask) is not
+    whitelisted for unprivileged access."""
+
+
+class PowercapError(ReproError):
+    """The powercap sysfs emulation rejected an operation (unknown zone,
+    constraint out of range, malformed value)."""
+
+
+class ModelError(ReproError, ValueError):
+    """The analytic progress model was evaluated outside its domain
+    (non-positive power cap, beta outside [0, 1], ...)."""
+
+
+class FittingError(ModelError):
+    """Model fitting failed: insufficient or degenerate observations."""
+
+
+class TelemetryError(ReproError):
+    """Progress-reporting infrastructure misuse (publishing on a closed
+    socket, subscribing after close, ...)."""

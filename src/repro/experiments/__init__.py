@@ -1,0 +1,23 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+:mod:`repro.experiments.harness` provides the reusable measurement
+machinery (:class:`~repro.experiments.harness.Testbed`); ``table1`` ...
+``table6`` and ``figure1`` ... ``figure5`` each expose a ``run()``
+returning a structured result and a ``render()`` producing the ASCII
+table/series the paper reports. The benchmark suite under
+``benchmarks/`` executes one module per table/figure.
+"""
+
+from repro.experiments.harness import (
+    CharacterizationResult,
+    DeltaMeasurement,
+    RunResult,
+    Testbed,
+)
+
+__all__ = [
+    "Testbed",
+    "RunResult",
+    "DeltaMeasurement",
+    "CharacterizationResult",
+]

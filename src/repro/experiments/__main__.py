@@ -1,0 +1,92 @@
+"""Command-line entry point: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.experiments table6
+    python -m repro.experiments figure4 --quick --seed 3
+    python -m repro.experiments all --quick
+
+``--quick`` shrinks repeat counts and durations for a fast smoke pass;
+the defaults match the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    extension_energy,
+    extension_intrusiveness,
+    extension_techniques,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+#: name -> (run(seed, quick) -> result, render)
+_EXPERIMENTS = {
+    "table1": (lambda seed, quick: table1.run(seed=seed), table1.render),
+    "table2": (lambda seed, quick: table2.run(), table2.render),
+    "table3": (lambda seed, quick: table3.run(), table3.render),
+    "table4": (lambda seed, quick: table4.run(), table4.render),
+    "table5": (lambda seed, quick: table5.run(), table5.render),
+    "table6": (lambda seed, quick: table6.run(
+        seed=seed, scale=0.5 if quick else 1.0), table6.render),
+    "figure1": (lambda seed, quick: figure1.run(
+        duration=25.0 if quick else 40.0, seed=seed), figure1.render),
+    "figure2": (lambda seed, quick: figure2.run(
+        duration=6.0 if quick else 10.0, seed=seed), figure2.render),
+    "figure3": (lambda seed, quick: figure3.run(
+        duration=40.0 if quick else 60.0, seed=seed), figure3.render),
+    "figure4": (lambda seed, quick: figure4.run(
+        repeats=1 if quick else 5, seed=seed), figure4.render),
+    "figure5": (lambda seed, quick: figure5.run(
+        duration=6.0 if quick else 10.0,
+        warmup=2.5 if quick else 4.0, seed=seed), figure5.render),
+    "ext-energy": (lambda seed, quick: extension_energy.run(seed=seed),
+                   extension_energy.render),
+    "ext-intrusiveness": (lambda seed, quick: extension_intrusiveness.run(
+        duration=18.0 if quick else 30.0, seed=seed),
+        extension_intrusiveness.render),
+    "ext-techniques": (lambda seed, quick: extension_techniques.run(
+        duration=6.0 if quick else 10.0,
+        warmup=2.5 if quick else 4.0, seed=seed),
+        extension_techniques.render),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table or figure from the paper.",
+    )
+    parser.add_argument("name", choices=sorted(_EXPERIMENTS) + ["all"],
+                        help="experiment to run (or 'all')")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced repeats/durations")
+    args = parser.parse_args(argv)
+
+    names = sorted(_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        run, render = _EXPERIMENTS[name]
+        start = time.perf_counter()
+        result = run(args.seed, args.quick)
+        elapsed = time.perf_counter() - start
+        print(render(result))
+        print(f"\n[{name} regenerated in {elapsed:.1f} s wall time]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Machine-readable export of experiment results.
+
+The ``render()`` functions produce human-readable tables; downstream
+plotting wants data. This module flattens the figure results into
+column-oriented rows and writes CSV (stdlib ``csv``, no extra deps).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.figure4 import Figure4Result
+    from repro.experiments.figure5 import Figure5Result
+
+__all__ = ["series_to_csv", "figure4_to_csv", "figure5_to_csv"]
+
+
+def _write(path: str | os.PathLike, header: list[str],
+           rows: list[list]) -> str:
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def series_to_csv(series: TimeSeries, path: str | os.PathLike,
+                  value_name: str = "value") -> str:
+    """One time series as ``time,<value_name>`` rows."""
+    if series.is_empty():
+        raise ConfigurationError("cannot export an empty series")
+    return _write(path, ["time_s", value_name],
+                  [[t, v] for t, v in series])
+
+
+def figure4_to_csv(result: "Figure4Result", path: str | os.PathLike) -> str:
+    """All Fig.-4 panels as long-format rows."""
+    rows = []
+    for panel in result.panels:
+        for m, pred in zip(panel.measurements, panel.predictions):
+            rows.append([
+                panel.app, panel.beta, panel.alpha, panel.r_max,
+                panel.p_coremax, m.p_cap, m.p_corecap, m.delta_mean,
+                m.delta_std, m.repeats, pred,
+            ])
+    return _write(path, [
+        "app", "beta", "alpha", "r_max", "p_coremax_w", "p_cap_w",
+        "p_corecap_w", "delta_measured", "delta_std", "repeats",
+        "delta_predicted",
+    ], rows)
+
+
+def figure5_to_csv(result: "Figure5Result", path: str | os.PathLike) -> str:
+    """Both Fig.-5 technique curves as long-format rows."""
+    rows = [
+        [p.technique, p.setting, p.power, p.progress]
+        for p in (*result.dvfs, *result.rapl)
+    ]
+    return _write(path, ["technique", "setting", "power_w", "progress"],
+                  rows)

@@ -1,0 +1,109 @@
+"""Extension: energy-to-solution under power caps.
+
+Not a paper figure — the paper studies the *rate* side of capping; its
+cited related work (Etinski, Freeh, Haidar) studies the energy side.
+This experiment closes the loop with the machinery already built: run a
+fixed amount of work to completion under each cap and record execution
+time, energy-to-solution, and energy-delay product.
+
+Expected shape: for a compute-bound code (LAMMPS) capping stretches
+execution roughly inversely with frequency, so energy falls slowly (or
+rises once static energy dominates); for a memory-bound code (STREAM)
+mild caps barely slow the run while cutting power, so energy-to-solution
+drops markedly before DDCM-territory caps blow the time up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.harness import Testbed
+from repro.experiments.report import ascii_table
+from repro.nrm.schemes import FixedCapSchedule
+
+__all__ = ["EnergyPoint", "EnergyResult", "run", "render"]
+
+#: Fixed-work sizings (run to completion).
+APP_SIZING = {
+    "lammps": {"n_steps": 300},
+    "stream": {"n_iterations": 240},
+}
+
+DEFAULT_CAPS: dict[str, tuple[float | None, ...]] = {
+    "lammps": (None, 140.0, 120.0, 100.0, 80.0, 65.0),
+    "stream": (None, 140.0, 120.0, 100.0, 80.0, 60.0),
+}
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    cap: float | None          #: package cap (None = uncapped)
+    seconds: float             #: time to solution
+    joules: float              #: package energy to solution
+    edp: float                 #: energy-delay product (J*s)
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    points: dict[str, tuple[EnergyPoint, ...]]
+
+    def min_energy_cap(self, app: str) -> float | None:
+        """The cap minimizing energy-to-solution."""
+        return min(self.points[app], key=lambda p: p.joules).cap
+
+    def energy_saving_at_min(self, app: str) -> float:
+        """Fractional energy saving of the best cap vs uncapped."""
+        pts = self.points[app]
+        uncapped = next(p for p in pts if p.cap is None)
+        best = min(p.joules for p in pts)
+        return 1.0 - best / uncapped.joules
+
+    def slowdown_at_min_energy(self, app: str) -> float:
+        """Time penalty at the min-energy cap vs uncapped."""
+        pts = self.points[app]
+        uncapped = next(p for p in pts if p.cap is None)
+        best = min(pts, key=lambda p: p.joules)
+        return best.seconds / uncapped.seconds - 1.0
+
+
+def run(apps: tuple[str, ...] = ("lammps", "stream"), seed: int = 0,
+        testbed: Testbed | None = None) -> EnergyResult:
+    """Measure the (time, energy) frontier per app and cap."""
+    tb = testbed or Testbed(seed=seed)
+    out: dict[str, tuple[EnergyPoint, ...]] = {}
+    for app in apps:
+        points = []
+        for cap in DEFAULT_CAPS[app]:
+            schedule = FixedCapSchedule(cap) if cap is not None else None
+            result = tb.run(app, schedule=schedule,
+                            app_kwargs=APP_SIZING[app])
+            points.append(EnergyPoint(
+                cap=cap,
+                seconds=result.duration,
+                joules=result.pkg_energy,
+                edp=result.pkg_energy * result.duration,
+            ))
+        out[app] = tuple(points)
+    return EnergyResult(points=out)
+
+
+def render(result: EnergyResult) -> str:
+    parts = ["Extension: energy-to-solution under power caps\n"]
+    for app, points in result.points.items():
+        rows = [
+            ["uncapped" if p.cap is None else f"{p.cap:.0f}",
+             round(p.seconds, 2), round(p.joules, 0), round(p.edp, 0)]
+            for p in points
+        ]
+        parts.append(ascii_table(
+            ["Cap (W)", "Time (s)", "Energy (J)", "EDP (J*s)"], rows,
+            title=f"[{app}]",
+        ))
+        best = result.min_energy_cap(app)
+        parts.append(
+            f"  min-energy cap: "
+            f"{'uncapped' if best is None else f'{best:.0f} W'}; saves "
+            f"{result.energy_saving_at_min(app) * 100:.1f}% energy for "
+            f"{result.slowdown_at_min_energy(app) * 100:.1f}% more time\n"
+        )
+    return "\n".join(parts)

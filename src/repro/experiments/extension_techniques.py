@@ -1,0 +1,124 @@
+"""Extension: DVFS vs DDCM vs RAPL as power-limiting techniques.
+
+Figure 5 compares DVFS and RAPL on STREAM; the paper also discusses DDCM
+(its §VII cites Bhalachandra's DDCM work, and §VI-B3 lists DDCM among
+RAPL's unmodeled means). This extension completes the triangle: for a
+compute-bound (LAMMPS) and a memory-bound (STREAM) code, sweep all three
+knobs and record (power, progress) curves.
+
+Expected shapes:
+
+* **DVFS dominates DDCM everywhere** — both gate compute throughput, but
+  DVFS also lowers voltage, so it reaches the same progress at lower
+  power (equivalently: more progress at equal power).
+* **DDCM hurts memory-bound code the most** — duty gates the memory
+  issue rate, so STREAM loses bandwidth that a frequency reduction would
+  have preserved.
+* **RAPL tracks DVFS for compute-bound code** (it *is* DVFS there) and
+  sits between DVFS and DDCM for memory-bound code at stringent settings
+  (uncore-DVFS + DDCM fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.figure5 import TechniquePoint
+from repro.experiments.harness import Testbed
+from repro.experiments.report import ascii_table
+from repro.nrm.schemes import FixedCapSchedule
+
+__all__ = ["TechniquesResult", "run", "render"]
+
+_APPS = {
+    "lammps": {"n_steps": 1_000_000},
+    "stream": {"n_iterations": 1_000_000},
+}
+
+DVFS_FREQS = (3.3e9, 2.8e9, 2.3e9, 1.8e9, 1.4e9, 1.2e9)
+DDCM_DUTIES = (1.0, 0.875, 0.75, 0.625, 0.5, 0.375)
+RAPL_CAPS = (150.0, 125.0, 100.0, 80.0, 65.0, 50.0)
+
+
+@dataclass(frozen=True)
+class TechniquesResult:
+    curves: dict[str, dict[str, tuple[TechniquePoint, ...]]]
+    #: app -> technique -> points
+
+    def progress_at(self, app: str, technique: str, power: float) -> float:
+        """Interpolated progress of a technique's curve at ``power``."""
+        pts = sorted(self.curves[app][technique], key=lambda p: p.power)
+        xs = np.array([p.power for p in pts])
+        ys = np.array([p.progress for p in pts])
+        if not xs[0] <= power <= xs[-1]:
+            raise ValueError(
+                f"{app}/{technique}: {power} W outside [{xs[0]:.1f}, "
+                f"{xs[-1]:.1f}]"
+            )
+        return float(np.interp(power, xs, ys))
+
+    def common_power_range(self, app: str) -> tuple[float, float]:
+        """Power range covered by all three curves for ``app``."""
+        lo = max(min(p.power for p in pts)
+                 for pts in self.curves[app].values())
+        hi = min(max(p.power for p in pts)
+                 for pts in self.curves[app].values())
+        return lo, hi
+
+
+def run(duration: float = 10.0, warmup: float = 4.0, seed: int = 0,
+        testbed: Testbed | None = None) -> TechniquesResult:
+    """Measure all three technique curves for both apps."""
+    tb = testbed or Testbed(seed=seed)
+    curves: dict[str, dict[str, tuple[TechniquePoint, ...]]] = {}
+    for app, sizing in _APPS.items():
+        per_app: dict[str, list[TechniquePoint]] = {
+            "dvfs": [], "ddcm": [], "rapl": [],
+        }
+        for freq in DVFS_FREQS:
+            r = tb.run(app, duration=duration, dvfs_freq=freq,
+                       app_kwargs=sizing)
+            per_app["dvfs"].append(TechniquePoint(
+                "dvfs", freq,
+                r.power.window(warmup, duration + 1e-9).mean(),
+                r.steady_progress(warmup, duration + 1e-9,
+                                  ignore_zeros=False)))
+        for duty in DDCM_DUTIES:
+            app_obj = tb.run(app, duration=duration, app_kwargs=sizing,
+                             duty=duty)
+            per_app["ddcm"].append(TechniquePoint(
+                "ddcm", duty,
+                app_obj.power.window(warmup, duration + 1e-9).mean(),
+                app_obj.steady_progress(warmup, duration + 1e-9,
+                                        ignore_zeros=False)))
+        for cap in RAPL_CAPS:
+            r = tb.run(app, duration=duration,
+                       schedule=FixedCapSchedule(cap), app_kwargs=sizing)
+            per_app["rapl"].append(TechniquePoint(
+                "rapl", cap,
+                r.power.window(warmup, duration + 1e-9).mean(),
+                r.steady_progress(warmup, duration + 1e-9,
+                                  ignore_zeros=False)))
+        curves[app] = {k: tuple(v) for k, v in per_app.items()}
+    return TechniquesResult(curves=curves)
+
+
+def render(result: TechniquesResult) -> str:
+    parts = ["Extension: DVFS vs DDCM vs RAPL\n"]
+    for app, per_app in result.curves.items():
+        rows = []
+        for technique, pts in per_app.items():
+            for p in pts:
+                setting = (f"{p.setting / 1e9:.1f} GHz" if technique == "dvfs"
+                           else f"{p.setting:.3g}"
+                           + (" duty" if technique == "ddcm" else " W"))
+                rows.append([technique, setting, round(p.power, 1),
+                             round(p.progress, 2)])
+        parts.append(ascii_table(
+            ["technique", "setting", "power (W)", "progress"], rows,
+            title=f"[{app}]",
+        ))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,75 @@
+"""Figure 1 — characterizing online performance.
+
+Three uncapped traces: LAMMPS (consistent, left), AMG (fluctuating,
+center), QMCPACK (three phases at distinct block rates, right). The
+result carries both the 1 Hz series and the mechanical classification
+from :func:`repro.core.progress.classify_trace`; reproduction criterion:
+LAMMPS classifies consistent, AMG fluctuating, QMCPACK phased with
+VMC1 > VMC2 > DMC rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.progress import TraceCharacterization, classify_trace
+from repro.experiments.harness import Testbed
+from repro.experiments.report import series_block
+from repro.telemetry.timeseries import TimeSeries
+
+__all__ = ["Figure1Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    lammps: TimeSeries
+    amg: TimeSeries
+    qmcpack: TimeSeries
+    lammps_class: TraceCharacterization
+    amg_class: TraceCharacterization
+    qmcpack_class: TraceCharacterization
+
+
+def run(duration: float = 40.0, seed: int = 0,
+        testbed: Testbed | None = None) -> Figure1Result:
+    """Collect the three uncapped traces (~``duration`` seconds each)."""
+    tb = testbed or Testbed(seed=seed)
+    lammps = tb.run("lammps", duration=duration,
+                    app_kwargs={"n_steps": 100_000}).progress
+    amg = tb.run("amg", duration=duration,
+                 app_kwargs={"n_iterations": 100_000,
+                             "setup_iterations": 0}).progress
+    # QMCPACK sized so all three phases fit inside the window:
+    # ~a third of the window each at their respective block rates.
+    third = duration / 3.0
+    qmcpack = tb.run(
+        "qmcpack",
+        duration=duration,
+        app_kwargs={
+            "vmc1_blocks": int(25.0 * third),
+            "vmc2_blocks": int(20.0 * third),
+            "dmc_blocks": 100_000,
+        },
+    ).progress
+    return Figure1Result(
+        lammps=lammps, amg=amg, qmcpack=qmcpack,
+        lammps_class=classify_trace(lammps),
+        amg_class=classify_trace(amg),
+        qmcpack_class=classify_trace(qmcpack),
+    )
+
+
+def render(result: Figure1Result) -> str:
+    parts = ["Figure 1: Characterizing online performance\n"]
+    for name, series, cls, unit in (
+        ("LAMMPS", result.lammps, result.lammps_class, "atom-steps/s"),
+        ("AMG", result.amg, result.amg_class, "iterations/s"),
+        ("QMCPACK", result.qmcpack, result.qmcpack_class, "blocks/s"),
+    ):
+        parts.append(series_block(name, series, unit))
+        parts.append(
+            f"  class={cls.trace_class} cv={cls.cv:.3f} "
+            f"segments={cls.n_segments} "
+            f"rates={tuple(round(r, 2) for r in cls.segment_rates)}\n"
+        )
+    return "\n".join(parts)

@@ -1,0 +1,318 @@
+"""Measurement machinery shared by all experiments.
+
+:class:`Testbed` assembles a full software/hardware stack per run — the
+simulated node, RAPL firmware, MSR device behind msr-safe, the
+libmsr-style API, the ZeroMQ-style bus, 1 Hz progress monitors, and the
+power-policy daemon — then executes one application under a capping
+schedule and returns every series the paper's figures need.
+
+The module also implements the paper's measurement protocols:
+
+* :meth:`Testbed.characterize` — Section IV-A: execution time at
+  3300 MHz and 1600 MHz for beta, PAPI counters for MPO;
+* :meth:`Testbed.measure_delta_progress` — Section VI-B: the
+  step-function protocol ("the change in progress is measured when a
+  power cap is applied from an uncapped state"), averaged over five
+  repeats per cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis import mean_confidence_interval
+from repro.apps import build as build_app
+from repro.apps.base import SyntheticApp
+from repro.core.beta import beta_from_times, mpo_from_delta
+from repro.core.progress import steady_rate
+from repro.exceptions import ConfigurationError
+from repro.hardware.config import NodeConfig, skylake_config
+from repro.hardware.counters import CounterSnapshot
+from repro.hardware.ddcm import DDCMController
+from repro.hardware.dvfs import DVFSController
+from repro.hardware.msr import MSRDevice
+from repro.hardware.msr_safe import MSRSafe
+from repro.hardware.node import SimulatedNode
+from repro.hardware.rapl import RaplFirmware
+from repro.libmsr import LibMSR
+from repro.nrm.daemon import PowerPolicyDaemon
+from repro.nrm.schemes import CapSchedule, FixedCapSchedule, UncappedSchedule
+from repro.runtime.engine import Engine
+from repro.telemetry.monitor import ProgressMonitor
+from repro.telemetry.pubsub import MessageBus
+from repro.telemetry.timeseries import TimeSeries
+
+__all__ = ["Testbed", "RunResult", "DeltaMeasurement",
+           "CharacterizationResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one application run."""
+
+    app_name: str
+    seed: int
+    duration: float
+    progress: TimeSeries                 #: main-topic rate series (1 Hz)
+    topics: dict[str, TimeSeries]        #: all monitored topic series
+    power: TimeSeries                    #: package power (1 Hz averages)
+    frequency: TimeSeries                #: package frequency samples
+    duty: TimeSeries                     #: duty-cycle samples
+    uncore_power: TimeSeries             #: instantaneous uncore power samples
+    cap: TimeSeries                      #: applied cap (TDP when uncapped)
+    counters: CounterSnapshot            #: counter deltas over the run
+    pkg_energy: float                    #: total package energy (J)
+    app: SyntheticApp = field(repr=False)
+
+    def steady_progress(self, t_start: float, t_end: float, *,
+                        ignore_zeros: bool = True) -> float:
+        """Mean progress rate over an absolute-time window."""
+        window = self.progress.window(t_start, t_end)
+        values = window.values
+        if ignore_zeros:
+            values = values[values > 0.0]
+        if values.size == 0:
+            raise ConfigurationError(
+                f"no progress samples in [{t_start}, {t_end})"
+            )
+        return float(values.mean())
+
+    def mips(self) -> float:
+        """Node-wide MIPS over the whole run (Table I's metric)."""
+        return self.counters.mips()
+
+    def mpo(self) -> float:
+        """Misses per operation over the whole run."""
+        return mpo_from_delta(self.counters)
+
+
+@dataclass(frozen=True)
+class DeltaMeasurement:
+    """Averaged change-in-progress measurement at one power cap."""
+
+    p_cap: float                 #: package cap applied (W)
+    p_corecap: float             #: model-estimated core cap (beta * p_cap)
+    delta_mean: float            #: mean measured change in progress
+    delta_std: float
+    r_uncapped: float            #: mean uncapped rate across repeats
+    repeats: int
+    ci_low: float = float("nan")   #: 95% t-interval on the mean delta
+    ci_high: float = float("nan")
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """Half-width of the 95 % confidence interval."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """Section IV-A characterization of one application."""
+
+    app_name: str
+    beta: float
+    mpo: float
+    t_high: float                #: execution time at f_nominal
+    t_low: float                 #: execution time at f_beta_low
+
+
+class Testbed:
+    """Factory for fully wired single-run experiments."""
+
+    __test__ = False  # the name starts with "Test"; keep pytest away
+
+    def __init__(self, cfg: NodeConfig | None = None, seed: int = 0) -> None:
+        self.cfg = cfg if cfg is not None else skylake_config()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Single run
+    # ------------------------------------------------------------------
+
+    def run(self, app: str | SyntheticApp = "lammps", *,
+            duration: float | None = None,
+            schedule: CapSchedule | None = None,
+            dvfs_freq: float | None = None,
+            duty: float | None = None,
+            topics: tuple[str, ...] | None = None,
+            monitor_interval: float = 1.0,
+            seed: int | None = None,
+            app_kwargs: dict | None = None,
+            firmware_kwargs: dict | None = None) -> RunResult:
+        """Execute one application run and collect all telemetry.
+
+        Parameters
+        ----------
+        app:
+            Application name (built via the registry with ``app_kwargs``)
+            or a pre-built :class:`~repro.apps.base.SyntheticApp`.
+        duration:
+            Stop after this many simulated seconds; None runs the
+            application to completion.
+        schedule:
+            Capping schedule applied by the power-policy daemon
+            (default: uncapped).
+        dvfs_freq:
+            Pin the package frequency through the userspace DVFS knob.
+        duty:
+            Pin the duty cycle through the userspace DDCM knob (the
+            firmware never undoes a software duty pin).
+        firmware_kwargs:
+            Overrides for the RAPL firmware (ablations: e.g.
+            ``{"min_uncore_scale": 1.0}`` disables uncore DVFS).
+        topics:
+            Topics to monitor; defaults to the application's main topic
+            (component topics for URBAN, both definitions for the
+            imbalance example).
+        """
+        seed = self.seed if seed is None else seed
+        if isinstance(app, str):
+            kwargs = dict(app_kwargs or {})
+            kwargs.setdefault("seed", seed)
+            kwargs.setdefault("cfg", self.cfg)
+            app = build_app(app, **kwargs)
+
+        node = SimulatedNode(self.cfg)
+        engine = Engine(node)
+        firmware = RaplFirmware(node, engine, **(firmware_kwargs or {}))
+        libmsr = LibMSR(MSRSafe(MSRDevice(node, firmware)), node.clock)
+
+        if dvfs_freq is not None:
+            DVFSController(node).set_frequency(dvfs_freq)
+        if duty is not None:
+            DDCMController(node).set_duty(duty)
+
+        bus = MessageBus(node.clock,
+                         drop_prob=app.spec.transport_drop_prob,
+                         seed=seed + 1)
+        pub = bus.pub_socket()
+        engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+
+        if topics is None:
+            topics = self._default_topics(app)
+        monitors = {
+            topic: ProgressMonitor(engine, bus.sub_socket(topic),
+                                   interval=monitor_interval, name=topic)
+            for topic in topics
+        }
+
+        daemon = PowerPolicyDaemon(engine, libmsr,
+                                   schedule or UncappedSchedule())
+
+        freq_series = TimeSeries("frequency")
+        duty_series = TimeSeries("duty")
+        uncore_series = TimeSeries("uncore-power")
+
+        def sample_state(now: float) -> None:
+            freq_series.append(now, node.frequency)
+            duty_series.append(now, node.duty)
+            uncore_series.append(now, node.last_power.uncore)
+
+        engine.add_timer(monitor_interval, sample_state,
+                         period=monitor_interval)
+
+        counters_before = node.counters.snapshot(node.clock.now)
+        app.launch(engine)
+        end = engine.run(until=duration)
+        counters_after = node.counters.snapshot(node.clock.now)
+
+        main_topic = topics[0]
+        return RunResult(
+            app_name=app.name,
+            seed=seed,
+            duration=end,
+            progress=monitors[main_topic].series,
+            topics={t: m.series for t, m in monitors.items()},
+            power=daemon.power_series,
+            frequency=freq_series,
+            duty=duty_series,
+            uncore_power=uncore_series,
+            cap=daemon.cap_series,
+            counters=counters_after.delta(counters_before),
+            pkg_energy=node.pkg_energy,
+            app=app,
+        )
+
+    @staticmethod
+    def _default_topics(app: SyntheticApp) -> tuple[str, ...]:
+        if app.name == "imbalance":
+            return ("progress/imbalance/iterations",
+                    "progress/imbalance/work_units")
+        if app.name == "urban":
+            return tuple(f"progress/{c.name}" for c in app.components)  # type: ignore[attr-defined]
+        return (app.topic,)
+
+    # ------------------------------------------------------------------
+    # Section IV-A: beta / MPO characterization
+    # ------------------------------------------------------------------
+
+    def characterize(self, app_name: str,
+                     app_kwargs: dict | None = None) -> CharacterizationResult:
+        """Measure beta (times at 3300 vs 1600 MHz) and MPO (counters)."""
+        high = self.run(app_name, dvfs_freq=self.cfg.f_nominal,
+                        app_kwargs=app_kwargs)
+        low = self.run(app_name, dvfs_freq=self.cfg.f_beta_low,
+                       app_kwargs=app_kwargs)
+        beta = beta_from_times(low.duration, high.duration,
+                               self.cfg.f_beta_low, self.cfg.f_nominal)
+        return CharacterizationResult(
+            app_name=app_name,
+            beta=beta,
+            mpo=high.mpo(),
+            t_high=high.duration,
+            t_low=low.duration,
+        )
+
+    # ------------------------------------------------------------------
+    # Section VI-B: change-in-progress under a step cap
+    # ------------------------------------------------------------------
+
+    def measure_delta_progress(self, app_name: str, p_cap: float, *,
+                               beta: float,
+                               repeats: int = 5,
+                               uncapped_window: float = 12.0,
+                               capped_window: float = 16.0,
+                               warmup: float = 3.0,
+                               app_kwargs: dict | None = None,
+                               firmware_kwargs: dict | None = None
+                               ) -> DeltaMeasurement:
+        """The paper's protocol: run uncapped, step down to ``p_cap``,
+        measure the change in the progress rate; repeat and average."""
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        deltas = []
+        uncapped_rates = []
+        total = uncapped_window + capped_window
+        for rep in range(repeats):
+            result = self.run(
+                app_name,
+                duration=total,
+                schedule=FixedCapSchedule(p_cap, start=uncapped_window),
+                seed=self.seed + 101 * rep,
+                app_kwargs=app_kwargs,
+                firmware_kwargs=firmware_kwargs,
+            )
+            # Zeros are averaged in: for coarse reporters (OpenMC's ~1
+            # batch/s) empty 1 Hz buckets are how a sub-1/s rate shows
+            # up, and dropping them would bias the mean to exactly one
+            # batch per bucket. The protocol therefore runs the app with
+            # a lossless transport.
+            r_un = result.steady_progress(warmup, uncapped_window,
+                                          ignore_zeros=False)
+            r_cap = result.steady_progress(uncapped_window + warmup,
+                                           total + 1e-9, ignore_zeros=False)
+            deltas.append(r_un - r_cap)
+            uncapped_rates.append(r_un)
+        ci_low, ci_high = mean_confidence_interval(deltas)
+        return DeltaMeasurement(
+            p_cap=p_cap,
+            p_corecap=beta * p_cap,
+            delta_mean=float(np.mean(deltas)),
+            delta_std=float(np.std(deltas)),
+            r_uncapped=float(np.mean(uncapped_rates)),
+            repeats=repeats,
+            ci_low=ci_low,
+            ci_high=ci_high,
+        )

@@ -1,0 +1,117 @@
+"""JSON persistence for run telemetry.
+
+A :class:`~repro.experiments.harness.RunResult` holds everything a run
+measured; saving it lets analysis happen offline (or be diffed across
+library versions). The format is deliberately plain JSON — one object
+with named series as ``{"times": [...], "values": [...]}`` pairs — so
+any toolchain can consume it.
+
+Counters and the live application object are summarized rather than
+serialized (MIPS/MPO and app metadata), keeping files small and the
+format stable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.harness import RunResult
+
+__all__ = ["save_run", "load_run", "LoadedRun"]
+
+_FORMAT_VERSION = 1
+
+
+def _series_to_obj(series: TimeSeries) -> dict:
+    return {"times": list(series.times), "values": list(series.values)}
+
+
+def _series_from_obj(name: str, obj: dict) -> TimeSeries:
+    return TimeSeries(name, zip(obj["times"], obj["values"]))
+
+
+def save_run(result: "RunResult", path: str | os.PathLike) -> str:
+    """Write a run's telemetry to ``path`` as JSON; returns the path."""
+    try:
+        mips = result.mips()
+    except Exception:
+        mips = None
+    try:
+        mpo = result.mpo()
+    except Exception:
+        mpo = None
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "app_name": result.app_name,
+        "seed": result.seed,
+        "duration": result.duration,
+        "pkg_energy_j": result.pkg_energy,
+        "mips": mips,
+        "mpo": mpo,
+        "app": {
+            "category": result.app.spec.category_label,
+            "metric": (result.app.spec.metric.name
+                       if result.app.spec.metric else None),
+            "n_workers": result.app.n_workers,
+        },
+        "series": {
+            "progress": _series_to_obj(result.progress),
+            "power": _series_to_obj(result.power),
+            "frequency": _series_to_obj(result.frequency),
+            "duty": _series_to_obj(result.duty),
+            "uncore_power": _series_to_obj(result.uncore_power),
+            "cap": _series_to_obj(result.cap),
+        },
+        "topics": {t: _series_to_obj(s) for t, s in result.topics.items()},
+    }
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return path
+
+
+class LoadedRun:
+    """Telemetry loaded back from :func:`save_run` output.
+
+    Mirrors the series-level surface of ``RunResult`` (the live app and
+    counter bank are not reconstructed).
+    """
+
+    def __init__(self, payload: dict) -> None:
+        if payload.get("format_version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported run-file version: {payload.get('format_version')!r}"
+            )
+        self.app_name: str = payload["app_name"]
+        self.seed: int = payload["seed"]
+        self.duration: float = payload["duration"]
+        self.pkg_energy: float = payload["pkg_energy_j"]
+        self.mips = payload["mips"]
+        self.mpo = payload["mpo"]
+        self.app_meta: dict = payload["app"]
+        series = payload["series"]
+        self.progress = _series_from_obj("progress", series["progress"])
+        self.power = _series_from_obj("power", series["power"])
+        self.frequency = _series_from_obj("frequency", series["frequency"])
+        self.duty = _series_from_obj("duty", series["duty"])
+        self.uncore_power = _series_from_obj("uncore-power",
+                                             series["uncore_power"])
+        self.cap = _series_from_obj("cap", series["cap"])
+        self.topics = {t: _series_from_obj(t, obj)
+                       for t, obj in payload["topics"].items()}
+
+
+def load_run(path: str | os.PathLike) -> LoadedRun:
+    """Load telemetry previously written by :func:`save_run`."""
+    with open(os.fspath(path), encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return LoadedRun(payload)

@@ -1,0 +1,91 @@
+"""Dependency-free ASCII plotting for figure artifacts.
+
+The benchmark artifacts are plain text; these helpers render the
+paper-figure *shapes* (measured-vs-predicted curves, technique
+comparisons) as character plots so a reproduction run can be eyeballed
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Series", "ascii_plot"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: points plus the marker character."""
+
+    label: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+    marker: str = "o"
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys) or not self.xs:
+            raise ConfigurationError(
+                f"series {self.label!r} needs equal-length, non-empty x/y"
+            )
+        if len(self.marker) != 1:
+            raise ConfigurationError("marker must be a single character")
+
+
+def ascii_plot(series: list[Series], *, width: int = 64, height: int = 18,
+               xlabel: str = "", ylabel: str = "",
+               title: str = "") -> str:
+    """Scatter/line plot of one or more series on shared axes.
+
+    Characters are placed on a ``width x height`` grid scaled to the
+    combined data range; later series overwrite earlier ones where they
+    collide. Returns the plot with a legend, axis ranges and labels.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ConfigurationError("plot must be at least 8x4")
+
+    all_x = np.concatenate([np.asarray(s.xs, dtype=float) for s in series])
+    all_y = np.concatenate([np.asarray(s.ys, dtype=float) for s in series])
+    if not (np.all(np.isfinite(all_x)) and np.all(np.isfinite(all_y))):
+        raise ConfigurationError("plot data must be finite")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s in series:
+        for x, y in zip(s.xs, s.ys):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = s.marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:.4g}"
+    y_lo_label = f"{y_lo:.4g}"
+    margin = max(len(y_hi_label), len(y_lo_label), len(ylabel)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_label.rjust(margin)
+        elif i == height - 1:
+            prefix = y_lo_label.rjust(margin)
+        elif i == height // 2 and ylabel:
+            prefix = ylabel.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}".rjust(8)
+    lines.append(" " * (margin + 2) + x_axis)
+    if xlabel:
+        lines.append(" " * (margin + 2) + xlabel.center(width))
+    legend = "   ".join(f"{s.marker} = {s.label}" for s in series)
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)

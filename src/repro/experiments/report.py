@@ -1,0 +1,84 @@
+"""Plain-text rendering for experiment results.
+
+Every experiment's ``render()`` uses these helpers so the regenerated
+tables/series read like the paper's, and EXPERIMENTS.md can be assembled
+from the same strings the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.timeseries import TimeSeries
+
+__all__ = ["ascii_table", "sparkline", "series_block", "fmt"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def fmt(value, precision: int = 3) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, bool):
+        return "Y" if value else "N"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:,.{precision}g}"
+    return str(value)
+
+
+def ascii_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render a left-aligned ASCII table with a rule under the header."""
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    cells = [[fmt(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(parts):
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def sparkline(series: TimeSeries, width: int = 60) -> str:
+    """Unicode sparkline of a series (resampled to ``width`` buckets)."""
+    if series.is_empty():
+        return "(empty)"
+    values = series.values
+    if len(values) > width:
+        # simple decimation by averaging consecutive chunks
+        import numpy as np
+
+        chunks = np.array_split(values, width)
+        values = np.array([c.mean() for c in chunks])
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        return _SPARK[0] * len(values)
+    idx = ((values - lo) / (hi - lo) * (len(_SPARK) - 1)).round().astype(int)
+    return "".join(_SPARK[i] for i in idx)
+
+
+def series_block(name: str, series: TimeSeries, unit: str = "",
+                 width: int = 60) -> str:
+    """A labelled sparkline with min/mean/max, for figure renders."""
+    if series.is_empty():
+        return f"{name}: (no samples)"
+    unit_sfx = f" {unit}" if unit else ""
+    return (
+        f"{name}: min={fmt(series.min())} mean={fmt(series.mean())} "
+        f"max={fmt(series.max())}{unit_sfx}\n  {sparkline(series, width)}"
+    )

@@ -1,0 +1,88 @@
+"""Table I — MIPS is not correlated with online performance.
+
+Runs the Listing-1 example with both ``do_work`` variants on 24 ranks
+and reports both online-performance definitions next to the MIPS
+reading. The reproduction criterion: Definition 1 stays at ~1
+iteration/s for both variants, Definition 2 halves for the unbalanced
+variant (half the work units are performed), while MIPS *explodes* by
+roughly 20x because waiting ranks busy-poll the barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.progress import steady_rate
+from repro.experiments.harness import Testbed
+from repro.experiments.report import ascii_table
+
+__all__ = ["Table1Row", "Table1Result", "run", "render"]
+
+#: Paper values for reference (24 processes).
+PAPER = {
+    "do_equal_work": dict(def1=0.998, def2=4_800_000, mips=4_115.5),
+    "do_unequal_work": dict(def1=0.998, def2=2_400_000, mips=79_724.1),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    n_procs: int
+    routine: str
+    def1_iterations_per_s: float
+    def2_work_units_per_s: float
+    mips: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: tuple[Table1Row, ...]
+
+    @property
+    def mips_inflation(self) -> float:
+        """Unequal-work MIPS over equal-work MIPS (paper: ~19x)."""
+        by_routine = {r.routine: r for r in self.rows}
+        return (by_routine["do_unequal_work"].mips
+                / by_routine["do_equal_work"].mips)
+
+
+def run(n_procs: int = 24, n_iterations: int = 5, seed: int = 0,
+        testbed: Testbed | None = None) -> Table1Result:
+    """Execute both Listing-1 variants and collect the table rows."""
+    tb = testbed or Testbed(seed=seed)
+    rows = []
+    for equal in (True, False):
+        result = tb.run(
+            "imbalance",
+            app_kwargs={"equal": equal, "n_iterations": n_iterations,
+                        "n_workers": n_procs},
+        )
+        routine = "do_equal_work" if equal else "do_unequal_work"
+        rows.append(Table1Row(
+            n_procs=n_procs,
+            routine=routine,
+            def1_iterations_per_s=steady_rate(
+                result.topics["progress/imbalance/iterations"],
+                warmup=0.0, ignore_zeros=True),
+            def2_work_units_per_s=steady_rate(
+                result.topics["progress/imbalance/work_units"],
+                warmup=0.0, ignore_zeros=True),
+            mips=result.mips(),
+        ))
+    return Table1Result(rows=tuple(rows))
+
+
+def render(result: Table1Result) -> str:
+    """ASCII rendering in the paper's column order."""
+    table = ascii_table(
+        ["No. of MPI Processes", "do_work Routine",
+         "Def 1 (iterations/s)", "Def 2 (work units/s)", "MIPS"],
+        [[r.n_procs, r.routine, round(r.def1_iterations_per_s, 3),
+          round(r.def2_work_units_per_s), round(r.mips, 1)]
+         for r in result.rows],
+        title="Table I: Correlation between MIPS and online performance",
+    )
+    return table + (
+        f"\n\nMIPS inflation from load imbalance: "
+        f"{result.mips_inflation:.1f}x (paper: ~19.4x)"
+    )

@@ -1,0 +1,27 @@
+"""Table III — questions posed to application specialists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.survey import QUESTIONS
+from repro.experiments.report import ascii_table
+
+__all__ = ["Table3Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    questions: tuple[str, ...]
+
+
+def run() -> Table3Result:
+    return Table3Result(questions=QUESTIONS)
+
+
+def render(result: Table3Result) -> str:
+    return ascii_table(
+        ["Question Number", "Question"],
+        [[i + 1, q] for i, q in enumerate(result.questions)],
+        title="Table III: Questions posed to application specialists",
+    )

@@ -1,0 +1,52 @@
+"""Table IV — summary of specialist responses.
+
+Also cross-checks the responses against the implemented application
+specs (the resource-bound answer must match what the synthetic kernels
+actually stress), so drift between the survey data and the apps fails
+loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import get_spec
+from repro.core.survey import RESPONSES, SurveyResponse
+from repro.exceptions import ConfigurationError
+from repro.experiments.report import ascii_table
+from repro.experiments.table2 import PAPER_APPS
+
+__all__ = ["Table4Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    responses: tuple[SurveyResponse, ...]
+
+
+def run(check_consistency: bool = True) -> Table4Result:
+    """Collect the Table IV rows (paper app order), optionally verifying
+    them against the implemented app specs."""
+    rows = tuple(RESPONSES[name] for name in PAPER_APPS)
+    if check_consistency:
+        for row in rows:
+            spec = get_spec(row.app)
+            if spec.resource_bound != row.q8_resource:
+                raise ConfigurationError(
+                    f"{row.app}: survey says {row.q8_resource!r} but the "
+                    f"implementation stresses {spec.resource_bound!r}"
+                )
+            if row.q1_has_fom != spec.has_fom:
+                raise ConfigurationError(
+                    f"{row.app}: survey FOM answer {row.q1_has_fom} does "
+                    f"not match the spec ({spec.has_fom})"
+                )
+    return Table4Result(responses=rows)
+
+
+def render(result: Table4Result) -> str:
+    return ascii_table(
+        ["Application", "1", "2", "3", "4", "5", "6", "7", "8"],
+        [[r.app.upper(), *r.answers()] for r in result.responses],
+        title="Table IV: Summary of responses",
+    )

@@ -1,0 +1,25 @@
+"""Simulated power-manageable compute node.
+
+This subpackage emulates the hardware substrate of the paper's testbed — a
+Chameleon ``compute_skylake`` node (2x Intel Xeon Gold 6126, 24 physical
+cores, hyperthreading off) — at the level of detail power-management
+software can observe and control:
+
+* :mod:`repro.hardware.config` — physical description of the node,
+* :mod:`repro.hardware.cpu` / :mod:`repro.hardware.memory` — per-core DVFS /
+  duty-cycle state and a shared, contended memory subsystem,
+* :mod:`repro.hardware.power` — a physically-motivated package power model
+  (static + dynamic core power with a voltage/frequency curve, traffic-
+  driven uncore power),
+* :mod:`repro.hardware.counters` — PAPI-like hardware event counters,
+* :mod:`repro.hardware.msr` / :mod:`repro.hardware.msr_safe` — model-specific
+  registers with Intel RAPL bit-field semantics and the msr-safe whitelist,
+* :mod:`repro.hardware.rapl` — the RAPL firmware feedback controller,
+* :mod:`repro.hardware.dvfs` / :mod:`repro.hardware.ddcm` — direct software
+  control knobs used for the paper's Figure 5 comparison.
+"""
+
+from repro.hardware.config import NodeConfig, skylake_config
+from repro.hardware.node import SimulatedNode
+
+__all__ = ["NodeConfig", "skylake_config", "SimulatedNode"]

@@ -1,0 +1,57 @@
+"""Dynamic duty-cycle modulation (DDCM) knob.
+
+Software interface to ``IA32_CLOCK_MODULATION``-style throttling
+(Bhalachandra et al., IPDPSW 2015, cited by the paper). Duty gates the
+core clock in 1/8 steps; because a gated core cannot issue memory
+requests either, DDCM throttles memory-bound code harder than DVFS at
+comparable power — one of the "additional means" the paper concludes
+RAPL must be using (Section VI-B2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import SimulatedNode
+
+__all__ = ["DDCMController"]
+
+
+class DDCMController:
+    """Set the package duty cycle in hardware-supported steps."""
+
+    def __init__(self, node: "SimulatedNode") -> None:
+        self.node = node
+
+    def set_level(self, level: int) -> float:
+        """Select duty level by index (0 = most throttled); returns the
+        applied duty fraction."""
+        levels = self.node.cfg.duty_levels
+        if not 0 <= level < len(levels):
+            raise ConfigurationError(
+                f"duty level {level} out of range 0..{len(levels) - 1}"
+            )
+        return self.node.set_duty(levels[level])
+
+    def set_duty(self, duty: float) -> float:
+        """Select the closest duty level at or below ``duty``."""
+        return self.node.set_duty(duty)
+
+    def set_core_duty(self, core_id: int, duty: float) -> float:
+        """Per-core modulation (one logical processor's
+        IA32_CLOCK_MODULATION), used to slow non-critical ranks without
+        touching the critical path (Bhalachandra et al., cited by the
+        paper)."""
+        return self.node.set_core_duty(core_id, duty)
+
+    def release(self) -> float:
+        """Disable modulation (100 % duty)."""
+        return self.node.set_duty(1.0)
+
+    @property
+    def duty(self) -> float:
+        """Currently applied duty fraction."""
+        return self.node.duty

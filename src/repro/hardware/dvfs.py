@@ -1,0 +1,42 @@
+"""Userspace DVFS knob.
+
+Models the ``cpufreq`` userspace governor the paper uses to (a) measure
+the beta metric at fixed 3300 / 1600 MHz and (b) compare DVFS against
+RAPL as a power-limiting technique for STREAM (Fig. 5). Setting a
+frequency here installs a *ceiling*: the RAPL firmware may still lower
+the clock below it under a power cap, exactly as on real hardware where
+RAPL overrides the governor's request.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import SimulatedNode
+
+__all__ = ["DVFSController"]
+
+
+class DVFSController:
+    """Pin or bound the package frequency from software."""
+
+    def __init__(self, node: "SimulatedNode") -> None:
+        self.node = node
+
+    def set_frequency(self, freq: float) -> float:
+        """Userspace-governor style: request a fixed frequency. Installs
+        it both as the ceiling and the current clock; returns the applied
+        (ladder-snapped) frequency."""
+        applied = self.node.set_freq_limit(freq)
+        self.node.set_frequency(applied)
+        return applied
+
+    def release(self) -> None:
+        """Remove the ceiling (back to ondemand/turbo behaviour)."""
+        self.node.set_freq_limit(self.node.cfg.f_turbo)
+
+    @property
+    def frequency(self) -> float:
+        """Currently applied package frequency (Hz)."""
+        return self.node.frequency

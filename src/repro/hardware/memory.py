@@ -1,0 +1,69 @@
+"""Shared-bandwidth memory subsystem with fair contention.
+
+The node has a finite sustainable bandwidth (``cfg.mem_bandwidth``); each
+core can draw at most ``cfg.core_link_bandwidth`` — further reduced by the
+core's duty cycle, because clock modulation gates the core's ability to
+*issue* memory requests (this is the mechanism by which RAPL's DDCM
+fallback hurts memory-bound codes more than a DVFS-only model predicts;
+see paper Fig. 4d and Fig. 5).
+
+Allocation uses max-min fairness (progressive filling): demands below the
+fair share are fully granted, the remaining capacity is split evenly among
+the still-unsatisfied cores. For this fluid model the allocation is exact,
+not iterative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["allocate_bandwidth"]
+
+
+def allocate_bandwidth(demands, capacity: float):
+    """Max-min fair allocation of ``capacity`` among ``demands``.
+
+    Parameters
+    ----------
+    demands:
+        1-D array-like of non-negative per-core bandwidth demands (bytes/s).
+        A demand is what the core *would* consume if memory were
+        uncontended (already clipped to its link bandwidth by the caller).
+    capacity:
+        Total node bandwidth (bytes/s), > 0.
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-core grants, same order as ``demands``; ``grant <= demand``
+        element-wise and ``sum(grant) <= capacity`` (within floating-point
+        tolerance), with equality when demand exceeds capacity.
+    """
+    d = np.asarray(demands, dtype=float)
+    if d.ndim != 1:
+        raise ConfigurationError("demands must be one-dimensional")
+    if np.any(d < 0) or not np.all(np.isfinite(d)):
+        raise ConfigurationError("demands must be finite and non-negative")
+    if not capacity > 0:
+        raise ConfigurationError(f"capacity must be positive, got {capacity}")
+
+    total = d.sum()
+    if total <= capacity:
+        return d.copy()
+
+    # Progressive filling: process demands in ascending order; every demand
+    # below the running fair share is granted in full, the rest share what
+    # remains equally.
+    order = np.argsort(d, kind="stable")
+    grants = np.empty_like(d)
+    remaining = capacity
+    n_left = len(d)
+    for pos, idx in enumerate(order):
+        fair = remaining / n_left
+        g = min(d[idx], fair)
+        grants[idx] = g
+        remaining -= g
+        n_left -= 1
+    return grants

@@ -1,0 +1,304 @@
+"""Model-specific registers with Intel RAPL bit-field semantics.
+
+The registers, addresses, field layouts and units follow the Intel SDM
+(vol. 4) closely enough that real libmsr-style code paths are exercised:
+
+* ``MSR_RAPL_POWER_UNIT`` (0x606) — power / energy / time units as
+  negative powers of two,
+* ``MSR_PKG_POWER_LIMIT`` (0x610) — PL1/PL2 limit, enable, clamp and the
+  ``2^Y * (1 + Z/4)`` time-window encoding, plus the lock bit,
+* ``MSR_PKG_ENERGY_STATUS`` (0x611) / ``MSR_DRAM_ENERGY_STATUS`` (0x619)
+  — 32-bit wrapping energy counters,
+* ``MSR_PKG_POWER_INFO`` (0x614) — TDP,
+* ``IA32_PERF_CTL`` (0x199) / ``IA32_PERF_STATUS`` (0x198) — requested /
+  current P-state ratio (multiples of 100 MHz),
+* ``IA32_CLOCK_MODULATION`` (0x19A) — on-demand duty-cycle throttling.
+
+:class:`MSRDevice` binds the registers to a :class:`~repro.hardware.node.
+SimulatedNode` and (optionally) a RAPL firmware controller, so that writes
+to the power-limit register actually change capping behaviour and energy
+reads reflect integrated simulation energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.exceptions import MSRAccessError, MSRError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import SimulatedNode
+    from repro.hardware.rapl import RaplFirmware
+
+__all__ = [
+    "MSR_RAPL_POWER_UNIT",
+    "MSR_PKG_POWER_LIMIT",
+    "MSR_PKG_ENERGY_STATUS",
+    "MSR_PKG_POWER_INFO",
+    "MSR_DRAM_POWER_LIMIT",
+    "MSR_DRAM_ENERGY_STATUS",
+    "IA32_PERF_STATUS",
+    "IA32_PERF_CTL",
+    "IA32_CLOCK_MODULATION",
+    "RaplUnits",
+    "PowerLimit",
+    "encode_units",
+    "decode_units",
+    "encode_time_window",
+    "decode_time_window",
+    "encode_power_limit",
+    "decode_power_limit",
+    "MSRDevice",
+]
+
+MSR_RAPL_POWER_UNIT = 0x606
+MSR_PKG_POWER_LIMIT = 0x610
+MSR_PKG_ENERGY_STATUS = 0x611
+MSR_PKG_POWER_INFO = 0x614
+MSR_DRAM_POWER_LIMIT = 0x618
+MSR_DRAM_ENERGY_STATUS = 0x619
+IA32_PERF_STATUS = 0x198
+IA32_PERF_CTL = 0x199
+IA32_CLOCK_MODULATION = 0x19A
+
+_U64 = (1 << 64) - 1
+_U32 = (1 << 32) - 1
+
+
+@dataclass(frozen=True)
+class RaplUnits:
+    """RAPL units decoded from ``MSR_RAPL_POWER_UNIT``.
+
+    Attributes hold the *granularity* in SI units: e.g. ``power = 0.125``
+    means limits are expressed in 1/8-watt steps.
+    """
+
+    power: float = 2.0**-3
+    energy: float = 2.0**-14
+    time: float = 2.0**-10
+
+
+def encode_units(units: RaplUnits) -> int:
+    """Pack :class:`RaplUnits` into the 0x606 register layout."""
+    pu = round(-math.log2(units.power))
+    eu = round(-math.log2(units.energy))
+    tu = round(-math.log2(units.time))
+    for name, val, width in (("power", pu, 4), ("energy", eu, 5), ("time", tu, 4)):
+        if not 0 <= val < (1 << width):
+            raise MSRError(f"{name} unit exponent {val} does not fit {width} bits")
+    return pu | (eu << 8) | (tu << 16)
+
+
+def decode_units(value: int) -> RaplUnits:
+    """Unpack the 0x606 register layout into :class:`RaplUnits`."""
+    return RaplUnits(
+        power=2.0 ** -(value & 0xF),
+        energy=2.0 ** -((value >> 8) & 0x1F),
+        time=2.0 ** -((value >> 16) & 0xF),
+    )
+
+
+def encode_time_window(seconds: float, time_unit: float) -> int:
+    """Encode a time window as the 7-bit ``2^Y * (1 + Z/4)`` RAPL format.
+
+    Returns ``Y | (Z << 5)``; picks the representable value closest to
+    ``seconds`` (clipping to the representable range).
+    """
+    if seconds <= 0 or not math.isfinite(seconds):
+        raise MSRError(f"time window must be positive and finite, got {seconds}")
+    best = (0, 0)
+    best_err = math.inf
+    for y in range(32):
+        for z in range(4):
+            w = (2.0**y) * (1.0 + z / 4.0) * time_unit
+            err = abs(w - seconds)
+            if err < best_err:
+                best_err = err
+                best = (y, z)
+    y, z = best
+    return y | (z << 5)
+
+
+def decode_time_window(bits: int, time_unit: float) -> float:
+    """Decode the 7-bit RAPL time-window field into seconds."""
+    y = bits & 0x1F
+    z = (bits >> 5) & 0x3
+    return (2.0**y) * (1.0 + z / 4.0) * time_unit
+
+
+@dataclass(frozen=True)
+class PowerLimit:
+    """One decoded RAPL power-limit half (PL1 or PL2)."""
+
+    watts: float
+    enabled: bool
+    clamped: bool
+    window: float
+
+
+def _encode_half(limit: PowerLimit, units: RaplUnits) -> int:
+    raw = round(limit.watts / units.power)
+    if not 0 <= raw < (1 << 15):
+        raise MSRError(
+            f"power limit {limit.watts} W does not fit 15 bits at "
+            f"{units.power} W granularity"
+        )
+    bits = raw
+    if limit.enabled:
+        bits |= 1 << 15
+    if limit.clamped:
+        bits |= 1 << 16
+    bits |= encode_time_window(limit.window, units.time) << 17
+    return bits
+
+
+def _decode_half(bits: int, units: RaplUnits) -> PowerLimit:
+    return PowerLimit(
+        watts=(bits & 0x7FFF) * units.power,
+        enabled=bool(bits & (1 << 15)),
+        clamped=bool(bits & (1 << 16)),
+        window=decode_time_window((bits >> 17) & 0x7F, units.time),
+    )
+
+
+def encode_power_limit(pl1: PowerLimit, pl2: PowerLimit | None = None,
+                       units: RaplUnits | None = None,
+                       locked: bool = False) -> int:
+    """Pack PL1 (and optionally PL2) into the 0x610 register layout."""
+    units = units or RaplUnits()
+    value = _encode_half(pl1, units)
+    if pl2 is not None:
+        value |= _encode_half(pl2, units) << 32
+    if locked:
+        value |= 1 << 63
+    return value
+
+
+def decode_power_limit(value: int, units: RaplUnits | None = None
+                       ) -> tuple[PowerLimit, PowerLimit, bool]:
+    """Unpack the 0x610 register into ``(PL1, PL2, locked)``."""
+    units = units or RaplUnits()
+    pl1 = _decode_half(value & _U32, units)
+    pl2 = _decode_half((value >> 32) & 0x7FFFFFFF, units)
+    return pl1, pl2, bool(value >> 63)
+
+
+class MSRDevice:
+    """The ``/dev/cpu/*/msr`` surface of the simulated node.
+
+    Reads and writes are 64-bit, by register address. Registers with
+    hardware behaviour (energy counters, power limits, P-state control,
+    clock modulation) are wired to the node / RAPL firmware; everything
+    else raises :class:`~repro.exceptions.MSRAccessError` like a real
+    ``rdmsr`` of an unimplemented register would fault.
+    """
+
+    def __init__(self, node: "SimulatedNode",
+                 firmware: "RaplFirmware | None" = None) -> None:
+        self.node = node
+        self.firmware = firmware
+        cfg = node.cfg
+        self.units = RaplUnits(power=cfg.power_unit, energy=cfg.energy_unit,
+                               time=cfg.time_unit)
+        self._perf_ctl = self._ratio_bits(cfg.f_nominal)
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _ratio_bits(freq: float) -> int:
+        # P-state ratio in multiples of 100 MHz, placed at bits 15:8.
+        return (round(freq / 100e6) & 0xFF) << 8
+
+    def _energy_bits(self, joules: float) -> int:
+        return int(joules / self.units.energy) & _U32
+
+    # -- public API --------------------------------------------------------
+
+    def read(self, addr: int) -> int:
+        """``rdmsr``: return the 64-bit register value."""
+        node = self.node
+        if addr == MSR_RAPL_POWER_UNIT:
+            return encode_units(self.units)
+        if addr == MSR_PKG_ENERGY_STATUS:
+            return self._energy_bits(node.pkg_energy)
+        if addr == MSR_DRAM_ENERGY_STATUS:
+            return self._energy_bits(node.dram_energy)
+        if addr == MSR_PKG_POWER_INFO:
+            return round(node.cfg.tdp / self.units.power) & 0x7FFF
+        if addr == MSR_PKG_POWER_LIMIT:
+            if self.firmware is None:
+                return 0
+            pl1 = PowerLimit(
+                watts=self.firmware.limit,
+                enabled=self.firmware.enabled,
+                clamped=True,
+                window=self.firmware.window,
+            )
+            pl2 = PowerLimit(
+                watts=self.firmware.limit2,
+                enabled=True,
+                clamped=False,
+                window=self.node.cfg.time_unit * 4,
+            )
+            return encode_power_limit(pl1, pl2, units=self.units)
+        if addr == MSR_DRAM_POWER_LIMIT:
+            if self.firmware is None or self.firmware.dram_limit is None:
+                return 0
+            limit = PowerLimit(watts=self.firmware.dram_limit, enabled=True,
+                               clamped=False, window=0.001)
+            return encode_power_limit(limit, units=self.units)
+        if addr == IA32_PERF_CTL:
+            return self._perf_ctl
+        if addr == IA32_PERF_STATUS:
+            return self._ratio_bits(node.frequency)
+        if addr == IA32_CLOCK_MODULATION:
+            duty = node.duty
+            if duty >= 1.0:
+                return 0
+            # enable bit 4 + 3-bit level in bits 3:1 (level/8 duty)
+            level = max(1, round(duty * 8))
+            return (1 << 4) | (level << 1)
+        raise MSRAccessError(f"rdmsr: unimplemented MSR {addr:#x}")
+
+    def write(self, addr: int, value: int) -> None:
+        """``wrmsr``: set a 64-bit register value, applying side effects."""
+        if not 0 <= value <= _U64:
+            raise MSRError(f"wrmsr value {value!r} is not a u64")
+        node = self.node
+        if addr == MSR_PKG_POWER_LIMIT:
+            if self.firmware is None:
+                raise MSRError("no RAPL firmware attached to this device")
+            pl1, pl2, _locked = decode_power_limit(value, self.units)
+            if pl1.enabled:
+                self.firmware.set_limit(pl1.watts, window=pl1.window)
+            else:
+                self.firmware.disable()
+            if pl2.enabled and pl2.watts > 0:
+                self.firmware.set_limit2(pl2.watts)
+            return
+        if addr == MSR_DRAM_POWER_LIMIT:
+            if self.firmware is None:
+                raise MSRError("no RAPL firmware attached to this device")
+            pl1, _pl2, _locked = decode_power_limit(value, self.units)
+            self.firmware.set_dram_limit(pl1.watts if pl1.enabled else None)
+            return
+        if addr == IA32_PERF_CTL:
+            self._perf_ctl = value & 0xFFFF
+            ratio = (value >> 8) & 0xFF
+            if ratio:
+                node.set_freq_limit(ratio * 100e6)
+            return
+        if addr == IA32_CLOCK_MODULATION:
+            if value & (1 << 4):
+                level = (value >> 1) & 0x7
+                node.set_duty(max(level, 1) / 8.0)
+            else:
+                node.set_duty(1.0)
+            return
+        if addr in (MSR_RAPL_POWER_UNIT, MSR_PKG_ENERGY_STATUS,
+                    MSR_DRAM_ENERGY_STATUS, MSR_PKG_POWER_INFO,
+                    IA32_PERF_STATUS):
+            raise MSRError(f"wrmsr: MSR {addr:#x} is read-only")
+        raise MSRAccessError(f"wrmsr: unimplemented MSR {addr:#x}")

@@ -1,0 +1,99 @@
+"""msr-safe: whitelist-enforced MSR access.
+
+Mirrors LLNL's `msr-safe <https://github.com/LLNL/msr-safe>`_ kernel
+module, which the paper uses (via libmsr) to read and write RAPL
+registers without root access: every register has an entry in a whitelist
+mapping its address to a *write mask*; reads of listed registers are
+allowed, writes are ANDed with the mask and rejected entirely when the
+mask is zero.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import MSRPermissionError
+from repro.hardware.msr import (
+    IA32_CLOCK_MODULATION,
+    IA32_PERF_CTL,
+    IA32_PERF_STATUS,
+    MSR_DRAM_ENERGY_STATUS,
+    MSR_DRAM_POWER_LIMIT,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_INFO,
+    MSR_PKG_POWER_LIMIT,
+    MSR_RAPL_POWER_UNIT,
+    MSRDevice,
+)
+
+__all__ = ["DEFAULT_WHITELIST", "MSRSafe"]
+
+_U64 = (1 << 64) - 1
+
+#: Default whitelist, modelled on the stock msr-safe allowlist for
+#: Skylake-SP: RAPL unit/info/energy registers are read-only (mask 0),
+#: power limits and the throttling knobs are writable.
+DEFAULT_WHITELIST: dict[int, int] = {
+    MSR_RAPL_POWER_UNIT: 0x0,
+    MSR_PKG_POWER_LIMIT: 0x00FFFFFF00FFFFFF,
+    MSR_PKG_ENERGY_STATUS: 0x0,
+    MSR_PKG_POWER_INFO: 0x0,
+    MSR_DRAM_POWER_LIMIT: 0x00FFFFFF,
+    MSR_DRAM_ENERGY_STATUS: 0x0,
+    IA32_PERF_STATUS: 0x0,
+    IA32_PERF_CTL: 0xFFFF,
+    IA32_CLOCK_MODULATION: 0x1F,
+}
+
+
+class MSRSafe:
+    """Whitelist-checking wrapper around an :class:`MSRDevice`.
+
+    Parameters
+    ----------
+    device:
+        The raw MSR device.
+    whitelist:
+        Address -> write-mask mapping; defaults to
+        :data:`DEFAULT_WHITELIST`.
+    privileged:
+        When true (root), the whitelist is bypassed entirely, as with the
+        stock ``/dev/cpu/*/msr`` interface.
+    """
+
+    def __init__(self, device: MSRDevice,
+                 whitelist: dict[int, int] | None = None,
+                 privileged: bool = False) -> None:
+        self.device = device
+        self.whitelist = dict(DEFAULT_WHITELIST if whitelist is None else whitelist)
+        self.privileged = privileged
+
+    def read(self, addr: int) -> int:
+        """Whitelisted ``rdmsr``."""
+        if not self.privileged and addr not in self.whitelist:
+            raise MSRPermissionError(
+                f"rdmsr {addr:#x}: not in the msr-safe whitelist"
+            )
+        return self.device.read(addr)
+
+    def write(self, addr: int, value: int) -> None:
+        """Whitelisted, masked ``wrmsr``.
+
+        Bits outside the write mask are preserved from the current
+        register value, exactly as msr-safe's read-modify-write does.
+        """
+        if self.privileged:
+            self.device.write(addr, value)
+            return
+        mask = self.whitelist.get(addr)
+        if mask is None:
+            raise MSRPermissionError(
+                f"wrmsr {addr:#x}: not in the msr-safe whitelist"
+            )
+        if mask == 0:
+            raise MSRPermissionError(f"wrmsr {addr:#x}: register is read-only")
+        current = self.device.read(addr)
+        merged = (current & ~mask & _U64) | (value & mask)
+        self.device.write(addr, merged)
+
+    def allow(self, addr: int, write_mask: int = 0) -> None:
+        """Add or update a whitelist entry (administrative operation)."""
+        self.whitelist[addr] = write_mask & _U64

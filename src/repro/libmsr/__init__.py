@@ -1,0 +1,8 @@
+"""libmsr-style wrapper API over the emulated msr-safe device.
+
+See :mod:`repro.libmsr.api`.
+"""
+
+from repro.libmsr.api import LibMSR, PowerPoll
+
+__all__ = ["LibMSR", "PowerPoll"]

@@ -1,0 +1,40 @@
+"""Node resource manager (NRM).
+
+The Argo NRM (paper Section II) enforces a node power budget received
+from higher levels of the machine hierarchy while watching application
+performance. This subpackage provides:
+
+* :mod:`repro.nrm.schemes` — the paper's dynamic power-capping schedules
+  (linear decrease, step function, jagged edge; Section V-B),
+* :mod:`repro.nrm.daemon` — the *power-policy* background daemon that
+  monitors power and applies the selected schedule once per second,
+* :mod:`repro.nrm.policies` — dynamic policies from the paper's
+  motivation: tracking a shrinking budget, and holding a progress floor
+  using the model's inverse,
+* :mod:`repro.nrm.hierarchy` — system -> job -> node power budget
+  distribution.
+"""
+
+from repro.nrm.daemon import PowerPolicyDaemon
+from repro.nrm.estimator import OnlineBetaEstimator
+from repro.nrm.imbalance import ImbalanceEnergyPolicy
+from repro.nrm.phase_aware import PhaseAwareCapPolicy
+from repro.nrm.schemes import (
+    FixedCapSchedule,
+    JaggedEdgeSchedule,
+    LinearDecreaseSchedule,
+    StepSchedule,
+    UncappedSchedule,
+)
+
+__all__ = [
+    "PowerPolicyDaemon",
+    "OnlineBetaEstimator",
+    "ImbalanceEnergyPolicy",
+    "PhaseAwareCapPolicy",
+    "LinearDecreaseSchedule",
+    "StepSchedule",
+    "JaggedEdgeSchedule",
+    "FixedCapSchedule",
+    "UncappedSchedule",
+]

@@ -1,0 +1,108 @@
+"""Online beta estimation by frequency dithering (extension).
+
+The paper measures beta *offline* — two full runs at 3300 and 1600 MHz
+(Section IV-A) — and lists "online hardware performance monitoring" as a
+model improvement (Section VIII). This estimator makes beta an *online*
+quantity using only knobs and telemetry the NRM already has:
+
+1. pin the package at a high frequency for one dwell window and record
+   the progress rate,
+2. pin at a low frequency for the next window and record again,
+3. invert Eq. 1 (progress is inverse time, so rate ratios are time
+   ratios) and restore the governor.
+
+Total perturbation: two dwell windows of mildly reduced performance —
+no dedicated characterization runs, usable mid-flight on a phase the
+application just entered.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.beta import beta_from_times
+from repro.exceptions import ConfigurationError
+from repro.hardware.dvfs import DVFSController
+from repro.telemetry.monitor import ProgressMonitor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import SimulatedNode
+    from repro.runtime.engine import Engine
+
+__all__ = ["OnlineBetaEstimator"]
+
+
+class OnlineBetaEstimator:
+    """One-shot dithering estimate of the running application's beta.
+
+    Parameters
+    ----------
+    engine, node, monitor:
+        Live node stack; the application must already be publishing
+        progress.
+    f_high, f_low:
+        Dwell frequencies (defaults: nominal and half-ish nominal —
+        a wide spread keeps the rate-quantization error small).
+    dwell:
+        Seconds per dwell window.
+    settle:
+        Seconds discarded at the start of each window (RAPL/pipeline
+        settling and monitor bucket alignment).
+    on_complete:
+        Optional callback invoked with the estimated beta.
+    """
+
+    def __init__(self, engine: "Engine", node: "SimulatedNode",
+                 monitor: ProgressMonitor, *,
+                 f_high: float | None = None, f_low: float | None = None,
+                 dwell: float = 8.0, settle: float = 2.0,
+                 on_complete: Callable[[float], None] | None = None) -> None:
+        if dwell <= settle:
+            raise ConfigurationError("dwell must exceed settle")
+        cfg = node.cfg
+        self.node = node
+        self.monitor = monitor
+        self.f_high = f_high if f_high is not None else cfg.f_nominal
+        self.f_low = f_low if f_low is not None else cfg.f_beta_low
+        if not self.f_low < self.f_high:
+            raise ConfigurationError("need f_low < f_high")
+        self.dwell = dwell
+        self.settle = settle
+        self.on_complete = on_complete
+        self.beta: float | None = None
+        self._dvfs = DVFSController(node)
+        self._rate_high: float | None = None
+        self._t0 = engine.clock.now
+        self._dvfs.set_frequency(self.f_high)
+        engine.add_timer(dwell, self._end_high_dwell)
+        engine.add_timer(2 * dwell, self._end_low_dwell)
+
+    def _window_rate(self, start: float, end: float) -> float:
+        window = self.monitor.series.window(start, end)
+        if window.is_empty():
+            raise ConfigurationError(
+                "no progress samples during the dwell window; is the "
+                "application publishing?"
+            )
+        return float(window.values.mean())
+
+    def _end_high_dwell(self, now: float) -> None:
+        self._rate_high = self._window_rate(self._t0 + self.settle, now)
+        self._dvfs.set_frequency(self.f_low)
+
+    def _end_low_dwell(self, now: float) -> None:
+        rate_low = self._window_rate(self._t0 + self.dwell + self.settle, now)
+        self._dvfs.release()
+        if rate_low <= 0 or self._rate_high is None or self._rate_high <= 0:
+            raise ConfigurationError("zero progress during a dwell window")
+        # rates are inverse times: T_low/T_high = r_high/r_low
+        self.beta = beta_from_times(
+            t_low=1.0 / rate_low, t_high=1.0 / self._rate_high,
+            f_low=self.f_low, f_high=self.f_high,
+        )
+        if self.on_complete is not None:
+            self.on_complete(self.beta)
+
+    @property
+    def done(self) -> bool:
+        return self.beta is not None

@@ -1,0 +1,146 @@
+"""System -> job -> node power-budget distribution (paper Section II).
+
+The Argo/PowerStack hierarchy the paper motivates: "a system controller
+monitors power across the entire machine and distributes power budgets
+across the jobs. Inside each job, this power budget is then distributed
+to nodes." This module implements that arithmetic deterministically:
+
+* the system splits its machine budget across jobs in proportion to
+  ``priority * n_nodes`` (a weighted fair share),
+* each job splits its budget equally across its nodes,
+* per-node floors are honoured: no node is ever budgeted below
+  ``min_node_budget`` — if the machine budget cannot cover the floors,
+  admission fails loudly.
+
+The scenario the paper sketches — "a large, high-priority job begins
+executing elsewhere on the system, and the power budget for the
+currently executing low-priority job is reduced" — is a straight
+consequence: admitting the new job shrinks the old job's share, and the
+attached :class:`~repro.nrm.policies.BudgetTrackingPolicy` instances
+receive the reduced node budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Job", "SystemPowerManager"]
+
+
+@dataclass
+class Job:
+    """A running job and its power-relevant attributes."""
+
+    job_id: str
+    n_nodes: int
+    priority: float = 1.0
+    #: budget listeners, one per node (e.g. BudgetTrackingPolicy.receive_budget)
+    node_sinks: list[Callable[[float], None]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.priority <= 0:
+            raise ConfigurationError(f"priority must be positive, got {self.priority}")
+
+    @property
+    def weight(self) -> float:
+        return self.priority * self.n_nodes
+
+
+class SystemPowerManager:
+    """Top-level controller distributing the machine power budget."""
+
+    def __init__(self, machine_budget: float, *,
+                 min_node_budget: float = 40.0) -> None:
+        if machine_budget <= 0:
+            raise ConfigurationError("machine_budget must be positive")
+        if min_node_budget <= 0:
+            raise ConfigurationError("min_node_budget must be positive")
+        self.machine_budget = machine_budget
+        self.min_node_budget = min_node_budget
+        self.jobs: dict[str, Job] = {}
+
+    # ------------------------------------------------------------------
+
+    def submit(self, job: Job) -> dict[str, float]:
+        """Admit a job and redistribute; returns the new per-job node
+        budgets. Raises if the floors cannot be met."""
+        if job.job_id in self.jobs:
+            raise ConfigurationError(f"job {job.job_id!r} already running")
+        total_nodes = sum(j.n_nodes for j in self.jobs.values()) + job.n_nodes
+        if total_nodes * self.min_node_budget > self.machine_budget:
+            raise ConfigurationError(
+                f"admitting {job.job_id!r} would need "
+                f"{total_nodes * self.min_node_budget:.0f} W of floors "
+                f"but the machine budget is {self.machine_budget:.0f} W"
+            )
+        self.jobs[job.job_id] = job
+        return self.redistribute()
+
+    def complete(self, job_id: str) -> dict[str, float]:
+        """Remove a finished job and redistribute."""
+        if job_id not in self.jobs:
+            raise ConfigurationError(f"no running job {job_id!r}")
+        del self.jobs[job_id]
+        return self.redistribute()
+
+    def set_machine_budget(self, watts: float) -> dict[str, float]:
+        """Change the machine budget (e.g. a demand-response event)."""
+        if watts <= 0:
+            raise ConfigurationError("machine_budget must be positive")
+        floors = sum(j.n_nodes for j in self.jobs.values()) * self.min_node_budget
+        if floors > watts:
+            raise ConfigurationError(
+                f"budget {watts:.0f} W is below the running jobs' floors "
+                f"({floors:.0f} W)"
+            )
+        self.machine_budget = watts
+        return self.redistribute()
+
+    # ------------------------------------------------------------------
+
+    def node_budgets(self) -> dict[str, float]:
+        """Per-node budget of each running job under weighted fair share
+        with per-node floors (water-filling over the floors)."""
+        if not self.jobs:
+            return {}
+        budgets: dict[str, float] = {}
+        remaining = self.machine_budget
+        jobs = list(self.jobs.values())
+        active = set(j.job_id for j in jobs)
+        # Iteratively pin jobs whose fair share would fall below the
+        # floor to the floor, and re-share the rest.
+        while True:
+            weight = sum(j.weight for j in jobs if j.job_id in active)
+            pinned = []
+            for j in jobs:
+                if j.job_id not in active:
+                    continue
+                share = remaining * j.weight / weight
+                per_node = share / j.n_nodes
+                if per_node < self.min_node_budget:
+                    budgets[j.job_id] = self.min_node_budget
+                    remaining -= self.min_node_budget * j.n_nodes
+                    pinned.append(j.job_id)
+            if not pinned:
+                for j in jobs:
+                    if j.job_id in active:
+                        share = remaining * j.weight / weight
+                        budgets[j.job_id] = share / j.n_nodes
+                break
+            active.difference_update(pinned)
+            if not active:
+                break
+        return budgets
+
+    def redistribute(self) -> dict[str, float]:
+        """Recompute budgets and push them to every job's node sinks."""
+        budgets = self.node_budgets()
+        for job_id, per_node in budgets.items():
+            for sink in self.jobs[job_id].node_sinks:
+                sink(per_node)
+        return budgets

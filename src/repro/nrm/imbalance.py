@@ -1,0 +1,131 @@
+"""Per-core DDCM for load-imbalanced applications (extension).
+
+The paper's related work (Bhalachandra et al. IPDPSW'15, Porterfield et
+al. ROSS'15 — its refs [27], [34]) uses dynamic duty-cycle modulation to
+slow *non-critical* ranks of an imbalanced application: they reach the
+barrier just in time instead of early, burning less power, while the
+critical path — and therefore progress — is untouched. That policy
+needs exactly what this library's progress stack provides: per-rank
+online progress (:mod:`repro.telemetry.reduction`).
+
+:class:`ImbalanceEnergyPolicy` closes the loop:
+
+* each interval it reads the per-rank rate series,
+* identifies the slowest rank (the critical path),
+* sets each other core's duty to the level that just matches the
+  critical rank's pace (``duty ~= r_min / r_i``, snapped down to a
+  hardware level, floored at ``min_duty``),
+* the critical rank always runs at full duty.
+
+For compute-imbalanced workloads this trades barrier spin time (high
+activity, zero progress) for modulated execution at lower power.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.reduction import JobProgressReducer
+from repro.telemetry.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import SimulatedNode
+    from repro.runtime.engine import Engine
+
+__all__ = ["ImbalanceEnergyPolicy"]
+
+
+class ImbalanceEnergyPolicy:
+    """Slow non-critical ranks with per-core DDCM.
+
+    Parameters
+    ----------
+    engine, node:
+        The node stack.
+    reducer:
+        Per-rank progress monitors (ranks are assumed pinned to cores
+        ``0..n_ranks-1``, as all the apps here pin them).
+    interval:
+        Control period in seconds.
+    min_duty:
+        Never modulate below this duty (keeps ranks responsive).
+    slack:
+        Fractional margin added to each rank's matched pace so modulated
+        ranks still arrive slightly *before* the critical rank (late
+        arrival would move the critical path).
+    window:
+        Trailing window used to estimate per-rank rates.
+    """
+
+    def __init__(self, engine: "Engine", node: "SimulatedNode",
+                 reducer: JobProgressReducer, *, interval: float = 2.0,
+                 min_duty: float = 0.25, slack: float = 0.05,
+                 window: float = 4.0) -> None:
+        if interval <= 0 or window <= 0:
+            raise ConfigurationError("interval and window must be positive")
+        if not 0.0 < min_duty <= 1.0:
+            raise ConfigurationError("min_duty must lie in (0, 1]")
+        if slack < 0:
+            raise ConfigurationError("slack must be non-negative")
+        self.node = node
+        self.reducer = reducer
+        self.min_duty = min_duty
+        self.slack = slack
+        self.window = window
+        self.duty_series: list[TimeSeries] = [
+            TimeSeries(f"core{c}-duty") for c in range(reducer.n_ranks)
+        ]
+        self._timer = engine.add_timer(interval, self._tick, period=interval)
+
+    def _rates(self, now: float) -> np.ndarray | None:
+        rates = []
+        for mon in self.reducer.monitors:
+            series = mon.series
+            if series.is_empty():
+                return None
+            recent = series.window(now - self.window, now + 1e-9)
+            if recent.is_empty():
+                return None
+            rates.append(recent.values.mean())
+        arr = np.asarray(rates)
+        if np.any(arr <= 0):
+            return None
+        return arr
+
+    def _tick(self, now: float) -> None:
+        rates = self._rates(now)
+        if rates is None:
+            return
+        # Under a barrier, every rank completes the same iterations per
+        # second, so a rank's work rate is proportional to its *work
+        # share* and independent of its duty. The rank with the largest
+        # share is the critical path; a rank carrying fraction
+        # r_i / r_max of the critical work can run at that duty and
+        # still arrive on time.
+        critical = float(rates.max())
+        if critical <= 0:
+            return
+        levels = self.node.cfg.duty_levels
+        for core_id, r in enumerate(rates):
+            share = float(r) / critical
+            if share >= 1.0 - 1e-9:
+                target = 1.0
+            else:
+                target = min(1.0, share * (1.0 + self.slack))
+            target = max(target, self.min_duty)
+            # snap *up* to the next hardware level: arriving early wastes
+            # a little spin, arriving late moves the critical path
+            chosen = next(l for l in levels if l >= target - 1e-12)
+            self.node.set_core_duty(core_id, chosen)
+            self.duty_series[core_id].append(
+                now, self.node.cores[core_id].duty
+            )
+
+    def stop(self) -> None:
+        """Stop the policy and restore full duty everywhere."""
+        self._timer.cancel()
+        for core_id in range(self.reducer.n_ranks):
+            self.node.set_core_duty(core_id, 1.0)

@@ -1,0 +1,177 @@
+"""Phase-aware power capping (extension).
+
+Section II motivates online progress with the observation that execution
+time "misses power management opportunities within fine-grained
+demarcations such as phases". This policy exploits those opportunities
+using only the paper's building blocks:
+
+1. **Measure** — run uncapped for a short window, recording the phase's
+   natural progress rate and package power;
+2. **Cap** — build the Eq.-4 model for the phase and apply the smallest
+   package cap sustaining ``target_fraction`` of the phase's rate
+   (:meth:`~repro.core.model.PowerCapModel.package_cap_for_progress`);
+3. **Watch** — while capped, compare the observed rate with the expected
+   capped rate; a sustained shift means the application entered a new
+   phase (QMCPACK's VMC1 -> VMC2 -> DMC), and the policy returns to
+   *Measure*.
+
+The result: each phase runs under its own tailored cap, saving energy
+that a single static cap (sized for the most demanding phase) would
+waste — without dropping below the progress floor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.model import PowerCapModel
+from repro.exceptions import ConfigurationError
+from repro.libmsr import LibMSR
+from repro.telemetry.monitor import ProgressMonitor
+from repro.telemetry.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Engine
+
+__all__ = ["PhaseAwareCapPolicy"]
+
+_MEASURING = "measuring"
+_CAPPED = "capped"
+
+
+class PhaseAwareCapPolicy:
+    """Measure-then-cap, re-measuring on detected phase changes.
+
+    Parameters
+    ----------
+    engine, libmsr, monitor:
+        The node stack: timer source, RAPL access, 1 Hz progress rates.
+    beta:
+        Application compute-boundedness (characterized offline, as the
+        paper's Table VI does).
+    target_fraction:
+        Progress floor per phase, as a fraction of the phase's uncapped
+        rate.
+    measure_window:
+        Uncapped seconds used to learn each phase's rate and power.
+    phase_threshold:
+        Relative rate shift (vs the expected capped rate) that signals a
+        phase change.
+    persistence:
+        Consecutive shifted samples required before re-measuring
+        (debounces fluctuation).
+    """
+
+    def __init__(self, engine: "Engine", libmsr: LibMSR,
+                 monitor: ProgressMonitor, *, beta: float,
+                 target_fraction: float = 0.85,
+                 measure_window: float = 5.0,
+                 phase_threshold: float = 0.18, persistence: int = 3,
+                 interval: float = 1.0, alpha: float = 2.0) -> None:
+        if not 0.0 < target_fraction < 1.0:
+            raise ConfigurationError("target_fraction must lie in (0, 1)")
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigurationError(f"beta must lie in [0, 1], got {beta}")
+        if measure_window <= 0 or interval <= 0:
+            raise ConfigurationError("windows must be positive")
+        if not 0.0 < phase_threshold < 1.0:
+            raise ConfigurationError("phase_threshold must lie in (0, 1)")
+        if persistence < 1:
+            raise ConfigurationError("persistence must be >= 1")
+        self.libmsr = libmsr
+        self.monitor = monitor
+        self.beta = beta
+        self.alpha = alpha
+        self.target_fraction = target_fraction
+        self.measure_window = measure_window
+        self.phase_threshold = phase_threshold
+        self.persistence = persistence
+
+        self.state = _MEASURING
+        self.cap_series = TimeSeries("phase-aware-cap")
+        self.phase_caps: list[float] = []      #: cap chosen per phase
+        self.phase_rates: list[float] = []     #: uncapped rate per phase
+        self._measure_rates: list[float] = []
+        self._measure_power: list[float] = []
+        self._expected_rate = 0.0
+        self._shift_count = 0
+        self._tdp = libmsr.get_tdp()
+        libmsr.remove_pkg_power_limit()
+        libmsr.poll_power()
+        self._samples_seen = 0
+        self._timer = engine.add_timer(interval, self._tick, period=interval)
+
+    # ------------------------------------------------------------------
+
+    def _latest_rate(self) -> float | None:
+        series = self.monitor.series
+        if len(series) <= self._samples_seen:
+            return None
+        self._samples_seen = len(series)
+        return float(series.values[-1])
+
+    def _tick(self, now: float) -> None:
+        rate = self._latest_rate()
+        poll = self.libmsr.poll_power()
+        if rate is None:
+            self.cap_series.append(now, self._tdp)
+            return
+        if self.state == _MEASURING:
+            self._measure_rates.append(rate)
+            if poll is not None and poll.seconds > 0:
+                self._measure_power.append(poll.pkg_watts)
+            self.cap_series.append(now, self._tdp)
+            if (len(self._measure_rates) * 1.0 >= self.measure_window
+                    and self._measure_power):
+                self._finish_measurement()
+            return
+        # capped: watch for phase changes
+        self.cap_series.append(now, self.phase_caps[-1])
+        if rate <= 0:
+            return  # transport glitch; not a phase signal
+        shift = abs(rate - self._expected_rate) / max(self._expected_rate,
+                                                      1e-12)
+        if shift > self.phase_threshold:
+            self._shift_count += 1
+            if self._shift_count >= self.persistence:
+                self._enter_measurement()
+        else:
+            self._shift_count = 0
+
+    def _finish_measurement(self) -> None:
+        # drop the first sample: it straddles the previous phase/cap
+        rates = self._measure_rates[1:] or self._measure_rates
+        r_phase = sum(rates) / len(rates)
+        p_phase = sum(self._measure_power) / len(self._measure_power)
+        self.phase_rates.append(r_phase)
+        if r_phase <= 0 or self.beta <= 0:
+            cap = self._tdp
+        else:
+            model = PowerCapModel(beta=self.beta, r_max=r_phase,
+                                  p_coremax=self.beta * p_phase,
+                                  alpha=self.alpha)
+            try:
+                cap = min(model.package_cap_for_progress(
+                    self.target_fraction * r_phase), self._tdp)
+            except Exception:
+                cap = self._tdp
+        self.phase_caps.append(cap)
+        self.libmsr.set_pkg_power_limit(cap)
+        self._expected_rate = self.target_fraction * r_phase
+        self._shift_count = 0
+        self.state = _CAPPED
+
+    def _enter_measurement(self) -> None:
+        self.libmsr.remove_pkg_power_limit()
+        self._measure_rates = []
+        self._measure_power = []
+        self._shift_count = 0
+        self.state = _MEASURING
+
+    @property
+    def n_phases_seen(self) -> int:
+        """Measurement cycles completed (phases the policy adapted to)."""
+        return len(self.phase_caps)
+
+    def stop(self) -> None:
+        self._timer.cancel()

@@ -1,0 +1,29 @@
+"""Deterministic discrete-event execution runtime.
+
+This subpackage provides the substrate on which the synthetic applications
+run: a simulation clock (:mod:`repro.runtime.clock`), a fluid work-integration
+engine (:mod:`repro.runtime.engine`) that advances compute/memory work at
+rates determined by the node's current frequency, duty cycle, and memory
+contention, plus MPI-like (:mod:`repro.runtime.mpi`) and OpenMP-like
+(:mod:`repro.runtime.openmp`) programming surfaces.
+"""
+
+from repro.runtime.clock import SimClock
+from repro.runtime.engine import (
+    Barrier,
+    Engine,
+    Publish,
+    Sleep,
+    TaskState,
+    Work,
+)
+
+__all__ = [
+    "SimClock",
+    "Engine",
+    "Work",
+    "Sleep",
+    "Barrier",
+    "Publish",
+    "TaskState",
+]

@@ -1,0 +1,60 @@
+"""Simulation clock.
+
+The whole library runs in *simulated* time: one global monotonically
+non-decreasing float of seconds. The clock is deliberately tiny — it exists
+as a distinct object (rather than a float attribute on the engine) so that
+hardware components (RAPL energy accounting, counters) and telemetry
+(1 Hz monitors) can share a single time source without referencing the
+engine, and so tests can drive components in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SchedulingError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated-time source.
+
+    Parameters
+    ----------
+    start:
+        Initial time in seconds (default ``0.0``).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if not (start >= 0.0):  # also rejects NaN
+            raise SchedulingError(f"clock must start at a finite time >= 0, got {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds and return the new time.
+
+        ``dt`` must be non-negative; the engine computes exact segment
+        lengths, so a negative advance always indicates a bug upstream.
+        """
+        if not (dt >= 0.0):
+            raise SchedulingError(f"cannot advance clock by negative/NaN dt: {dt!r}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to absolute time ``t`` (>= now)."""
+        if not (t >= self._now):
+            raise SchedulingError(
+                f"cannot move clock backwards: now={self._now!r}, target={t!r}"
+            )
+        self._now = float(t)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

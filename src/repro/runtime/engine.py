@@ -1,0 +1,510 @@
+"""Fluid discrete-event execution engine.
+
+Application tasks are Python generators that yield *directives*:
+
+* :class:`Work` — execute a quantum of interleaved compute/memory work,
+* :class:`Sleep` — block without consuming the core (OS sleep),
+* :class:`Barrier` — synchronize with the other members of a
+  :class:`BarrierGroup`, busy-waiting (and burning instructions/power)
+  until the last member arrives,
+* :class:`Publish` — emit a progress event at the current simulated time
+  (zero duration).
+
+Work advances *fluidly*: within a segment where nothing changes (no
+frequency/duty change, no task completing, no timer firing) every task
+progresses at a constant rate determined by the core's effective clock and
+its max-min-fair share of memory bandwidth. The engine computes the exact
+time of the next state change, integrates all work, counters and energy
+over the segment analytically, and repeats. Frequency changes made by
+timers (the RAPL firmware, the power-policy daemon) therefore take effect
+with exact timing — there is no integration error to tune away.
+
+For a task whose quantum needs ``C`` cycles and ``B`` bytes at effective
+clock ``s`` and granted bandwidth ``a``::
+
+    rate = 1 / (C/s + B/a_effective)   with   a <= min(link_bw * duty, ...)
+
+which reproduces the paper's Eq. 1 exactly: iteration time is
+``C/s + B/bw``, so ``T(f)/T(f_max) = beta * (f_max/f - 1) + 1`` with
+``beta`` the compute fraction of iteration time at ``f_max``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SchedulingError, SimulationError
+from repro.hardware.cpu import CoreMode
+from repro.hardware.memory import allocate_bandwidth
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.hardware.node import SimulatedNode
+
+__all__ = [
+    "Work",
+    "Sleep",
+    "Barrier",
+    "Publish",
+    "BarrierGroup",
+    "TaskState",
+    "Timer",
+    "Engine",
+]
+
+_COMPLETION_RTOL = 1e-12
+
+
+# ----------------------------------------------------------------------
+# Directives
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Work:
+    """Execute ``cycles`` of compute and ``bytes`` of memory traffic,
+    uniformly interleaved, retiring ``instructions`` instructions.
+
+    ``instructions`` defaults to ``cycles`` (IPC of 1); kernels that model
+    superscalar or stall-heavy code pass it explicitly.
+
+    ``l3_misses`` defaults to ``bytes / cache_line`` (streaming traffic);
+    latency-bound kernels (OpenMC's unstructured accesses) pass it
+    explicitly, because there ``bytes`` models the *bandwidth-time
+    equivalent* of miss latency rather than actual line traffic.
+    """
+
+    cycles: float
+    bytes: float = 0.0
+    instructions: float | None = None
+    l3_misses: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0 or self.bytes < 0:
+            raise ConfigurationError("work sizes must be non-negative")
+        if self.instructions is not None and self.instructions < 0:
+            raise ConfigurationError("instructions must be non-negative")
+        if self.l3_misses is not None and self.l3_misses < 0:
+            raise ConfigurationError("l3_misses must be non-negative")
+
+    @property
+    def ins(self) -> float:
+        return self.cycles if self.instructions is None else self.instructions
+
+    def misses(self, cache_line: int) -> float:
+        """L3 misses for the whole quantum."""
+        if self.l3_misses is not None:
+            return self.l3_misses
+        return self.bytes / cache_line
+
+    @property
+    def empty(self) -> bool:
+        return self.cycles <= 0.0 and self.bytes <= 0.0
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Block the task for ``duration`` seconds without occupying the core
+    (the core drops to its sleep activity level)."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ConfigurationError("sleep duration must be non-negative")
+
+
+class BarrierGroup:
+    """Synchronization group shared by ``n_members`` tasks.
+
+    Reusable: once all members arrive the barrier resets for the next
+    phase, exactly like ``MPI_Barrier`` on a communicator.
+    """
+
+    def __init__(self, n_members: int, name: str = "barrier") -> None:
+        if n_members < 1:
+            raise ConfigurationError(f"barrier needs >= 1 member, got {n_members}")
+        self.n_members = n_members
+        self.name = name
+        self._waiting: list[TaskState] = []
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiting)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BarrierGroup({self.name!r}, {self.n_waiting}/{self.n_members})"
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Directive: wait at ``group`` until all members arrive."""
+
+    group: BarrierGroup
+
+
+@dataclass(frozen=True)
+class Publish:
+    """Directive: emit ``value`` on ``topic`` at the current time
+    (zero simulated duration)."""
+
+    topic: str
+    value: float
+
+
+# ----------------------------------------------------------------------
+# Task & timer bookkeeping
+# ----------------------------------------------------------------------
+
+_RUNNING = "running"
+_SPINNING = "spinning"
+_SLEEPING = "sleeping"
+_READY = "ready"
+_DONE = "done"
+
+
+@dataclass
+class TaskState:
+    """Engine-internal record of one task (MPI rank / OpenMP thread)."""
+
+    tid: int
+    name: str
+    core_id: int
+    gen: Generator
+    status: str = _READY
+    # current Work quantum
+    work: Work | None = None
+    frac_done: float = 0.0
+    # per-segment cached rates
+    rate: float = 0.0            # d(frac)/dt
+    bytes_rate: float = 0.0      # B/s
+    compute_frac: float = 0.0    # share of wall time retiring instructions
+    wake_time: float = 0.0       # for _SLEEPING
+
+    @property
+    def done(self) -> bool:
+        return self.status == _DONE
+
+
+@dataclass(order=True)
+class Timer:
+    """A scheduled callback; periodic if ``period`` is set."""
+
+    time: float
+    seq: int
+    callback: Callable[[float], None] = field(compare=False)
+    period: float | None = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent future firings (already-queued firing is skipped)."""
+        self.cancelled = True
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+class Engine:
+    """Drives tasks, timers, counters and energy on a simulated node."""
+
+    def __init__(self, node: SimulatedNode) -> None:
+        self.node = node
+        self.clock = node.clock
+        self._tasks: list[TaskState] = []
+        self._timers: list[Timer] = []
+        self._tid_counter = itertools.count()
+        self._timer_seq = itertools.count()
+        self._ready: list[TaskState] = []
+        self._publish_hooks: list[Callable[[float, str, float], None]] = []
+        self._free_cores = list(range(node.cfg.n_cores - 1, -1, -1))
+
+    # -- task management ------------------------------------------------
+
+    def spawn(self, gen: Generator, core_id: int | None = None,
+              name: str | None = None) -> TaskState:
+        """Register a task generator, pinned to ``core_id`` (or the next
+        free core). The task starts when :meth:`run` is next called."""
+        if core_id is None:
+            if not self._free_cores:
+                raise SimulationError("no free cores left to pin a task to")
+            core_id = self._free_cores.pop()
+        elif not 0 <= core_id < self.node.cfg.n_cores:
+            raise SimulationError(
+                f"core_id {core_id} out of range 0..{self.node.cfg.n_cores - 1}"
+            )
+        else:
+            if core_id in self._free_cores:
+                self._free_cores.remove(core_id)
+        task = TaskState(
+            tid=next(self._tid_counter),
+            name=name or f"task{core_id}",
+            core_id=core_id,
+            gen=gen,
+        )
+        self._tasks.append(task)
+        self._ready.append(task)
+        return task
+
+    def add_timer(self, delay: float, callback: Callable[[float], None],
+                  period: float | None = None) -> Timer:
+        """Schedule ``callback(now)`` after ``delay`` seconds; with
+        ``period`` it re-fires drift-free every ``period`` seconds."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be non-negative, got {delay}")
+        if period is not None and period <= 0:
+            raise SchedulingError(f"period must be positive, got {period}")
+        timer = Timer(self.clock.now + delay, next(self._timer_seq), callback, period)
+        heapq.heappush(self._timers, timer)
+        return timer
+
+    def on_publish(self, hook: Callable[[float, str, float], None]) -> None:
+        """Register a hook invoked as ``hook(time, topic, value)`` for every
+        :class:`Publish` directive (telemetry attaches here)."""
+        self._publish_hooks.append(hook)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def tasks(self) -> tuple[TaskState, ...]:
+        return tuple(self._tasks)
+
+    def all_done(self) -> bool:
+        return all(t.done for t in self._tasks)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Run until all tasks finish, or absolute time ``until`` is
+        reached (whichever first). Returns the final simulated time."""
+        if until is not None and until < self.clock.now:
+            raise SchedulingError(
+                f"until={until} is before now={self.clock.now}"
+            )
+        while True:
+            self._dispatch_ready()
+            now = self.clock.now
+            if until is not None and now >= until:
+                break
+            running = [t for t in self._tasks if t.status == _RUNNING]
+            spinning = [t for t in self._tasks if t.status == _SPINNING]
+            sleeping = [t for t in self._tasks if t.status == _SLEEPING]
+            next_timer = self._peek_timer()
+
+            if not running and not sleeping:
+                if spinning:
+                    # Timers cannot release a barrier (only task arrivals
+                    # can), so this cannot resolve.
+                    raise SimulationError(
+                        "deadlock: tasks are spinning at a barrier that can "
+                        f"never complete: {[t.name for t in spinning]}"
+                    )
+                if until is None:
+                    # All tasks finished; pending timers alone don't keep
+                    # the simulation alive.
+                    break
+                # Idle-advance toward `until`, still firing timers and
+                # accruing idle power.
+
+            self._recompute_rates(running, spinning, sleeping)
+
+            dt = np.inf
+            for t in running:
+                t_left = (1.0 - t.frac_done) / t.rate if t.rate > 0 else np.inf
+                dt = min(dt, t_left)
+            for t in sleeping:
+                dt = min(dt, t.wake_time - now)
+            if next_timer is not None:
+                dt = min(dt, next_timer - now)
+            if until is not None:
+                dt = min(dt, until - now)
+            if not np.isfinite(dt):
+                raise SimulationError(
+                    "no task can make progress and no timer is pending"
+                )
+            dt = max(dt, 0.0)
+
+            self._integrate(running, spinning, dt)
+            self.clock.advance(dt)
+            now = self.clock.now
+
+            # Completions.
+            for t in running:
+                if t.frac_done >= 1.0 - _COMPLETION_RTOL:
+                    t.frac_done = 1.0
+                    t.work = None
+                    t.status = _READY
+                    self._ready.append(t)
+            for t in sleeping:
+                if t.wake_time <= now + 1e-15:
+                    t.status = _READY
+                    self._ready.append(t)
+            # Resume completed/woken tasks *before* firing timers due at
+            # the same instant, so that zero-time follow-ups (progress
+            # publishes) are visible to periodic collectors whose window
+            # closes exactly now.
+            self._dispatch_ready()
+            self._fire_timers(now)
+        return self.clock.now
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek_timer(self) -> float | None:
+        while self._timers and self._timers[0].cancelled:
+            heapq.heappop(self._timers)
+        return self._timers[0].time if self._timers else None
+
+    def _fire_timers(self, now: float) -> None:
+        while self._timers and self._timers[0].time <= now + 1e-15:
+            timer = heapq.heappop(self._timers)
+            if timer.cancelled:
+                continue
+            timer.callback(now)
+            if timer.period is not None and not timer.cancelled:
+                timer.time += timer.period
+                heapq.heappush(self._timers, timer)
+
+    def _dispatch_ready(self) -> None:
+        """Resume READY tasks until each blocks (zero simulated time)."""
+        while self._ready:
+            task = self._ready.pop()
+            self._advance_task(task)
+
+    def _advance_task(self, task: TaskState) -> None:
+        while True:
+            try:
+                directive = next(task.gen)
+            except StopIteration:
+                task.status = _DONE
+                task.work = None
+                core = self.node.cores[task.core_id]
+                core.mode = CoreMode.IDLE
+                core.compute_frac = 0.0
+                core.bytes_rate = 0.0
+                return
+            if isinstance(directive, Work):
+                if directive.empty:
+                    continue
+                task.work = directive
+                task.frac_done = 0.0
+                task.status = _RUNNING
+                return
+            if isinstance(directive, Sleep):
+                if directive.duration <= 0:
+                    continue
+                task.wake_time = self.clock.now + directive.duration
+                task.status = _SLEEPING
+                return
+            if isinstance(directive, Barrier):
+                group = directive.group
+                group._waiting.append(task)
+                if len(group._waiting) >= group.n_members:
+                    waiters = group._waiting
+                    group._waiting = []
+                    for w in waiters:
+                        if w is not task:
+                            w.status = _READY
+                            self._ready.append(w)
+                    # the completing member keeps executing immediately
+                    continue
+                task.status = _SPINNING
+                return
+            if isinstance(directive, Publish):
+                for hook in self._publish_hooks:
+                    hook(self.clock.now, directive.topic, directive.value)
+                continue
+            raise SimulationError(
+                f"task {task.name!r} yielded unknown directive {directive!r}"
+            )
+
+    def _recompute_rates(self, running: list[TaskState],
+                         spinning: list[TaskState],
+                         sleeping: list[TaskState]) -> None:
+        """Set per-task rates and per-core power-model state for the
+        upcoming constant-rate segment."""
+        node = self.node
+        cfg = node.cfg
+        node.idle_all()
+
+        # Unconstrained per-task bandwidth demand.
+        mem_tasks: list[TaskState] = []
+        demands: list[float] = []
+        for t in running:
+            w = t.work
+            assert w is not None
+            core = node.cores[t.core_id]
+            s = core.effective_clock()
+            link = cfg.core_link_bandwidth * core.duty
+            if w.bytes > 0:
+                standalone = w.cycles / s + w.bytes / link
+                demands.append(w.bytes / standalone)
+                mem_tasks.append(t)
+            else:
+                t.bytes_rate = 0.0
+        if mem_tasks:
+            grants = allocate_bandwidth(demands, node.effective_mem_bandwidth)
+        else:
+            grants = np.empty(0)
+
+        gi = 0
+        for t in running:
+            w = t.work
+            core = node.cores[t.core_id]
+            s = core.effective_clock()
+            if w.bytes > 0:
+                granted = float(grants[gi])
+                gi += 1
+                t.bytes_rate = granted
+                t.rate = granted / w.bytes
+            else:
+                t.rate = s / w.cycles
+                t.bytes_rate = 0.0
+            # Fraction of wall time retiring instructions.
+            cycle_rate = w.cycles * t.rate
+            t.compute_frac = min(cycle_rate / s, 1.0) if s > 0 else 0.0
+            core.mode = CoreMode.BUSY
+            core.compute_frac = t.compute_frac
+            core.bytes_rate = t.bytes_rate
+        for t in spinning:
+            core = node.cores[t.core_id]
+            core.mode = CoreMode.SPIN
+            core.compute_frac = 1.0
+            core.bytes_rate = 0.0
+        for t in sleeping:
+            core = node.cores[t.core_id]
+            core.mode = CoreMode.SLEEP
+            core.compute_frac = 0.0
+            core.bytes_rate = 0.0
+
+    def _integrate(self, running: list[TaskState], spinning: list[TaskState],
+                   dt: float) -> None:
+        """Accrue work, counters and energy over a segment of length ``dt``."""
+        node = self.node
+        cfg = node.cfg
+        node.accrue(dt)
+        if dt <= 0:
+            return
+        for t in running:
+            w = t.work
+            core = node.cores[t.core_id]
+            dx = min(t.rate * dt, 1.0 - t.frac_done)
+            t.frac_done += dx
+            node.counters.accrue(
+                t.core_id,
+                instructions=w.ins * dx,
+                cycles=core.effective_clock() * dt,
+                l3_misses=w.misses(cfg.cache_line) * dx,
+            )
+        for t in spinning:
+            core = node.cores[t.core_id]
+            s = core.effective_clock()
+            node.counters.accrue(
+                t.core_id,
+                instructions=s * cfg.spin_ipc * dt,
+                cycles=s * dt,
+            )

@@ -1,0 +1,54 @@
+"""OpenMP-like work sharing over the engine.
+
+The paper's OpenMP applications (QMCPACK, STREAM, OpenMC) run one pinned
+thread per core with parallel loops that end in an implicit barrier.
+:class:`OmpTeam` reproduces that structure: a *master* generator drives
+the iteration loop and calls :meth:`OmpTeam.parallel` to fan a
+per-thread body out to the team; worker threads busy-wait between
+parallel regions, as OpenMP runtimes do with an active wait policy.
+
+Implementation note: the team is modelled as ``n`` persistent tasks all
+executing the same loop structure — each thread runs its share of every
+parallel region and synchronizes at the region's implicit barrier. The
+master (thread 0) additionally executes the serial sections (progress
+publishing), which take zero simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.engine import Barrier, BarrierGroup, Engine, TaskState
+
+__all__ = ["OmpTeam"]
+
+
+class OmpTeam:
+    """A team of ``n_threads`` persistent worker tasks, one per core."""
+
+    def __init__(self, engine: Engine, n_threads: int) -> None:
+        if n_threads < 1:
+            raise ConfigurationError(f"n_threads must be >= 1, got {n_threads}")
+        if n_threads > engine.node.cfg.n_cores:
+            raise ConfigurationError(
+                f"cannot pin {n_threads} threads on {engine.node.cfg.n_cores} cores"
+            )
+        self.engine = engine
+        self.n_threads = n_threads
+        self._group = BarrierGroup(n_threads, name="omp")
+
+    def region_barrier(self) -> Barrier:
+        """Implicit barrier closing a parallel region:
+        ``yield team.region_barrier()`` from every thread body."""
+        return Barrier(self._group)
+
+    def launch(self, thread_body: Callable[["OmpTeam", int], Generator],
+               name: str = "omp") -> list[TaskState]:
+        """Spawn the team; ``thread_body(team, thread_id)`` is the SPMD
+        body every thread executes (thread 0 is the master)."""
+        return [
+            self.engine.spawn(thread_body(self, t), core_id=t,
+                              name=f"{name}:thr{t}")
+            for t in range(self.n_threads)
+        ]

@@ -1,0 +1,8 @@
+"""Linux powercap sysfs emulation.
+
+See :mod:`repro.sysfs.powercap`.
+"""
+
+from repro.sysfs.powercap import PowercapFS
+
+__all__ = ["PowercapFS"]

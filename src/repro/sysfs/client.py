@@ -1,0 +1,89 @@
+"""A user-level powercap client, in the style of Variorum/powercap-utils.
+
+Tools like GEOPM and Variorum manage RAPL through the kernel powercap
+tree rather than raw MSRs. :class:`PowercapClient` is that consumer: it
+speaks only file paths and ASCII integers against a
+:class:`~repro.sysfs.powercap.PowercapFS`, giving wrapper-level code a
+realistic surface to exercise (the ``repro_why`` calibration note for
+this reproduction: "powercap sysfs + model fitting trivial; wrappers
+fine").
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PowercapError
+from repro.sysfs.powercap import PowercapFS
+
+__all__ = ["PowercapClient"]
+
+_WRAP_UJ_FIELD = "max_energy_range_uj"
+
+
+class PowercapClient:
+    """Read/program package power limits through the sysfs tree."""
+
+    def __init__(self, fs: PowercapFS) -> None:
+        self.fs = fs
+        self._last_energy_uj: int | None = None
+
+    # -- reads ---------------------------------------------------------------
+
+    def _read_int(self, path: str) -> int:
+        return int(self.fs.read(path))
+
+    def zone_name(self) -> str:
+        """Name of the package zone (``package-0``)."""
+        return self.fs.read(PowercapFS.PKG + "/name").strip()
+
+    def power_limit_w(self) -> float:
+        """Programmed long-term power limit in watts."""
+        return self._read_int(
+            PowercapFS.PKG + "/constraint_0_power_limit_uw") / 1e6
+
+    def max_power_w(self) -> float:
+        """Hardware maximum (TDP) in watts."""
+        return self._read_int(
+            PowercapFS.PKG + "/constraint_0_max_power_uw") / 1e6
+
+    def time_window_s(self) -> float:
+        """Enforcement window in seconds."""
+        return self._read_int(
+            PowercapFS.PKG + "/constraint_0_time_window_us") / 1e6
+
+    def enabled(self) -> bool:
+        """Whether capping is currently enforced."""
+        return self._read_int(PowercapFS.PKG + "/enabled") == 1
+
+    def energy_uj(self) -> int:
+        """Raw wrapping package energy counter (microjoules)."""
+        return self._read_int(PowercapFS.PKG + "/energy_uj")
+
+    def energy_delta_j(self) -> float | None:
+        """Joules consumed since the previous call, handling counter
+        wraparound; the first call primes the baseline and returns None."""
+        now = self.energy_uj()
+        wrap = self._read_int(PowercapFS.PKG + "/" + _WRAP_UJ_FIELD) + 1
+        prev, self._last_energy_uj = self._last_energy_uj, now
+        if prev is None:
+            return None
+        return ((now - prev) % wrap) / 1e6
+
+    # -- writes -----------------------------------------------------------------
+
+    def set_power_limit_w(self, watts: float) -> None:
+        """Program the long-term package limit."""
+        if watts <= 0:
+            raise PowercapError(f"limit must be positive, got {watts}")
+        self.fs.write(PowercapFS.PKG + "/constraint_0_power_limit_uw",
+                      str(int(watts * 1e6)))
+
+    def set_time_window_s(self, seconds: float) -> None:
+        """Program the enforcement window."""
+        if seconds <= 0:
+            raise PowercapError(f"window must be positive, got {seconds}")
+        self.fs.write(PowercapFS.PKG + "/constraint_0_time_window_us",
+                      str(int(seconds * 1e6)))
+
+    def set_enabled(self, flag: bool) -> None:
+        """Enable or disable enforcement."""
+        self.fs.write(PowercapFS.PKG + "/enabled", "1" if flag else "0")

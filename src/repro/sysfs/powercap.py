@@ -1,0 +1,155 @@
+"""``/sys/class/powercap/intel-rapl`` emulation.
+
+The kernel's powercap framework is the portable way user software (and
+tools like Variorum or GEOPM) reads and sets RAPL limits. This module
+exposes the same tree over the simulated node::
+
+    intel-rapl/
+      intel-rapl:0/                    (package zone)
+        name                           "package-0"
+        energy_uj                      wrapping counter, microjoules
+        max_energy_range_uj
+        constraint_0_name              "long_term"
+        constraint_0_power_limit_uw    microwatts (writable)
+        constraint_0_time_window_us    microseconds (writable)
+        constraint_0_max_power_uw
+        enabled                        0/1 (writable)
+        intel-rapl:0:0/                (dram subzone)
+          name                         "dram"
+          energy_uj
+
+All values use the kernel's units (micro-everything, newline-terminated
+ASCII). :meth:`PowercapFS.read` / :meth:`PowercapFS.write` operate on the
+virtual tree; :meth:`PowercapFS.materialize` writes a point-in-time copy
+to a real directory for wrapper code that insists on file I/O.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.exceptions import PowercapError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import SimulatedNode
+    from repro.hardware.rapl import RaplFirmware
+
+__all__ = ["PowercapFS"]
+
+_WRAP_UJ = (1 << 32) * 61  # ~= 2^32 energy-status ticks at 61 uJ/tick
+
+
+class PowercapFS:
+    """Virtual powercap sysfs tree bound to a node + RAPL firmware."""
+
+    ROOT = "intel-rapl"
+    PKG = "intel-rapl/intel-rapl:0"
+    DRAM = "intel-rapl/intel-rapl:0/intel-rapl:0:0"
+
+    def __init__(self, node: "SimulatedNode", firmware: "RaplFirmware") -> None:
+        self.node = node
+        self.firmware = firmware
+
+    # -- path table --------------------------------------------------------
+
+    def _files(self) -> dict[str, str]:
+        node, fw = self.node, self.firmware
+        pkg_uj = int(node.pkg_energy * 1e6) % _WRAP_UJ
+        dram_uj = int(node.dram_energy * 1e6) % _WRAP_UJ
+        return {
+            f"{self.PKG}/name": "package-0",
+            f"{self.PKG}/energy_uj": str(pkg_uj),
+            f"{self.PKG}/max_energy_range_uj": str(_WRAP_UJ - 1),
+            f"{self.PKG}/constraint_0_name": "long_term",
+            f"{self.PKG}/constraint_0_power_limit_uw": str(int(fw.limit * 1e6)),
+            f"{self.PKG}/constraint_0_time_window_us": str(int(fw.window * 1e6)),
+            f"{self.PKG}/constraint_0_max_power_uw": str(int(node.cfg.tdp * 1e6)),
+            f"{self.PKG}/enabled": "1" if fw.enabled else "0",
+            f"{self.DRAM}/name": "dram",
+            f"{self.DRAM}/energy_uj": str(dram_uj),
+            f"{self.DRAM}/max_energy_range_uj": str(_WRAP_UJ - 1),
+            f"{self.DRAM}/constraint_0_name": "long_term",
+            f"{self.DRAM}/constraint_0_power_limit_uw": str(
+                int((fw.dram_limit if fw.dram_limit is not None else 0) * 1e6)
+            ),
+        }
+
+    def list(self) -> list[str]:
+        """All readable paths, sorted (like ``find`` on the real tree)."""
+        return sorted(self._files())
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` names a file in the tree."""
+        return path.strip("/") in self._files()
+
+    # -- file operations -----------------------------------------------------
+
+    def read(self, path: str) -> str:
+        """Read a sysfs file; returns its content with trailing newline,
+        exactly as the kernel does."""
+        files = self._files()
+        key = path.strip("/")
+        if key not in files:
+            raise PowercapError(f"no such powercap file: {path}")
+        return files[key] + "\n"
+
+    def write(self, path: str, value: str) -> None:
+        """Write a sysfs file (power limit, time window, or enabled)."""
+        key = path.strip("/")
+        if key == f"{self.PKG}/constraint_0_power_limit_uw":
+            uw = self._parse_int(path, value)
+            if uw <= 0:
+                raise PowercapError(f"power limit must be positive, got {uw} uW")
+            self.firmware.set_limit(uw / 1e6)
+            return
+        if key == f"{self.PKG}/constraint_0_time_window_us":
+            us = self._parse_int(path, value)
+            if us <= 0:
+                raise PowercapError(f"time window must be positive, got {us} us")
+            self.firmware.window = us / 1e6
+            return
+        if key == f"{self.DRAM}/constraint_0_power_limit_uw":
+            uw = self._parse_int(path, value)
+            # the kernel uses 0 to clear a DRAM limit
+            self.firmware.set_dram_limit(uw / 1e6 if uw > 0 else None)
+            return
+        if key == f"{self.PKG}/enabled":
+            flag = self._parse_int(path, value)
+            if flag not in (0, 1):
+                raise PowercapError(f"enabled takes 0 or 1, got {flag}")
+            if flag:
+                self.firmware.set_limit(self.firmware.limit)
+            else:
+                self.firmware.disable()
+            return
+        if key in self._files():
+            raise PowercapError(f"powercap file is read-only: {path}")
+        raise PowercapError(f"no such powercap file: {path}")
+
+    @staticmethod
+    def _parse_int(path: str, value: str) -> int:
+        try:
+            return int(value.strip())
+        except ValueError:
+            raise PowercapError(
+                f"malformed integer written to {path}: {value!r}"
+            ) from None
+
+    # -- on-disk materialization -----------------------------------------------
+
+    def materialize(self, root: str | os.PathLike) -> str:
+        """Write a point-in-time snapshot of the tree under ``root``.
+
+        Returns the path of the created ``intel-rapl`` directory. Useful
+        for exercising wrapper code that reads the real sysfs through the
+        filesystem; note the snapshot is static — re-materialize to
+        refresh counters.
+        """
+        root = os.fspath(root)
+        for rel, content in self._files().items():
+            full = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="ascii") as fh:
+                fh.write(content + "\n")
+        return os.path.join(root, self.ROOT)

@@ -1,0 +1,115 @@
+"""Job-level reduction of per-rank progress (paper future work).
+
+The paper's conclusion asks for "a more detailed study of the
+infrastructure needed for dynamic progress monitoring across large-scale
+systems and how to combine job-wide and node-local progress metrics".
+This module provides the node-local half of that combination: when an
+application publishes *per-rank* progress (one topic per rank), a
+:class:`JobProgressReducer` aggregates the per-rank rate series into
+job-level views:
+
+* ``mean`` — total work rate across ranks (Definition-2 flavoured),
+* ``min`` — the slowest rank, i.e. the critical path (what a
+  power-balancer like the paper's cited Conductor would steer by),
+* ``imbalance`` — max/min rank rate, a load-imbalance indicator that is
+  invisible in a single aggregate metric (the Table-I lesson).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.monitor import ProgressMonitor
+from repro.telemetry.pubsub import MessageBus
+from repro.telemetry.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Engine
+
+__all__ = ["JobProgressReducer"]
+
+
+class JobProgressReducer:
+    """Aggregate per-rank progress monitors into job-level series.
+
+    Parameters
+    ----------
+    engine:
+        Engine driving the monitors' collection timers.
+    bus:
+        Bus the application publishes on.
+    topic_prefix:
+        Per-rank topics are ``{topic_prefix}/rank{k}``.
+    n_ranks:
+        Number of ranks to monitor.
+    interval:
+        Aggregation window (matches the monitors').
+    """
+
+    def __init__(self, engine: "Engine", bus: MessageBus,
+                 topic_prefix: str, n_ranks: int, *,
+                 interval: float = 1.0) -> None:
+        if n_ranks < 1:
+            raise ConfigurationError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.topic_prefix = topic_prefix
+        self.n_ranks = n_ranks
+        self.monitors = [
+            ProgressMonitor(engine, bus.sub_socket(f"{topic_prefix}/rank{k}"),
+                            interval=interval, name=f"rank{k}")
+            for k in range(n_ranks)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _matrix(self) -> np.ndarray:
+        """Per-rank rates as an (n_ranks, n_samples) array over the
+        common sample count."""
+        n = min(len(m.series) for m in self.monitors)
+        if n == 0:
+            raise ConfigurationError("no samples collected yet")
+        return np.stack([m.series.values[:n] for m in self.monitors])
+
+    def _times(self, n: int) -> np.ndarray:
+        return self.monitors[0].series.times[:n]
+
+    def _reduce(self, fn, name: str) -> TimeSeries:
+        matrix = self._matrix()
+        times = self._times(matrix.shape[1])
+        reduced = fn(matrix, axis=0)
+        return TimeSeries(name, zip(times, reduced))
+
+    # -- job-level views ---------------------------------------------------
+
+    def mean_rate(self) -> TimeSeries:
+        """Mean per-rank rate (total job rate / n_ranks)."""
+        return self._reduce(np.mean, f"{self.topic_prefix}:mean")
+
+    def min_rate(self) -> TimeSeries:
+        """Critical-path rank rate."""
+        return self._reduce(np.min, f"{self.topic_prefix}:min")
+
+    def max_rate(self) -> TimeSeries:
+        """Fastest rank rate."""
+        return self._reduce(np.max, f"{self.topic_prefix}:max")
+
+    def imbalance(self) -> TimeSeries:
+        """Per-sample max/min rank-rate ratio (1.0 = perfectly balanced;
+        samples where the slowest rank reported nothing yield inf)."""
+        matrix = self._matrix()
+        times = self._times(matrix.shape[1])
+        mins = matrix.min(axis=0)
+        maxs = matrix.max(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(mins > 0, maxs / mins, np.inf)
+        out = TimeSeries(f"{self.topic_prefix}:imbalance")
+        for t, v in zip(times, ratio):
+            out.append(float(t), float(v))
+        return out
+
+    def stop(self) -> None:
+        """Stop all per-rank monitors."""
+        for m in self.monitors:
+            m.stop()

@@ -1,0 +1,147 @@
+"""Timestamped sample container.
+
+Every measured quantity in the library (progress rate, package power,
+frequency, power cap) is recorded as a :class:`TimeSeries`: a pair of
+parallel arrays of times and values with summary statistics, windowed
+views, and mean-preserving resampling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Append-only series of ``(time, value)`` samples.
+
+    Times must be non-decreasing (they come from the simulation clock).
+    """
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str = "",
+                 samples: Iterable[tuple[float, float]] | None = None) -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+        if samples is not None:
+            for t, v in samples:
+                self.append(t, v)
+
+    # -- building -----------------------------------------------------------
+
+    def append(self, time: float, value: float) -> None:
+        """Add one sample; ``time`` must not precede the last sample."""
+        if self._times and time < self._times[-1]:
+            raise ConfigurationError(
+                f"sample at t={time} precedes last sample t={self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    def __getitem__(self, idx: int) -> tuple[float, float]:
+        return self._times[idx], self._values[idx]
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as an array (copy)."""
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as an array (copy)."""
+        return np.asarray(self._values, dtype=float)
+
+    def is_empty(self) -> bool:
+        return not self._times
+
+    # -- statistics -----------------------------------------------------------
+
+    def _require_samples(self) -> None:
+        if not self._times:
+            raise ConfigurationError(f"time series {self.name!r} is empty")
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values."""
+        self._require_samples()
+        return float(np.mean(self._values))
+
+    def std(self) -> float:
+        """Standard deviation of the values."""
+        self._require_samples()
+        return float(np.std(self._values))
+
+    def min(self) -> float:
+        self._require_samples()
+        return float(np.min(self._values))
+
+    def max(self) -> float:
+        self._require_samples()
+        return float(np.max(self._values))
+
+    def coefficient_of_variation(self) -> float:
+        """std/mean — the consistency measure used to characterize online
+        performance (LAMMPS is consistent, AMG fluctuates)."""
+        m = self.mean()
+        if m == 0.0:
+            raise ConfigurationError("coefficient of variation undefined at mean 0")
+        return self.std() / abs(m)
+
+    # -- transforms ------------------------------------------------------------
+
+    def window(self, t_start: float, t_end: float) -> "TimeSeries":
+        """Samples with ``t_start <= t < t_end`` (a copy)."""
+        if t_end < t_start:
+            raise ConfigurationError(f"bad window [{t_start}, {t_end})")
+        out = TimeSeries(self.name)
+        for t, v in self:
+            if t_start <= t < t_end:
+                out.append(t, v)
+        return out
+
+    def resample(self, interval: float, t_start: float | None = None,
+                 t_end: float | None = None, fill: float = 0.0
+                 ) -> "TimeSeries":
+        """Average samples into fixed ``interval`` bins.
+
+        Each output sample is stamped at its bin's *end* (like the 1 Hz
+        monitor); empty bins produce ``fill``.
+        """
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval}")
+        self._require_samples()
+        t0 = self._times[0] if t_start is None else t_start
+        t1 = self._times[-1] if t_end is None else t_end
+        if t1 < t0:
+            raise ConfigurationError("t_end precedes t_start")
+        n_bins = max(1, int(np.ceil((t1 - t0) / interval - 1e-12)))
+        times = np.asarray(self._times)
+        values = np.asarray(self._values)
+        out = TimeSeries(self.name)
+        for b in range(n_bins):
+            lo, hi = t0 + b * interval, t0 + (b + 1) * interval
+            mask = (times >= lo) & (times < hi)
+            out.append(hi, float(values[mask].mean()) if mask.any() else fill)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._times:
+            return f"TimeSeries({self.name!r}, empty)"
+        return (
+            f"TimeSeries({self.name!r}, n={len(self)}, "
+            f"t=[{self._times[0]:.2f}, {self._times[-1]:.2f}])"
+        )

@@ -1,0 +1,95 @@
+"""Unit and property tests for repeat-measurement statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    bootstrap_ci,
+    mean_confidence_interval,
+    summarize_repeats,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestMeanCI:
+    def test_single_sample_degenerates(self):
+        assert mean_confidence_interval([5.0]) == (5.0, 5.0)
+
+    def test_zero_variance_degenerates(self):
+        assert mean_confidence_interval([3.0, 3.0, 3.0]) == (3.0, 3.0)
+
+    def test_contains_mean(self):
+        lo, hi = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+    def test_wider_at_higher_confidence(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lo95, hi95 = mean_confidence_interval(data, 0.95)
+        lo99, hi99 = mean_confidence_interval(data, 0.99)
+        assert hi99 - lo99 > hi95 - lo95
+
+    def test_known_value(self):
+        # n=5, mean=3, sem=sqrt(2.5)/sqrt(5); t(0.975, 4)=2.7764
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lo, hi = mean_confidence_interval(data)
+        sem = np.sqrt(2.5 / 5)
+        assert hi - 3.0 == pytest.approx(2.7764 * sem, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([])
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([1.0], confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([float("nan")])
+
+
+class TestBootstrapCI:
+    def test_contains_mean_for_reasonable_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 1.0, size=30)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < data.mean() < hi
+
+    def test_deterministic_per_seed(self):
+        data = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_single_sample(self):
+        assert bootstrap_ci([7.0]) == (7.0, 7.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], n_resamples=0)
+
+
+class TestSummary:
+    def test_fields(self):
+        s = summarize_repeats([2.0, 4.0, 6.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(4.0)
+        assert s.std == pytest.approx(2.0)
+        assert s.ci_low < 4.0 < s.ci_high
+
+    def test_relative_halfwidth(self):
+        s = summarize_repeats([2.0, 4.0, 6.0])
+        assert s.relative_halfwidth() == pytest.approx(
+            s.ci_halfwidth / 4.0
+        )
+
+    def test_relative_halfwidth_zero_mean(self):
+        s = summarize_repeats([-1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            s.relative_halfwidth()
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                max_size=40))
+@settings(max_examples=60)
+def test_t_interval_brackets_the_sample_mean(samples):
+    lo, hi = mean_confidence_interval(samples)
+    mean = float(np.mean(samples))
+    assert lo <= mean + 1e-9
+    assert hi >= mean - 1e-9

@@ -1,0 +1,126 @@
+"""Unit tests for the app base class and registry."""
+
+import pytest
+
+from repro.apps import available, build, get_spec
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec
+from repro.core.categories import Category, OnlineMetric
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.runtime.engine import Engine
+
+
+def tiny_spec(parallelism="openmp", phases=None):
+    return AppSpec(
+        name="toy",
+        description="toy app",
+        category=Category.CATEGORY_1,
+        metric=OnlineMetric("Iterations per second", "it/s"),
+        parallelism=parallelism,
+        phases=phases or (
+            PhaseSpec("main", KernelSpec(cycles=0.33e9), iterations=4),
+        ),
+    )
+
+
+class TestAppSpec:
+    def test_rejects_unknown_parallelism(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(parallelism="cuda")
+
+    def test_rejects_empty_phases(self):
+        with pytest.raises(ConfigurationError):
+            AppSpec(name="x", description="", category=Category.CATEGORY_1,
+                    metric=None, parallelism="mpi", phases=())
+
+    def test_default_category_label(self):
+        assert tiny_spec().category_label == "1"
+
+
+class TestSyntheticApp:
+    def test_topic_naming(self):
+        app = SyntheticApp(tiny_spec())
+        assert app.topic == "progress/toy"
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticApp(tiny_spec(), n_workers=0)
+
+    @pytest.mark.parametrize("parallelism", ["openmp", "mpi"])
+    def test_launch_and_run_to_completion(self, parallelism):
+        node = SimulatedNode()
+        engine = Engine(node)
+        app = SyntheticApp(tiny_spec(parallelism), n_workers=4)
+        events = []
+        engine.on_publish(lambda t, topic, v: events.append((t, topic, v)))
+        tasks = app.launch(engine)
+        assert len(tasks) == 4
+        engine.run()
+        assert engine.all_done()
+        # only worker 0 publishes, once per iteration
+        assert len(events) == 4
+        assert all(topic == "progress/toy" for _, topic, _ in events)
+
+    def test_core_offset_launch(self):
+        node = SimulatedNode()
+        engine = Engine(node)
+        app = SyntheticApp(tiny_spec(), n_workers=4)
+        tasks = app.launch(engine, core_offset=8)
+        assert [t.core_id for t in tasks] == [8, 9, 10, 11]
+
+    def test_same_seed_reproducible(self):
+        def run(seed):
+            node = SimulatedNode()
+            engine = Engine(node)
+            spec = tiny_spec()
+            spec = AppSpec(**{**spec.__dict__,
+                              "phases": (PhaseSpec(
+                                  "main",
+                                  KernelSpec(cycles=0.33e9, jitter=0.1),
+                                  iterations=5),)})
+            app = SyntheticApp(spec, n_workers=2, seed=seed)
+            app.launch(engine)
+            return engine.run()
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_total_iterations(self):
+        app = SyntheticApp(tiny_spec())
+        assert app.total_iterations() == 4
+
+    def test_expected_duration(self):
+        app = SyntheticApp(tiny_spec())
+        # 4 iterations of 0.33e9 cycles at 3.3 GHz = 0.4 s
+        assert app.expected_duration(SimulatedNode().cfg) == pytest.approx(0.4)
+
+
+class TestRegistry:
+    def test_all_paper_apps_available(self):
+        assert set(available()) == {
+            "lammps", "amg", "qmcpack", "stream", "openmc", "candle",
+            "imbalance", "hacc", "nek5000", "urban",
+        }
+
+    def test_build_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            build("fortnite")
+
+    def test_build_forwards_kwargs(self):
+        app = build("lammps", n_steps=7, n_workers=3)
+        assert app.total_iterations() == 7
+        assert app.n_workers == 3
+
+    def test_get_spec(self):
+        spec = get_spec("stream")
+        assert spec.name == "stream"
+        assert spec.resource_bound == "memory bandwidth"
+
+    @pytest.mark.parametrize("name", ["lammps", "amg", "qmcpack", "stream",
+                                      "openmc", "candle", "imbalance",
+                                      "hacc", "nek5000", "urban"])
+    def test_every_app_builds_with_defaults(self, name):
+        app = build(name)
+        assert app.name == name
+        assert app.n_workers == 24

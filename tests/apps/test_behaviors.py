@@ -1,0 +1,188 @@
+"""Behavioural tests for the individual applications.
+
+These run the apps on a small number of workers to keep them fast; the
+full-scale (24-worker) behaviour is covered by the experiment tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import build
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.runtime.engine import Engine
+
+
+def run_app(app, until=None, collect_topic=None):
+    node = SimulatedNode()
+    engine = Engine(node)
+    events = []
+    engine.on_publish(lambda t, topic, v: events.append((t, topic, v)))
+    app.launch(engine)
+    t = engine.run(until=until)
+    if collect_topic is not None:
+        events = [(t_, v) for t_, topic, v in events
+                  if topic.startswith(collect_topic)]
+    return node, t, events
+
+
+class TestLammps:
+    def test_timestep_rate_near_calibration(self):
+        app = build("lammps", n_steps=40, n_workers=4)
+        _, t, events = run_app(app, collect_topic="progress/lammps")
+        assert len(events) == 40
+        rate = 40 / t
+        assert rate == pytest.approx(20.0, rel=0.05)
+
+    def test_progress_units_are_atom_steps(self):
+        app = build("lammps", n_steps=3, n_workers=2)
+        _, _, events = run_app(app, collect_topic="progress/lammps")
+        assert all(v == 40_000 for _, v in events)
+
+
+class TestAmg:
+    def test_setup_phase_publishes_nothing(self):
+        app = build("amg", n_iterations=5, setup_iterations=3, n_workers=2)
+        _, _, events = run_app(app, collect_topic="progress/amg")
+        assert len(events) == 5
+
+    def test_solve_rate_fluctuates(self):
+        app = build("amg", n_iterations=40, setup_iterations=0,
+                    n_workers=2, seed=5)
+        _, _, events = run_app(app, collect_topic="progress/amg")
+        gaps = np.diff([t for t, _ in events])
+        assert np.std(gaps) / np.mean(gaps) > 0.02
+
+
+class TestQmcpack:
+    def test_three_phases_have_distinct_rates(self):
+        app = build("qmcpack", vmc1_blocks=20, vmc2_blocks=20,
+                    dmc_blocks=20, n_workers=2)
+        _, _, events = run_app(app, collect_topic="progress/qmcpack")
+        times = [t for t, _ in events]
+        r1 = 20 / (times[19] - times[0])
+        r2 = 20 / (times[39] - times[19])
+        r3 = 20 / (times[59] - times[39])
+        assert r1 > r2 > r3
+
+    def test_dmc_only_build(self):
+        app = build("qmcpack", vmc1_blocks=0, vmc2_blocks=0, dmc_blocks=5,
+                    n_workers=2)
+        assert app.total_iterations() == 5
+
+
+class TestOpenmc:
+    def test_batches_publish_particles(self):
+        app = build("openmc", inactive_batches=2, active_batches=3,
+                    n_workers=2)
+        _, _, events = run_app(app, collect_topic="progress/openmc")
+        assert len(events) == 5
+        assert all(v == 100_000 for _, v in events)
+
+    def test_inactive_phase_is_faster(self):
+        app = build("openmc", inactive_batches=5, active_batches=5,
+                    n_workers=2)
+        _, _, events = run_app(app, collect_topic="progress/openmc")
+        times = [t for t, _ in events]
+        inactive = times[4] - times[0]
+        active = times[9] - times[4]
+        assert inactive < active
+
+    def test_spec_carries_transport_drop(self):
+        app = build("openmc")
+        assert app.spec.transport_drop_prob > 0.0
+        quiet = build("openmc", transport_drop_prob=0.0)
+        assert quiet.spec.transport_drop_prob == 0.0
+
+
+class TestCandle:
+    def test_converges_before_max_epochs(self):
+        app = build("candle", n_workers=2, seed=1)
+        run_app(app)
+        assert 1 <= app.epochs_run < app.max_epochs
+        assert app.final_loss <= app.target_loss
+
+    def test_epoch_count_depends_on_seed(self):
+        counts = set()
+        for seed in range(4):
+            app = build("candle", n_workers=2, seed=seed, loss_noise=0.3)
+            run_app(app)
+            counts.add(app.epochs_run)
+        assert len(counts) > 1
+
+    def test_total_iterations_unpredictable(self):
+        app = build("candle", n_workers=2)
+        with pytest.raises(ConfigurationError):
+            app.total_iterations()
+
+    def test_max_epochs_bounds_divergent_training(self):
+        app = build("candle", n_workers=2, target_loss=1e-9, max_epochs=5)
+        run_app(app)
+        assert app.epochs_run == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build("candle", loss_decay=1.5)
+        with pytest.raises(ConfigurationError):
+            build("candle", target_loss=0.0)
+
+
+class TestImbalance:
+    def test_equal_work_units(self):
+        app = build("imbalance", equal=True, n_workers=4, n_iterations=2)
+        assert app.total_work_units_per_iteration() == pytest.approx(4e6)
+
+    def test_unequal_work_units_half(self):
+        app = build("imbalance", equal=False, n_workers=4, n_iterations=2)
+        # sum((r+1)/4 for r in 0..3) * 1e6 = 2.5e6
+        assert app.total_work_units_per_iteration() == pytest.approx(2.5e6)
+
+    def test_one_iteration_per_second(self):
+        app = build("imbalance", equal=False, n_workers=4, n_iterations=3)
+        _, t, _ = run_app(app)
+        assert t == pytest.approx(3.0, rel=0.02)
+
+    def test_unequal_burns_more_instructions(self):
+        node_eq, t_eq, _ = run_app(build("imbalance", equal=True,
+                                         n_workers=4, n_iterations=2))
+        node_un, t_un, _ = run_app(build("imbalance", equal=False,
+                                         n_workers=4, n_iterations=2))
+        ins_eq = node_eq.counters.snapshot(t_eq).total("PAPI_TOT_INS")
+        ins_un = node_un.counters.snapshot(t_un).total("PAPI_TOT_INS")
+        assert ins_un > 5 * ins_eq
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ConfigurationError):
+            build("imbalance", n_iterations=0)
+
+
+class TestCategory3Apps:
+    def test_hacc_timestep_rate_drifts(self):
+        app = build("hacc", n_steps=30, n_workers=2, growth=0.05)
+        _, _, events = run_app(app, collect_topic="progress/hacc")
+        gaps = np.diff([t for t, _ in events])
+        # later steps take visibly longer than early ones
+        assert gaps[-3:].mean() > 1.3 * gaps[:3].mean()
+
+    def test_nek_rate_wanders(self):
+        app = build("nek5000", n_steps=60, n_workers=2, seed=2)
+        _, _, events = run_app(app, collect_topic="progress/nek5000")
+        gaps = np.diff([t for t, _ in events])
+        assert gaps.max() / gaps.min() > 1.5
+
+    def test_urban_components_run_concurrently(self):
+        app = build("urban", duration_steps=2, n_workers=4)
+        node, t, events = run_app(app, until=12.0)
+        topics = {topic for _, topic, _ in events}
+        assert "progress/urban/nek" in topics
+        assert "progress/urban/eplus" in topics
+
+    def test_urban_no_single_metric(self):
+        app = build("urban", n_workers=4)
+        assert app.spec.metric is None
+        with pytest.raises(ConfigurationError):
+            app.total_iterations()
+
+    def test_urban_needs_two_workers(self):
+        with pytest.raises(ConfigurationError):
+            build("urban", n_workers=1)

@@ -1,0 +1,89 @@
+"""Tests for instrumentation intrusiveness and report batching."""
+
+import pytest
+
+from repro.apps import build
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.runtime.engine import Engine
+
+
+def run_app(app):
+    node = SimulatedNode()
+    engine = Engine(node)
+    events = []
+    engine.on_publish(lambda t, topic, v: events.append((t, v)))
+    app.launch(engine)
+    t = engine.run()
+    return t, events
+
+
+class TestReportBatching:
+    def test_batches_reports(self):
+        app = build("lammps", n_steps=10, n_workers=2)
+        app.report_every = 5
+        _, events = run_app(app)
+        assert len(events) == 2
+        assert all(v == 5 * 40_000 for _, v in events)
+
+    def test_total_progress_conserved(self):
+        for every in (1, 3, 7):
+            app = build("lammps", n_steps=10, n_workers=2)
+            app.report_every = every
+            _, events = run_app(app)
+            assert sum(v for _, v in events) == 10 * 40_000
+
+    def test_trailing_partial_batch_flushed(self):
+        app = build("lammps", n_steps=10, n_workers=2)
+        app.report_every = 4
+        _, events = run_app(app)
+        assert [v for _, v in events] == [160_000, 160_000, 80_000]
+
+    def test_rejects_bad_report_every(self):
+        app = build("lammps", n_steps=4, n_workers=2)
+        app.report_every = 0
+        node = SimulatedNode()
+        engine = Engine(node)
+        app.launch(engine)
+        with pytest.raises(ConfigurationError):
+            engine.run()
+
+
+class TestPublishOverhead:
+    def test_overhead_slows_execution(self):
+        plain = build("lammps", n_steps=40, n_workers=2)
+        t_plain, _ = run_app(plain)
+
+        costly = build("lammps", n_steps=40, n_workers=2)
+        costly.publish_overhead_cycles = 3.3e7  # 10 ms per report
+        t_costly, _ = run_app(costly)
+        # 40 reports x 10 ms ~ 0.4 s of pure instrumentation time
+        assert t_costly == pytest.approx(t_plain + 40 * 0.01, rel=0.05)
+
+    def test_batching_amortizes_overhead(self):
+        costly = build("lammps", n_steps=40, n_workers=2)
+        costly.publish_overhead_cycles = 3.3e7
+        t_every, _ = run_app(costly)
+
+        batched = build("lammps", n_steps=40, n_workers=2)
+        batched.publish_overhead_cycles = 3.3e7
+        batched.report_every = 20
+        t_batched, _ = run_app(batched)
+        assert t_batched < t_every - 0.3
+
+    def test_zero_overhead_is_free(self):
+        a = build("lammps", n_steps=20, n_workers=2)
+        b = build("lammps", n_steps=20, n_workers=2)
+        b.report_every = 10
+        t_a, _ = run_app(a)
+        t_b, _ = run_app(b)
+        assert t_a == pytest.approx(t_b)
+
+    def test_rejects_negative_overhead(self):
+        app = build("lammps", n_steps=4, n_workers=2)
+        app.publish_overhead_cycles = -1.0
+        node = SimulatedNode()
+        engine = Engine(node)
+        app.launch(engine)
+        with pytest.raises(ConfigurationError):
+            engine.run()

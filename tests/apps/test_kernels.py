@@ -1,0 +1,103 @@
+"""Unit and property tests for work kernels and phases."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
+from repro.exceptions import ConfigurationError
+from repro.hardware.config import skylake_config
+
+
+class TestKernelSpec:
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(ConfigurationError):
+            KernelSpec(cycles=0.0)
+
+    def test_rejects_negative_bpc(self):
+        with pytest.raises(ConfigurationError):
+            KernelSpec(cycles=1.0, bytes_per_cycle=-0.1)
+
+    def test_rejects_nonpositive_ipc(self):
+        with pytest.raises(ConfigurationError):
+            KernelSpec(cycles=1.0, ipc=0.0)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ConfigurationError):
+            KernelSpec(cycles=1.0, jitter=-0.5)
+
+    def test_sample_no_jitter_is_exact(self):
+        k = KernelSpec(cycles=1e8, bytes_per_cycle=0.5, ipc=2.0)
+        w = k.sample(np.random.default_rng(0))
+        assert w.cycles == 1e8
+        assert w.bytes == 5e7
+        assert w.ins == 2e8
+        assert w.l3_misses is None
+
+    def test_sample_explicit_mpo(self):
+        k = KernelSpec(cycles=1e8, ipc=1.0, misses_per_instruction=1e-3)
+        w = k.sample(np.random.default_rng(0))
+        assert w.l3_misses == pytest.approx(1e5)
+
+    def test_jitter_varies_samples(self):
+        k = KernelSpec(cycles=1e8, jitter=0.1)
+        rng = np.random.default_rng(0)
+        sizes = {k.sample(rng).cycles for _ in range(10)}
+        assert len(sizes) == 10
+
+    def test_shared_factor_deterministic_per_rng_state(self):
+        k = KernelSpec(cycles=1e8, shared_jitter=0.1)
+        a = k.shared_factor(np.random.default_rng(42))
+        b = k.shared_factor(np.random.default_rng(42))
+        assert a == b
+
+    def test_shared_factor_one_without_jitter(self):
+        k = KernelSpec(cycles=1e8)
+        assert k.shared_factor(np.random.default_rng(0)) == 1.0
+
+    def test_beta_at(self):
+        cfg = skylake_config()
+        pure = KernelSpec(cycles=1e8)
+        assert pure.beta_at(cfg) == pytest.approx(1.0)
+        mixed = KernelSpec(cycles=1e8,
+                           bytes_per_cycle=(0.5 / 0.5) * (12e9 / 3.3e9))
+        assert mixed.beta_at(cfg) == pytest.approx(0.5)
+
+    @given(jitter=st.floats(min_value=0.0, max_value=0.3),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_sample_scales_bytes_and_ins_together(self, jitter, seed):
+        k = KernelSpec(cycles=1e8, bytes_per_cycle=0.7, ipc=1.3,
+                       jitter=jitter)
+        w = k.sample(np.random.default_rng(seed))
+        assert w.bytes / w.cycles == pytest.approx(0.7)
+        assert w.ins / w.cycles == pytest.approx(1.3)
+
+
+class TestPhaseSpec:
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSpec("p", KernelSpec(cycles=1.0), iterations=-1)
+
+    def test_rejects_negative_progress(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSpec("p", KernelSpec(cycles=1.0), iterations=1,
+                      progress_per_iteration=-1.0)
+
+
+class TestCyclesForRate:
+    def test_pure_compute(self):
+        cfg = skylake_config()
+        c = cycles_for_rate(10.0, 0.0, cfg)
+        assert c == pytest.approx(cfg.f_nominal / 10.0)
+
+    def test_mixed_rate_roundtrip(self):
+        cfg = skylake_config()
+        bpc = 1.5
+        c = cycles_for_rate(4.0, bpc, cfg)
+        t_iter = c / cfg.f_nominal + c * bpc / cfg.core_link_bandwidth
+        assert 1.0 / t_iter == pytest.approx(4.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            cycles_for_rate(0.0, 0.0, skylake_config())

@@ -1,0 +1,64 @@
+"""Unit and property tests for beta and MPO computation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.beta import beta_from_times, mpo_from_delta
+from repro.exceptions import ModelError
+from repro.hardware.counters import CounterBank
+
+
+class TestBetaFromTimes:
+    def test_compute_bound(self):
+        # time doubles when frequency halves
+        assert beta_from_times(2.0, 1.0, 1.65e9, 3.3e9) == pytest.approx(1.0)
+
+    def test_memory_bound(self):
+        assert beta_from_times(1.0, 1.0, 1.6e9, 3.3e9) == pytest.approx(0.0)
+
+    def test_paper_amg_value(self):
+        # beta = 0.52 implies t_low/t_high = 0.52*(3.3/1.6-1)+1
+        ratio = 0.52 * (3.3 / 1.6 - 1.0) + 1.0
+        assert beta_from_times(ratio, 1.0, 1.6e9, 3.3e9) == pytest.approx(0.52)
+
+    def test_clips_above_one(self):
+        assert beta_from_times(10.0, 1.0, 1.65e9, 3.3e9) == 1.0
+
+    def test_clips_below_zero(self):
+        assert beta_from_times(0.9, 1.0, 1.65e9, 3.3e9) == 0.0
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(ModelError):
+            beta_from_times(1.0, 1.0, 3.3e9, 1.6e9)
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ModelError):
+            beta_from_times(0.0, 1.0, 1.6e9, 3.3e9)
+
+    @given(beta=st.floats(min_value=0.0, max_value=1.0),
+           f_low=st.floats(min_value=1.0e9, max_value=3.2e9))
+    def test_inverts_eq1_exactly(self, beta, f_low):
+        f_high = 3.3e9
+        t_high = 7.0
+        t_low = t_high * (beta * (f_high / f_low - 1.0) + 1.0)
+        assert beta_from_times(t_low, t_high, f_low, f_high) == pytest.approx(
+            beta, abs=1e-9
+        )
+
+
+class TestMPO:
+    def test_from_counter_delta(self):
+        bank = CounterBank(2)
+        s0 = bank.snapshot(0.0)
+        bank.accrue(0, instructions=1e9, l3_misses=2e6)
+        bank.accrue(1, instructions=1e9, l3_misses=2e6)
+        delta = bank.snapshot(1.0).delta(s0)
+        assert mpo_from_delta(delta) == pytest.approx(2e-3)
+
+    def test_zero_instructions_raises(self):
+        bank = CounterBank(1)
+        s0 = bank.snapshot(0.0)
+        delta = bank.snapshot(1.0).delta(s0)
+        with pytest.raises(ModelError):
+            mpo_from_delta(delta)

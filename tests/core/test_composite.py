@@ -1,0 +1,79 @@
+"""Unit tests for weighted multi-component progress."""
+
+import pytest
+
+from repro.core.composite import ComponentSpec, CompositeProgress
+from repro.exceptions import ConfigurationError
+from repro.telemetry.timeseries import TimeSeries
+
+
+def series_from(pairs):
+    return TimeSeries("x", pairs)
+
+
+class TestComponentSpec:
+    def test_rejects_nonpositive_baseline(self):
+        with pytest.raises(ConfigurationError):
+            ComponentSpec("a", baseline_rate=0.0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ConfigurationError):
+            ComponentSpec("a", baseline_rate=1.0, weight=-1.0)
+
+
+class TestCompositeProgress:
+    def test_needs_components(self):
+        with pytest.raises(ConfigurationError):
+            CompositeProgress([])
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ConfigurationError):
+            CompositeProgress([ComponentSpec("a", 1.0, weight=0.0)])
+
+    def test_normalize(self):
+        cp = CompositeProgress([ComponentSpec("a", baseline_rate=40.0)])
+        assert cp.normalize("a", 20.0) == pytest.approx(0.5)
+
+    def test_normalize_unknown_component(self):
+        cp = CompositeProgress([ComponentSpec("a", 1.0)])
+        with pytest.raises(ConfigurationError):
+            cp.normalize("b", 1.0)
+
+    def test_combine_equal_weights(self):
+        cp = CompositeProgress([
+            ComponentSpec("fast", baseline_rate=40.0),
+            ComponentSpec("slow", baseline_rate=0.2),
+        ])
+        fast = series_from([(1.0, 40.0), (2.0, 40.0), (3.0, 20.0)])
+        slow = series_from([(1.0, 0.2), (2.0, 0.2), (3.0, 0.1)])
+        combined = cp.combine({"fast": fast, "slow": slow})
+        # both at baseline -> 1.0; both at half -> 0.5
+        assert combined.values[0] == pytest.approx(1.0)
+        assert combined.values[-1] == pytest.approx(0.5)
+
+    def test_combine_weights_bias(self):
+        cp = CompositeProgress([
+            ComponentSpec("a", baseline_rate=10.0, weight=3.0),
+            ComponentSpec("b", baseline_rate=10.0, weight=1.0),
+        ])
+        a = series_from([(1.0, 10.0), (2.0, 10.0)])
+        b = series_from([(1.0, 0.0001), (2.0, 5.0)])  # b at half speed later
+        combined = cp.combine({"a": a, "b": b})
+        # last bin: (3*1.0 + 1*0.5)/4
+        assert combined.values[-1] == pytest.approx(0.875)
+
+    def test_silent_component_forward_fills(self):
+        cp = CompositeProgress([
+            ComponentSpec("fast", baseline_rate=10.0),
+            ComponentSpec("slow", baseline_rate=1.0),
+        ])
+        fast = series_from([(i + 1.0, 10.0) for i in range(9)])
+        slow = series_from([(1.0, 1.0)])   # reports once, then silence
+        combined = cp.combine({"fast": fast, "slow": slow})
+        # slow's last known normalized rate (1.0) persists
+        assert combined.values[-1] == pytest.approx(1.0)
+
+    def test_missing_series_raises(self):
+        cp = CompositeProgress([ComponentSpec("a", 1.0)])
+        with pytest.raises(ConfigurationError):
+            cp.combine({})

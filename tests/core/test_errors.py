@@ -1,0 +1,56 @@
+"""Unit tests for prediction-error analysis."""
+
+import pytest
+
+from repro.core.errors import ErrorSummary, percentage_error, summarize_errors
+from repro.exceptions import ModelError
+
+
+class TestPercentageError:
+    def test_overestimate_is_positive(self):
+        assert percentage_error(12.0, 10.0) == pytest.approx(20.0)
+
+    def test_underestimate_is_negative(self):
+        assert percentage_error(3.0, 10.0) == pytest.approx(-70.0)
+
+    def test_paper_example_250_percent(self):
+        # "overestimating the impact by 250% of the measured value"
+        assert percentage_error(3.5, 1.0) == pytest.approx(250.0)
+
+    def test_zero_measured_raises(self):
+        with pytest.raises(ModelError):
+            percentage_error(1.0, 0.0)
+
+    def test_negative_measured_uses_magnitude(self):
+        assert percentage_error(-1.0, -2.0) == pytest.approx(50.0)
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        s = summarize_errors([11.0, 8.0, 10.0], [10.0, 10.0, 10.0])
+        assert s.n_points == 3
+        assert s.mape == pytest.approx((10 + 20 + 0) / 3)
+        assert s.max_overestimate == pytest.approx(10.0)
+        assert s.max_underestimate == pytest.approx(-20.0)
+
+    def test_all_over(self):
+        s = summarize_errors([12.0], [10.0])
+        assert s.max_underestimate == 0.0
+
+    def test_within(self):
+        s = summarize_errors([11.0, 15.0], [10.0, 10.0])
+        assert s.within(10.0) == pytest.approx(0.5)
+        assert s.within(50.0) == 1.0
+
+    def test_within_rejects_negative(self):
+        s = summarize_errors([11.0], [10.0])
+        with pytest.raises(ModelError):
+            s.within(-1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            summarize_errors([], [])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ModelError):
+            summarize_errors([1.0], [1.0, 2.0])

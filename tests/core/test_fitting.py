@@ -1,0 +1,76 @@
+"""Unit tests for model fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_alpha, fit_beta_alpha
+from repro.core.model import PowerCapModel
+from repro.exceptions import FittingError
+
+
+def synth_observations(beta, alpha, r_max=100.0, p_coremax=150.0, n=8,
+                       noise=0.0, seed=0):
+    model = PowerCapModel(beta=beta, r_max=r_max, p_coremax=p_coremax,
+                          alpha=alpha)
+    caps = np.linspace(30.0, 140.0, n)
+    rng = np.random.default_rng(seed)
+    rates = np.array([
+        model.progress_at_core_power(c) * (1.0 + rng.normal(0, noise))
+        for c in caps
+    ])
+    return caps, rates
+
+
+class TestFitAlpha:
+    def test_recovers_true_alpha_noiseless(self):
+        caps, rates = synth_observations(beta=0.8, alpha=2.7)
+        fit = fit_alpha(caps, rates, beta=0.8, r_max=100.0, p_coremax=150.0)
+        assert fit.alpha == pytest.approx(2.7, abs=0.02)
+        assert fit.residual_rms < 1e-3
+
+    def test_recovers_alpha_with_noise(self):
+        caps, rates = synth_observations(beta=0.6, alpha=1.8, noise=0.01,
+                                         n=12)
+        fit = fit_alpha(caps, rates, beta=0.6, r_max=100.0, p_coremax=150.0)
+        assert fit.alpha == pytest.approx(1.8, abs=0.3)
+
+    def test_alpha_stays_in_bounds(self):
+        # data generated far outside the bounds still fits inside them
+        caps = np.array([50.0, 100.0])
+        rates = np.array([10.0, 90.0])
+        fit = fit_alpha(caps, rates, beta=1.0, r_max=100.0, p_coremax=150.0)
+        assert 1.0 <= fit.alpha <= 4.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(FittingError):
+            fit_alpha([50.0], [10.0], beta=1.0, r_max=100.0, p_coremax=150.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(FittingError):
+            fit_alpha([50.0, 60.0], [10.0], beta=1.0, r_max=100.0,
+                      p_coremax=150.0)
+
+    def test_rejects_nonpositive_caps(self):
+        with pytest.raises(FittingError):
+            fit_alpha([0.0, 60.0], [10.0, 20.0], beta=1.0, r_max=100.0,
+                      p_coremax=150.0)
+
+
+class TestFitBetaAlpha:
+    def test_recovers_both_noiseless(self):
+        caps, rates = synth_observations(beta=0.55, alpha=2.2, n=10)
+        fit = fit_beta_alpha(caps, rates, r_max=100.0, p_coremax=150.0)
+        assert fit.beta == pytest.approx(0.55, abs=0.03)
+        assert fit.alpha == pytest.approx(2.2, abs=0.15)
+
+    def test_needs_three_points(self):
+        with pytest.raises(FittingError):
+            fit_beta_alpha([50.0, 60.0], [10.0, 20.0], r_max=100.0,
+                           p_coremax=150.0)
+
+    def test_fit_quality_reported(self):
+        caps, rates = synth_observations(beta=0.7, alpha=2.0, noise=0.05,
+                                         n=10)
+        fit = fit_beta_alpha(caps, rates, r_max=100.0, p_coremax=150.0)
+        assert fit.n_points == 10
+        assert fit.residual_rms >= 0.0

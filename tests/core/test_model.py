@@ -1,0 +1,171 @@
+"""Unit and property tests for the Eq. 1-7 progress model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import PowerCapModel
+from repro.exceptions import ModelError
+
+
+def make_model(beta=0.8, r_max=100.0, p_coremax=150.0, alpha=2.0):
+    return PowerCapModel(beta=beta, r_max=r_max, p_coremax=p_coremax,
+                         alpha=alpha)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("beta", [-0.1, 1.1])
+    def test_rejects_bad_beta(self, beta):
+        with pytest.raises(ModelError):
+            make_model(beta=beta)
+
+    def test_rejects_nonpositive_rmax(self):
+        with pytest.raises(ModelError):
+            make_model(r_max=0.0)
+
+    def test_rejects_nonpositive_pcoremax(self):
+        with pytest.raises(ModelError):
+            make_model(p_coremax=-1.0)
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ModelError):
+            make_model(alpha=0.5)
+
+
+class TestEq1:
+    def test_identity_at_fmax(self):
+        assert make_model().time_ratio(3.3e9, 3.3e9) == pytest.approx(1.0)
+
+    def test_compute_bound_inverse_scaling(self):
+        m = make_model(beta=1.0)
+        assert m.time_ratio(1.65e9, 3.3e9) == pytest.approx(2.0)
+
+    def test_memory_bound_flat(self):
+        m = make_model(beta=0.0)
+        assert m.time_ratio(1.2e9, 3.3e9) == pytest.approx(1.0)
+
+    def test_paper_values(self):
+        # beta=0.52 at 1600 vs 3300 MHz: ratio = 0.52*(3.3/1.6-1)+1
+        m = make_model(beta=0.52)
+        expected = 0.52 * (3.3 / 1.6 - 1.0) + 1.0
+        assert m.time_ratio(1.6e9, 3.3e9) == pytest.approx(expected)
+
+    def test_rejects_f_above_fmax(self):
+        with pytest.raises(ModelError):
+            make_model().time_ratio(3.4e9, 3.3e9)
+
+
+class TestEq4Progress:
+    def test_uncapped_is_rmax(self):
+        m = make_model()
+        assert m.progress_at_core_power(150.0) == pytest.approx(100.0)
+
+    def test_above_pcoremax_clamps(self):
+        m = make_model()
+        assert m.progress_at_core_power(500.0) == pytest.approx(100.0)
+
+    def test_monotone_decreasing_with_tighter_cap(self):
+        m = make_model()
+        caps = [140.0, 120.0, 90.0, 60.0, 30.0]
+        rates = [m.progress_at_core_power(c) for c in caps]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_alpha2_half_power(self):
+        """At half core power and beta=1, f ratio = sqrt(1/2) so progress
+        ratio = sqrt(1/2)."""
+        m = make_model(beta=1.0)
+        r = m.progress_at_core_power(75.0)
+        assert r / m.r_max == pytest.approx((0.5) ** 0.5)
+
+    def test_memory_bound_insensitive(self):
+        m = make_model(beta=0.0)
+        assert m.progress_at_core_power(10.0) == pytest.approx(m.r_max)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ModelError):
+            make_model().progress_at_core_power(0.0)
+
+
+class TestEq5Eq7:
+    def test_effective_core_cap(self):
+        m = make_model(beta=0.4)
+        assert m.effective_core_cap(100.0) == pytest.approx(40.0)
+
+    def test_delta_zero_when_cap_does_not_bind(self):
+        m = make_model()
+        assert m.delta_progress(200.0) == 0.0
+
+    def test_delta_positive_when_binding(self):
+        m = make_model()
+        assert m.delta_progress(75.0) > 0.0
+
+    def test_delta_composition(self):
+        m = make_model(beta=0.5)
+        assert m.delta_progress_at_package_cap(100.0) == pytest.approx(
+            m.delta_progress(50.0)
+        )
+
+    def test_paper_eq7_consistency(self):
+        """Eq. 7 equals r_max - Eq. 4 at the same core cap."""
+        m = make_model(beta=0.7, alpha=2.0)
+        cap = 60.0
+        assert m.delta_progress(cap) == pytest.approx(
+            m.r_max - m.progress_at_core_power(cap)
+        )
+
+
+class TestInverse:
+    def test_roundtrip(self):
+        m = make_model(beta=0.8)
+        p = m.core_power_for_progress(70.0)
+        assert m.progress_at_core_power(p) == pytest.approx(70.0)
+
+    def test_full_rate_needs_full_power(self):
+        m = make_model()
+        assert m.core_power_for_progress(m.r_max) == pytest.approx(
+            m.p_coremax
+        )
+
+    def test_package_cap_inverse(self):
+        m = make_model(beta=0.5)
+        cap = m.package_cap_for_progress(80.0)
+        assert m.delta_progress_at_package_cap(cap) == pytest.approx(
+            m.r_max - 80.0
+        )
+
+    def test_rejects_rate_above_rmax(self):
+        with pytest.raises(ModelError):
+            make_model().core_power_for_progress(101.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ModelError):
+            make_model().core_power_for_progress(0.0)
+
+    def test_beta_zero_has_no_inverse(self):
+        with pytest.raises(ModelError):
+            make_model(beta=0.0).core_power_for_progress(50.0)
+
+
+@given(
+    beta=st.floats(min_value=0.05, max_value=1.0),
+    alpha=st.floats(min_value=1.0, max_value=4.0),
+    frac=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_progress_bounded_and_monotone(beta, alpha, frac):
+    m = PowerCapModel(beta=beta, r_max=50.0, p_coremax=120.0, alpha=alpha)
+    cap = 120.0 * frac
+    r = m.progress_at_core_power(cap)
+    assert 0.0 < r <= 50.0 + 1e-9
+    # delta + progress == r_max exactly
+    assert m.delta_progress(cap) + r == pytest.approx(50.0)
+
+
+@given(
+    beta=st.floats(min_value=0.1, max_value=1.0),
+    alpha=st.floats(min_value=1.0, max_value=4.0),
+    target=st.floats(min_value=1.0, max_value=49.9),
+)
+def test_inverse_roundtrip_property(beta, alpha, target):
+    m = PowerCapModel(beta=beta, r_max=50.0, p_coremax=120.0, alpha=alpha)
+    p = m.core_power_for_progress(target)
+    assert m.progress_at_core_power(p) == pytest.approx(target, rel=1e-6)

@@ -1,0 +1,79 @@
+"""Unit tests for trace characterization and the measurement protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.progress import (
+    TraceClass,
+    classify_trace,
+    steady_rate,
+)
+from repro.exceptions import ConfigurationError
+from repro.telemetry.timeseries import TimeSeries
+
+
+def series_from(values, t0=0.0):
+    return TimeSeries("x", [(t0 + i, v) for i, v in enumerate(values)])
+
+
+class TestSteadyRate:
+    def test_trims_warmup(self):
+        ts = series_from([1.0, 1.0, 10.0, 10.0, 10.0])
+        assert steady_rate(ts, warmup=2.0) == pytest.approx(10.0)
+
+    def test_trims_cooldown(self):
+        ts = series_from([10.0, 10.0, 10.0, 1.0])
+        assert steady_rate(ts, warmup=0.0, cooldown=1.5) == pytest.approx(10.0)
+
+    def test_ignores_zeros_by_default(self):
+        ts = series_from([10.0, 0.0, 10.0, 0.0, 10.0])
+        assert steady_rate(ts, warmup=0.0) == pytest.approx(10.0)
+
+    def test_keeps_zeros_when_asked(self):
+        ts = series_from([10.0, 0.0, 10.0, 0.0])
+        assert steady_rate(ts, warmup=0.0, ignore_zeros=False) == pytest.approx(5.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            steady_rate(TimeSeries("x"))
+
+    def test_overtrimmed_raises(self):
+        ts = series_from([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            steady_rate(ts, warmup=10.0)
+
+
+class TestClassifyTrace:
+    def test_consistent(self):
+        rng = np.random.default_rng(0)
+        ts = series_from(100.0 + rng.normal(0, 0.5, size=40))
+        c = classify_trace(ts)
+        assert c.trace_class == TraceClass.CONSISTENT
+        assert c.n_segments == 1
+
+    def test_fluctuating(self):
+        # AMG-style bucket quantization: oscillates between 2 and 3
+        ts = series_from([3.0, 3.0, 2.0, 3.0, 3.0, 3.0, 2.0, 3.0, 2.0,
+                          3.0, 3.0, 2.0, 3.0, 3.0])
+        c = classify_trace(ts)
+        assert c.trace_class == TraceClass.FLUCTUATING
+
+    def test_phased(self):
+        ts = series_from([25.0] * 10 + [20.0] * 10 + [16.0] * 10)
+        c = classify_trace(ts)
+        assert c.trace_class == TraceClass.PHASED
+        assert c.n_segments == 3
+        assert c.segment_rates[0] > c.segment_rates[1] > c.segment_rates[2]
+
+    def test_zeros_excluded_from_classification(self):
+        ts = series_from([10.0, 0.0, 10.0, 10.0, 0.0, 10.0, 10.0, 10.0])
+        c = classify_trace(ts)
+        assert c.trace_class == TraceClass.CONSISTENT
+
+    def test_short_series_raises(self):
+        with pytest.raises(ConfigurationError):
+            classify_trace(series_from([1.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            classify_trace(TimeSeries("x"))

@@ -1,0 +1,79 @@
+"""Unit tests for the survey data and rule-based categorization."""
+
+import pytest
+
+from repro.core.categories import Category, OnlineMetric, categorize
+from repro.core.survey import (
+    QUESTIONS,
+    RESPONSES,
+    SurveyResponse,
+    category_label,
+    get_response,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestQuestions:
+    def test_eight_questions(self):
+        assert len(QUESTIONS) == 8
+
+    def test_first_question_is_fom(self):
+        assert "FOM" in QUESTIONS[0]
+
+
+class TestResponses:
+    def test_all_nine_paper_apps_present(self):
+        assert set(RESPONSES) == {
+            "qmcpack", "openmc", "amg", "lammps", "candle", "stream",
+            "urban", "nek5000", "hacc",
+        }
+
+    def test_answers_tuple_matches_question_count(self):
+        for r in RESPONSES.values():
+            assert len(r.answers()) == 8
+
+    def test_get_response_unknown_app(self):
+        with pytest.raises(ConfigurationError):
+            get_response("doom")
+
+
+class TestCategorize:
+    def test_category_1_rule(self):
+        r = SurveyResponse("x", True, True, True, True, True, True, False,
+                           "compute")
+        assert categorize(r) is Category.CATEGORY_1
+
+    def test_category_2_rule(self):
+        r = SurveyResponse("x", False, True, False, False, False, True,
+                           False, "compute")
+        assert categorize(r) is Category.CATEGORY_2
+
+    def test_category_3_rule(self):
+        r = SurveyResponse("x", False, False, False, False, False, False,
+                           True, "compute")
+        assert categorize(r) is Category.CATEGORY_3
+
+    def test_describe_is_informative(self):
+        for cat in Category:
+            assert len(cat.describe()) > 10
+
+
+class TestTableV:
+    """The derived labels must reproduce the paper's Table V."""
+
+    @pytest.mark.parametrize("app,expected", [
+        ("qmcpack", "1"), ("openmc", "1"), ("amg", "2"), ("lammps", "1"),
+        ("candle", "1/2"), ("stream", "1"), ("urban", "3"),
+        ("nek5000", "3"), ("hacc", "3"),
+    ])
+    def test_labels(self, app, expected):
+        assert category_label(app) == expected
+
+
+class TestOnlineMetric:
+    def test_str(self):
+        m = OnlineMetric("Blocks per second", "blocks/s")
+        assert str(m) == "Blocks per second"
+
+    def test_default_per_iteration(self):
+        assert OnlineMetric("x", "y").per_iteration == 1.0

@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro.experiments`` entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import _EXPERIMENTS, main
+
+
+class TestCli:
+    def test_every_table_and_figure_registered(self):
+        expected = {f"table{i}" for i in range(1, 7)} \
+            | {f"figure{i}" for i in range(1, 6)} \
+            | {"ext-energy", "ext-techniques", "ext-intrusiveness"}
+        assert set(_EXPERIMENTS) == expected
+
+    def test_cheap_experiment_prints_render(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "regenerated in" in out
+
+    def test_table5_derivation_through_cli(self, capsys):
+        main(["table5"])
+        assert "matches the paper's Table V" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_quick_flag_accepted(self, capsys):
+        assert main(["table1", "--quick", "--seed", "3"]) == 0
+        assert "MIPS" in capsys.readouterr().out

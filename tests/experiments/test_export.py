@@ -1,0 +1,75 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.core.errors import summarize_errors
+from repro.exceptions import ConfigurationError
+from repro.experiments.export import (
+    figure4_to_csv,
+    figure5_to_csv,
+    series_to_csv,
+)
+from repro.experiments.figure4 import Figure4Panel, Figure4Result
+from repro.experiments.figure5 import Figure5Result, TechniquePoint
+from repro.experiments.harness import DeltaMeasurement
+from repro.telemetry.timeseries import TimeSeries
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+class TestSeriesToCsv:
+    def test_roundtrip(self, tmp_path):
+        ts = TimeSeries("x", [(1.0, 2.5), (2.0, 3.5)])
+        path = series_to_csv(ts, tmp_path / "s.csv", value_name="watts")
+        rows = read_csv(path)
+        assert rows[0] == ["time_s", "watts"]
+        assert rows[1] == ["1.0", "2.5"]
+        assert len(rows) == 3
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            series_to_csv(TimeSeries("x"), tmp_path / "s.csv")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        ts = TimeSeries("x", [(0.0, 1.0)])
+        path = series_to_csv(ts, tmp_path / "a" / "b" / "s.csv")
+        assert read_csv(path)
+
+
+class TestFigureCsv:
+    def _panel(self):
+        measurements = (
+            DeltaMeasurement(p_cap=100.0, p_corecap=80.0, delta_mean=5.0,
+                             delta_std=0.5, r_uncapped=50.0, repeats=3),
+            DeltaMeasurement(p_cap=80.0, p_corecap=64.0, delta_mean=9.0,
+                             delta_std=0.6, r_uncapped=50.0, repeats=3),
+        )
+        return Figure4Panel(
+            app="toy", beta=0.8, alpha=2.0, r_max=50.0, p_coremax=120.0,
+            measurements=measurements, predictions=(5.5, 8.7),
+            errors=summarize_errors([5.5, 8.7], [5.0, 9.0]),
+        )
+
+    def test_figure4_long_format(self, tmp_path):
+        result = Figure4Result(panels=(self._panel(),))
+        rows = read_csv(figure4_to_csv(result, tmp_path / "f4.csv"))
+        assert rows[0][0] == "app"
+        assert len(rows) == 3
+        assert rows[1][0] == "toy"
+        assert float(rows[1][7]) == 5.0    # delta_measured
+        assert float(rows[2][10]) == 8.7   # delta_predicted
+
+    def test_figure5_long_format(self, tmp_path):
+        result = Figure5Result(
+            dvfs=(TechniquePoint("dvfs", 3.3e9, 150.0, 16.0),),
+            rapl=(TechniquePoint("rapl", 100.0, 98.0, 14.0),),
+        )
+        rows = read_csv(figure5_to_csv(result, tmp_path / "f5.csv"))
+        assert len(rows) == 3
+        assert rows[1][0] == "dvfs"
+        assert rows[2][0] == "rapl"

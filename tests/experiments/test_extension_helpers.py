@@ -1,0 +1,67 @@
+"""Unit tests for the extension experiments' pure result types."""
+
+import pytest
+
+from repro.experiments.extension_energy import EnergyPoint, EnergyResult
+from repro.experiments.extension_techniques import TechniquesResult
+from repro.experiments.figure5 import TechniquePoint
+
+
+class TestEnergyResult:
+    def _result(self):
+        points = (
+            EnergyPoint(cap=None, seconds=10.0, joules=2000.0, edp=20000.0),
+            EnergyPoint(cap=100.0, seconds=12.0, joules=1500.0, edp=18000.0),
+            EnergyPoint(cap=70.0, seconds=16.0, joules=1400.0, edp=22400.0),
+        )
+        return EnergyResult(points={"app": points})
+
+    def test_min_energy_cap(self):
+        assert self._result().min_energy_cap("app") == 70.0
+
+    def test_energy_saving(self):
+        assert self._result().energy_saving_at_min("app") == pytest.approx(
+            1 - 1400.0 / 2000.0
+        )
+
+    def test_slowdown_at_min_energy(self):
+        assert self._result().slowdown_at_min_energy("app") == pytest.approx(
+            0.6
+        )
+
+    def test_uncapped_can_be_min(self):
+        points = (
+            EnergyPoint(cap=None, seconds=10.0, joules=1000.0, edp=1.0),
+            EnergyPoint(cap=100.0, seconds=20.0, joules=2000.0, edp=2.0),
+        )
+        r = EnergyResult(points={"a": points})
+        assert r.min_energy_cap("a") is None
+        assert r.energy_saving_at_min("a") == pytest.approx(0.0)
+
+
+class TestTechniquesResult:
+    def _result(self):
+        def pts(tech, triples):
+            return tuple(TechniquePoint(tech, s, p, r)
+                         for s, p, r in triples)
+
+        return TechniquesResult(curves={
+            "app": {
+                "dvfs": pts("dvfs", [(3e9, 150.0, 10.0), (1e9, 50.0, 5.0)]),
+                "ddcm": pts("ddcm", [(1.0, 160.0, 10.0), (0.5, 60.0, 4.0)]),
+                "rapl": pts("rapl", [(150.0, 140.0, 9.5), (50.0, 45.0, 4.5)]),
+            }
+        })
+
+    def test_progress_interpolation(self):
+        r = self._result()
+        assert r.progress_at("app", "dvfs", 100.0) == pytest.approx(7.5)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            self._result().progress_at("app", "dvfs", 10.0)
+
+    def test_common_power_range(self):
+        lo, hi = self._result().common_power_range("app")
+        assert lo == pytest.approx(60.0)   # ddcm's floor is highest
+        assert hi == pytest.approx(140.0)  # rapl's ceiling is lowest

@@ -1,0 +1,100 @@
+"""Unit tests for the figure modules' pure helpers (no simulation)."""
+
+import math
+
+import pytest
+
+from repro.experiments.figure2 import Figure2Result
+from repro.experiments.figure3 import Figure3Cell, Figure3Result
+from repro.experiments.figure5 import Figure5Result, TechniquePoint
+from repro.telemetry.timeseries import TimeSeries
+
+
+def series(pairs):
+    return TimeSeries("x", pairs)
+
+
+class TestFigure2Result:
+    def test_compute_bound_always_faster_true(self):
+        r = Figure2Result(caps=(100.0, 80.0),
+                          frequency_ghz={"lammps": (3.0, 2.5),
+                                         "stream": (2.8, 2.5)})
+        assert r.compute_bound_always_faster()
+
+    def test_compute_bound_always_faster_false(self):
+        r = Figure2Result(caps=(100.0,),
+                          frequency_ghz={"lammps": (2.0,),
+                                         "stream": (2.8,)})
+        assert not r.compute_bound_always_faster()
+
+
+class TestFigure3Cell:
+    def _cell(self, cap_pairs, prog_pairs):
+        return Figure3Cell(app="a", scheme="s", cap=series(cap_pairs),
+                           progress=series(prog_pairs))
+
+    def test_perfect_correlation(self):
+        cap = [(float(i), 100.0 + i) for i in range(30)]
+        prog = [(float(i), 10.0 + 0.1 * i) for i in range(30)]
+        cell = self._cell(cap, prog)
+        assert cell.cap_progress_correlation() == pytest.approx(1.0, abs=0.01)
+
+    def test_anticorrelation(self):
+        cap = [(float(i), 100.0 + i) for i in range(30)]
+        prog = [(float(i), 10.0 - 0.1 * i) for i in range(30)]
+        cell = self._cell(cap, prog)
+        assert cell.cap_progress_correlation() < -0.95
+
+    def test_too_few_samples_nan(self):
+        cell = self._cell([(0.0, 1.0)], [(0.0, 1.0)])
+        assert math.isnan(cell.cap_progress_correlation())
+
+    def test_constant_series_nan(self):
+        cap = [(float(i), 100.0) for i in range(30)]
+        prog = [(float(i), 5.0) for i in range(30)]
+        assert math.isnan(self._cell(cap, prog).cap_progress_correlation())
+
+    def test_zero_glitch_detection(self):
+        cell = self._cell([(0.0, 1.0)], [(0.0, 5.0), (1.0, 0.0)])
+        assert cell.has_zero_glitches()
+        cell2 = self._cell([(0.0, 1.0)], [(0.0, 5.0)])
+        assert not cell2.has_zero_glitches()
+
+    def test_result_cell_lookup(self):
+        cell = self._cell([(0.0, 1.0)], [(0.0, 1.0)])
+        result = Figure3Result(cells=(cell,))
+        assert result.cell("a", "s") is cell
+        with pytest.raises(KeyError):
+            result.cell("a", "other")
+
+
+class TestFigure5Result:
+    def _result(self):
+        dvfs = tuple(
+            TechniquePoint("dvfs", s, p, r)
+            for s, p, r in [(3.3e9, 150.0, 16.0), (2.0e9, 80.0, 13.0),
+                            (1.2e9, 50.0, 10.0)]
+        )
+        rapl = tuple(
+            TechniquePoint("rapl", s, p, r)
+            for s, p, r in [(150.0, 145.0, 15.8), (80.0, 78.0, 12.0),
+                            (45.0, 44.0, 6.0)]
+        )
+        return Figure5Result(dvfs=dvfs, rapl=rapl)
+
+    def test_overlap_range(self):
+        lo, hi = self._result().overlap_range()
+        assert lo == pytest.approx(50.0)
+        assert hi == pytest.approx(145.0)
+
+    def test_advantage_interpolates(self):
+        r = self._result()
+        adv = r.dvfs_advantage_at(80.0)
+        # dvfs at 80 W is exactly 13.0; rapl interpolates between
+        # (78 W, 12.0) and (145 W, 15.8)
+        rapl_at_80 = 12.0 + (15.8 - 12.0) * (80.0 - 78.0) / (145.0 - 78.0)
+        assert adv == pytest.approx(13.0 - rapl_at_80, abs=1e-9)
+
+    def test_advantage_outside_range_raises(self):
+        with pytest.raises(ValueError):
+            self._result().dvfs_advantage_at(10.0)

@@ -1,0 +1,156 @@
+"""Integration tests for the figure experiments (Figures 1-5).
+
+Sizes are reduced relative to the benchmark defaults; the assertions
+encode the *shape* criteria from DESIGN.md.
+"""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.experiments import figure1, figure2, figure3, figure4, figure5
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure1.run(duration=30.0, seed=0)
+
+    def test_lammps_consistent(self, result):
+        assert result.lammps_class.trace_class == "consistent"
+
+    def test_amg_fluctuating(self, result):
+        assert result.amg_class.trace_class == "fluctuating"
+        assert result.amg_class.cv > 0.05
+
+    def test_qmcpack_phased_with_descending_rates(self, result):
+        assert result.qmcpack_class.trace_class == "phased"
+        rates = result.qmcpack_class.segment_rates
+        assert len(rates) == 3
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_render(self, result):
+        text = figure1.render(result)
+        assert "LAMMPS" in text and "class=phased" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2.run(caps=(140.0, 110.0, 85.0), duration=8.0, seed=0)
+
+    def test_application_aware_frequency_split(self, result):
+        assert result.compute_bound_always_faster()
+
+    def test_frequency_decreases_with_cap(self, result):
+        for app in ("lammps", "stream"):
+            freqs = result.frequency_ghz[app]
+            assert list(freqs) == sorted(freqs, reverse=True)
+
+    def test_render(self, result):
+        assert "yes" in figure2.render(result)
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3.run(duration=45.0, seed=0)
+
+    @pytest.mark.parametrize("app", ["lammps", "qmcpack"])
+    @pytest.mark.parametrize("scheme", ["linear-decrease", "step-function",
+                                        "jagged-edge"])
+    def test_progress_follows_cap(self, result, app, scheme):
+        cell = result.cell(app, scheme)
+        assert cell.cap_progress_correlation() > 0.7
+
+    def test_openmc_follows_cap_coarsely(self, result):
+        cell = result.cell("openmc", "step-function")
+        assert cell.cap_progress_correlation(smooth=8.0) > 0.4
+
+    def test_openmc_zero_glitches_present(self, result):
+        assert any(c.has_zero_glitches() for c in result.cells
+                   if c.app == "openmc")
+
+    def test_cat1_apps_have_no_glitches(self, result):
+        assert not any(c.has_zero_glitches() for c in result.cells
+                       if c.app == "lammps")
+
+    def test_render(self, result):
+        text = figure3.render(result)
+        assert "jagged-edge" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4.run(
+            apps=("lammps", "stream"),
+            repeats=2, seed=0,
+            baseline_window=10.0, uncapped_window=8.0,
+            capped_window=10.0, warmup=2.5,
+        )
+
+    def test_deltas_grow_with_tighter_caps(self, result):
+        for panel in result.panels:
+            deltas = [m.delta_mean for m in panel.measurements]
+            # tighter cap (later in sweep) => larger measured impact
+            assert deltas[-1] > deltas[0]
+
+    def test_lammps_midrange_within_tens_of_percent(self, result):
+        panel = result.panel("lammps")
+        mid = panel.errors.per_point[1:-1]
+        assert all(abs(e) < 40.0 for e in mid)
+
+    def test_stream_model_underestimates(self, result):
+        """Paper Fig. 4d: the DVFS-only model underestimates RAPL's
+        impact on the memory-bound code."""
+        panel = result.panel("stream")
+        assert panel.errors.max_underestimate < -25.0
+        assert all(e <= 5.0 for e in panel.errors.per_point)
+
+    def test_model_inputs_recorded(self, result):
+        for panel in result.panels:
+            assert panel.r_max > 0
+            assert panel.p_coremax > 0
+            assert panel.alpha == 2.0
+
+    def test_render(self, result):
+        text = figure4.render(result)
+        assert "P_corecap" in text and "MAPE" in text
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure5.run(
+            freqs=(3.3e9, 2.5e9, 1.9e9, 1.4e9, 1.2e9),
+            caps=(140.0, 100.0, 75.0, 55.0, 45.0),
+            duration=8.0, warmup=3.0, seed=0,
+        )
+
+    def test_dvfs_beats_rapl_in_overlap(self, result):
+        lo, hi = result.overlap_range()
+        for power in (lo + 0.25 * (hi - lo), (lo + hi) / 2,
+                      lo + 0.75 * (hi - lo)):
+            assert result.dvfs_advantage_at(power) > -0.2
+
+    def test_dvfs_advantage_grows_at_low_power(self, result):
+        lo, hi = result.overlap_range()
+        low_adv = result.dvfs_advantage_at(lo + 0.1 * (hi - lo))
+        high_adv = result.dvfs_advantage_at(lo + 0.9 * (hi - lo))
+        assert low_adv > high_adv
+
+    def test_rapl_reaches_lower_power_than_dvfs(self, result):
+        """DVFS bottoms out at the ladder floor; RAPL can cap below it."""
+        assert (min(p.power for p in result.rapl)
+                < min(p.power for p in result.dvfs))
+
+    def test_progress_monotone_in_power(self, result):
+        for curve in (result.dvfs, result.rapl):
+            pts = sorted(curve, key=lambda p: p.power)
+            rates = [p.progress for p in pts]
+            assert rates == sorted(rates)
+
+    def test_render(self, result):
+        text = figure5.render(result)
+        assert "DVFS" in text and "RAPL" in text

@@ -1,0 +1,117 @@
+"""Integration tests for the Testbed harness."""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import Testbed
+from repro.nrm.schemes import FixedCapSchedule
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return Testbed(seed=7)
+
+
+class TestRun:
+    def test_run_to_completion(self, tb):
+        r = tb.run("lammps", app_kwargs={"n_steps": 40, "n_workers": 8})
+        assert r.app_name == "lammps"
+        # 40 steps at 20 steps/s (nominal) ... turbo can shave up to
+        # f_turbo/f_nominal off (8 busy cores leave package headroom)
+        assert 2.0 * 3.3 / 3.7 * 0.98 <= r.duration <= 2.0 * 1.02
+        assert not r.progress.is_empty()
+        assert r.pkg_energy > 0.0
+
+    def test_run_bounded_by_duration(self, tb):
+        r = tb.run("lammps", duration=3.0,
+                   app_kwargs={"n_steps": 10_000, "n_workers": 8})
+        assert r.duration == pytest.approx(3.0)
+
+    def test_prebuilt_app_accepted(self, tb):
+        from repro.apps import build
+
+        app = build("stream", n_iterations=30, n_workers=8)
+        r = tb.run(app)
+        assert r.app_name == "stream"
+
+    def test_power_and_cap_series_collected(self, tb):
+        r = tb.run("lammps", duration=4.0,
+                   schedule=FixedCapSchedule(100.0),
+                   app_kwargs={"n_steps": 10_000})
+        assert len(r.power) >= 3
+        assert r.cap.values.max() == pytest.approx(100.0)
+        # cap binds: settled power below the cap plus tolerance
+        assert r.power.values[-1] <= 105.0
+
+    def test_dvfs_pin(self, tb):
+        r = tb.run("lammps", duration=2.0, dvfs_freq=1.6e9,
+                   app_kwargs={"n_steps": 10_000})
+        assert r.frequency.values.max() <= 1.6e9
+
+    def test_counters_and_mips(self, tb):
+        r = tb.run("lammps", app_kwargs={"n_steps": 20, "n_workers": 4})
+        assert r.mips() > 0.0
+        assert r.mpo() > 0.0
+
+    def test_imbalance_monitors_both_definitions(self, tb):
+        r = tb.run("imbalance",
+                   app_kwargs={"equal": True, "n_iterations": 3,
+                               "n_workers": 4})
+        assert "progress/imbalance/iterations" in r.topics
+        assert "progress/imbalance/work_units" in r.topics
+
+    def test_urban_monitors_components(self, tb):
+        r = tb.run("urban", duration=6.0,
+                   app_kwargs={"duration_steps": 2, "n_workers": 4})
+        assert set(r.topics) == {"progress/urban/nek",
+                                 "progress/urban/eplus"}
+
+    def test_steady_progress_window(self, tb):
+        r = tb.run("stream", duration=6.0,
+                   app_kwargs={"n_iterations": 10_000, "n_workers": 8})
+        rate = r.steady_progress(2.0, 6.01)
+        assert rate > 0.0
+
+    def test_steady_progress_empty_window_raises(self, tb):
+        r = tb.run("lammps", app_kwargs={"n_steps": 20, "n_workers": 4})
+        with pytest.raises(ConfigurationError):
+            r.steady_progress(500.0, 600.0)
+
+
+class TestCharacterize:
+    def test_beta_and_mpo_for_stream(self, tb):
+        c = tb.characterize("stream",
+                            app_kwargs={"n_iterations": 60})
+        assert c.beta == pytest.approx(0.37, abs=0.03)
+        assert c.mpo == pytest.approx(50.9e-3, rel=0.1)
+        assert c.t_low > c.t_high
+
+    def test_beta_for_compute_bound(self, tb):
+        c = tb.characterize("lammps", app_kwargs={"n_steps": 60})
+        assert c.beta >= 0.97
+
+
+class TestDeltaProtocol:
+    def test_capping_reduces_progress(self, tb):
+        m = tb.measure_delta_progress(
+            "lammps", 90.0, beta=0.99, repeats=2,
+            uncapped_window=6.0, capped_window=8.0, warmup=2.0,
+            app_kwargs={"n_steps": 100_000},
+        )
+        assert m.delta_mean > 0.0
+        assert m.r_uncapped > 0.0
+        assert m.p_corecap == pytest.approx(0.99 * 90.0)
+
+    def test_nonbinding_cap_changes_little(self, tb):
+        m = tb.measure_delta_progress(
+            "lammps", 200.0, beta=0.99, repeats=1,
+            uncapped_window=6.0, capped_window=6.0, warmup=2.0,
+            app_kwargs={"n_steps": 100_000},
+        )
+        assert abs(m.delta_mean) < 0.05 * m.r_uncapped
+
+    def test_repeats_validation(self, tb):
+        with pytest.raises(ConfigurationError):
+            tb.measure_delta_progress("lammps", 90.0, beta=1.0, repeats=0)

@@ -1,0 +1,62 @@
+"""Tests for run-telemetry JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import Testbed
+from repro.experiments.persistence import LoadedRun, load_run, save_run
+from repro.nrm.schemes import FixedCapSchedule
+
+
+@pytest.fixture(scope="module")
+def result():
+    tb = Testbed(seed=9)
+    return tb.run("lammps", duration=4.0, schedule=FixedCapSchedule(110.0),
+                  app_kwargs={"n_steps": 10_000, "n_workers": 8})
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, result, tmp_path):
+        path = save_run(result, tmp_path / "run.json")
+        loaded = load_run(path)
+        assert loaded.app_name == "lammps"
+        assert loaded.seed == result.seed
+        assert loaded.duration == pytest.approx(result.duration)
+        assert loaded.pkg_energy == pytest.approx(result.pkg_energy)
+
+    def test_series_roundtrip_exact(self, result, tmp_path):
+        loaded = load_run(save_run(result, tmp_path / "run.json"))
+        assert list(loaded.progress) == list(result.progress)
+        assert list(loaded.power) == list(result.power)
+        assert list(loaded.cap) == list(result.cap)
+
+    def test_topics_roundtrip(self, result, tmp_path):
+        loaded = load_run(save_run(result, tmp_path / "run.json"))
+        assert set(loaded.topics) == set(result.topics)
+
+    def test_counter_summaries_preserved(self, result, tmp_path):
+        loaded = load_run(save_run(result, tmp_path / "run.json"))
+        assert loaded.mips == pytest.approx(result.mips())
+        assert loaded.mpo == pytest.approx(result.mpo())
+
+    def test_app_metadata(self, result, tmp_path):
+        loaded = load_run(save_run(result, tmp_path / "run.json"))
+        assert loaded.app_meta["n_workers"] == 8
+        assert loaded.app_meta["metric"] == "Atom timesteps per second"
+
+    def test_creates_parent_dirs(self, result, tmp_path):
+        path = save_run(result, tmp_path / "deep" / "run.json")
+        assert load_run(path).app_name == "lammps"
+
+    def test_file_is_plain_json(self, result, tmp_path):
+        path = save_run(result, tmp_path / "run.json")
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["format_version"] == 1
+        assert isinstance(payload["series"]["power"]["times"], list)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadedRun({"format_version": 99})

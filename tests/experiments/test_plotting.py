@@ -1,0 +1,76 @@
+"""Unit tests for the ASCII plotter."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.plotting import Series, ascii_plot
+
+
+class TestSeries:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            Series("s", (1.0, 2.0), (1.0,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Series("s", (), ())
+
+    def test_rejects_long_marker(self):
+        with pytest.raises(ConfigurationError):
+            Series("s", (1.0,), (1.0,), marker="xy")
+
+
+class TestAsciiPlot:
+    def _plot(self, **kwargs):
+        return ascii_plot(
+            [Series("up", (0.0, 1.0, 2.0), (0.0, 1.0, 2.0), marker="o")],
+            **kwargs,
+        )
+
+    def test_contains_markers_and_legend(self):
+        out = self._plot()
+        assert "o" in out
+        assert "o = up" in out
+
+    def test_axis_range_labels(self):
+        out = self._plot()
+        assert "0" in out and "2" in out
+
+    def test_title_and_labels(self):
+        out = self._plot(title="T", xlabel="X", ylabel="Y")
+        assert out.splitlines()[0] == "T"
+        assert "X" in out and "Y" in out
+
+    def test_corners_are_placed(self):
+        out = ascii_plot(
+            [Series("s", (0.0, 10.0), (0.0, 5.0), marker="#")],
+            width=20, height=6,
+        )
+        lines = out.splitlines()
+        plot_rows = [l for l in lines if "|" in l]
+        # lowest-left and highest-right markers present
+        assert plot_rows[0].rstrip().endswith("#")
+        assert plot_rows[-1].split("|")[1][0] == "#"
+
+    def test_multiple_series_overlay(self):
+        out = ascii_plot([
+            Series("a", (0.0, 1.0), (0.0, 0.0), marker="a"),
+            Series("b", (0.0, 1.0), (1.0, 1.0), marker="b"),
+        ])
+        assert "a" in out and "b" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot([Series("c", (1.0, 2.0), (5.0, 5.0))])
+        assert "o" in out
+
+    def test_rejects_nothing(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([])
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ConfigurationError):
+            self._plot(width=2, height=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([Series("s", (0.0,), (float("nan"),))])

@@ -1,0 +1,84 @@
+"""Unit tests for report rendering helpers."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.report import ascii_table, fmt, series_block, sparkline
+from repro.telemetry.timeseries import TimeSeries
+
+
+class TestFmt:
+    def test_bool_renders_yn(self):
+        assert fmt(True) == "Y"
+        assert fmt(False) == "N"
+
+    def test_small_float(self):
+        assert fmt(0.52) == "0.52"
+
+    def test_large_float_compact(self):
+        assert fmt(4.8e6) == "4.8e+06"
+
+    def test_zero(self):
+        assert fmt(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert fmt("compute") == "compute"
+
+    def test_int(self):
+        assert fmt(24) == "24"
+
+
+class TestAsciiTable:
+    def test_renders_header_rule_rows(self):
+        text = ascii_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_column_alignment(self):
+        text = ascii_table(["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("longer")
+
+    def test_empty_rows_ok(self):
+        text = ascii_table(["a"], [])
+        assert "a" in text
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table(["a", "b"], [[1]])
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline(TimeSeries("x")) == "(empty)"
+
+    def test_constant_series_flat(self):
+        ts = TimeSeries("x", [(i, 5.0) for i in range(10)])
+        line = sparkline(ts)
+        assert len(set(line)) == 1
+
+    def test_ramp_is_monotone(self):
+        ts = TimeSeries("x", [(i, float(i)) for i in range(8)])
+        line = sparkline(ts)
+        assert list(line) == sorted(line)
+
+    def test_width_cap(self):
+        ts = TimeSeries("x", [(i, float(i)) for i in range(500)])
+        assert len(sparkline(ts, width=40)) == 40
+
+
+class TestSeriesBlock:
+    def test_contains_stats(self):
+        ts = TimeSeries("x", [(0.0, 1.0), (1.0, 3.0)])
+        block = series_block("name", ts, "W")
+        assert "min=1" in block and "max=3" in block and "W" in block
+
+    def test_empty(self):
+        assert "no samples" in series_block("n", TimeSeries("x"))

@@ -1,0 +1,112 @@
+"""Integration tests for the table experiments (Tables I-VI)."""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.experiments import (
+    Testbed,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run(n_procs=24, n_iterations=5, seed=0)
+
+    def test_definition1_identical_for_both_variants(self, result):
+        d1 = [r.def1_iterations_per_s for r in result.rows]
+        assert d1[0] == pytest.approx(d1[1], rel=0.02)
+        assert d1[0] == pytest.approx(1.0, rel=0.05)
+
+    def test_definition2_halves_with_imbalance(self, result):
+        by = {r.routine: r for r in result.rows}
+        ratio = (by["do_equal_work"].def2_work_units_per_s
+                 / by["do_unequal_work"].def2_work_units_per_s)
+        # equal does 24e6 units/s, unequal 12.5e6: ratio 1.92
+        assert ratio == pytest.approx(1.92, rel=0.02)
+
+    def test_mips_explodes_with_imbalance(self, result):
+        """The paper's Table I point: ~20x MIPS inflation at identical
+        online performance."""
+        assert 15.0 < result.mips_inflation < 30.0
+
+    def test_equal_mips_in_paper_regime(self, result):
+        by = {r.routine: r for r in result.rows}
+        assert by["do_equal_work"].mips == pytest.approx(4115.5, rel=0.15)
+
+    def test_render(self, result):
+        text = table1.render(result)
+        assert "do_unequal_work" in text
+        assert "MIPS" in text
+
+
+class TestTable2:
+    def test_all_apps_described(self):
+        result = table2.run()
+        assert len(result.descriptions) == 9
+        assert any("Monte Carlo" in d for _, d in result.descriptions)
+
+    def test_render(self):
+        assert "LAMMPS" in table2.render(table2.run())
+
+
+class TestTable3:
+    def test_questions(self):
+        result = table3.run()
+        assert len(result.questions) == 8
+        assert "FOM" in table3.render(result)
+
+
+class TestTable4:
+    def test_consistency_check_passes(self):
+        result = table4.run(check_consistency=True)
+        assert len(result.responses) == 9
+
+    def test_render_has_yn_matrix(self):
+        text = table4.render(table4.run())
+        assert "QMCPACK" in text
+        assert "memory bandwidth" in text
+
+
+class TestTable5:
+    def test_derived_categorization_matches_paper(self):
+        result = table5.run()
+        assert result.matches_paper()
+
+    def test_render(self):
+        assert "matches" in table5.render(table5.run())
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table6.run(seed=0, scale=0.5)
+
+    def test_all_five_apps_characterized(self, result):
+        assert {c.app_name for c in result.characterizations} == set(
+            table6.PAPER
+        )
+
+    def test_beta_values_near_paper(self, result):
+        for c in result.characterizations:
+            paper_beta = table6.PAPER[c.app_name][0]
+            assert c.beta == pytest.approx(paper_beta, abs=0.05), c.app_name
+
+    def test_mpo_values_near_paper(self, result):
+        for c in result.characterizations:
+            paper_mpo = table6.PAPER[c.app_name][1]
+            assert c.mpo == pytest.approx(paper_mpo, rel=0.20), c.app_name
+
+    def test_beta_ordering_preserved(self, result):
+        assert result.beta_ordering_matches_paper()
+
+    def test_render(self, result):
+        text = table6.render(result)
+        assert "beta" in text and "MPO" in text

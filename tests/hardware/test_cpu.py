@@ -1,0 +1,56 @@
+"""Unit tests for per-core state."""
+
+import pytest
+
+from repro.hardware.config import skylake_config
+from repro.hardware.cpu import CoreMode, CoreState
+
+
+@pytest.fixture()
+def cfg():
+    return skylake_config()
+
+
+class TestEffectiveClock:
+    def test_full_duty(self):
+        core = CoreState(core_id=0, freq=3.3e9)
+        assert core.effective_clock() == pytest.approx(3.3e9)
+
+    def test_duty_scales_clock(self):
+        core = CoreState(core_id=0, freq=2.0e9, duty=0.25)
+        assert core.effective_clock() == pytest.approx(0.5e9)
+
+
+class TestActivity:
+    def test_busy_fully_computing(self, cfg):
+        core = CoreState(core_id=0, freq=3.3e9, mode=CoreMode.BUSY,
+                         compute_frac=1.0)
+        assert core.activity(cfg) == pytest.approx(1.0)
+
+    def test_busy_fully_stalled(self, cfg):
+        core = CoreState(core_id=0, freq=3.3e9, mode=CoreMode.BUSY,
+                         compute_frac=0.0)
+        assert core.activity(cfg) == pytest.approx(cfg.stall_activity)
+
+    def test_busy_blend_is_linear(self, cfg):
+        core = CoreState(core_id=0, freq=3.3e9, mode=CoreMode.BUSY,
+                         compute_frac=0.5)
+        expected = 0.5 + 0.5 * cfg.stall_activity
+        assert core.activity(cfg) == pytest.approx(expected)
+
+    def test_spin(self, cfg):
+        core = CoreState(core_id=0, freq=3.3e9, mode=CoreMode.SPIN)
+        assert core.activity(cfg) == pytest.approx(cfg.spin_activity)
+
+    @pytest.mark.parametrize("mode", [CoreMode.IDLE, CoreMode.SLEEP])
+    def test_idle_and_sleep(self, cfg, mode):
+        core = CoreState(core_id=0, freq=3.3e9, mode=mode)
+        assert core.activity(cfg) == pytest.approx(cfg.sleep_activity)
+
+    def test_activity_ordering(self, cfg):
+        """busy >= spin >= sleep — power ordering of the modes."""
+        busy = CoreState(core_id=0, freq=3.3e9, mode=CoreMode.BUSY,
+                         compute_frac=1.0)
+        spin = CoreState(core_id=0, freq=3.3e9, mode=CoreMode.SPIN)
+        sleep = CoreState(core_id=0, freq=3.3e9, mode=CoreMode.SLEEP)
+        assert busy.activity(cfg) >= spin.activity(cfg) >= sleep.activity(cfg)

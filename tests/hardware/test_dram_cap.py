@@ -1,0 +1,136 @@
+"""Tests for DRAM-domain power capping."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.hardware.msr import (
+    MSR_DRAM_POWER_LIMIT,
+    MSRDevice,
+    PowerLimit,
+    decode_power_limit,
+    encode_power_limit,
+)
+from repro.hardware.rapl import RaplFirmware
+from repro.runtime.engine import Engine, Work
+from repro.sysfs import PowercapFS
+
+MEMBOUND = dict(cycles=0.05e9, bytes=0.6e9)
+
+
+def run_dram_capped(limit, duration=5.0):
+    node = SimulatedNode()
+    engine = Engine(node)
+    fw = RaplFirmware(node, engine)
+    if limit is not None:
+        fw.set_dram_limit(limit)
+
+    def body():
+        while True:
+            yield Work(**MEMBOUND)
+
+    for c in range(24):
+        engine.spawn(body(), core_id=c)
+    engine.run(until=duration)
+    e0 = node.dram_energy
+    engine.run(until=duration + 3.0)
+    dram_avg = (node.dram_energy - e0) / 3.0
+    return node, fw, dram_avg
+
+
+class TestEnforcement:
+    def test_dram_power_respects_limit(self):
+        _, _, dram_avg = run_dram_capped(25.0)
+        assert dram_avg <= 25.0 * 1.02
+
+    def test_uncapped_dram_power_higher(self):
+        _, _, free = run_dram_capped(None)
+        _, _, capped = run_dram_capped(25.0)
+        assert free > capped
+
+    def test_throttle_is_exactly_the_power_algebra(self):
+        node, fw, _ = run_dram_capped(25.0)
+        cfg = node.cfg
+        expected_bw = (25.0 - cfg.dram_base) / cfg.dram_per_bw
+        assert node.dram_bw_cap == pytest.approx(expected_bw)
+        assert node.effective_mem_bandwidth <= expected_bw
+
+    def test_clear_limit_restores_bandwidth(self):
+        node, fw, _ = run_dram_capped(25.0)
+        fw.set_dram_limit(None)
+        assert node.dram_bw_cap is None
+        assert node.effective_mem_bandwidth == pytest.approx(
+            node.cfg.mem_bandwidth * node.uncore_scale
+        )
+
+    def test_limit_below_base_rejected(self):
+        node = SimulatedNode()
+        fw = RaplFirmware(node, Engine(node))
+        with pytest.raises(ConfigurationError):
+            fw.set_dram_limit(node.cfg.dram_base)
+
+    def test_dram_cap_slows_memory_bound_work(self):
+        node_f = SimulatedNode()
+        e_f = Engine(node_f)
+        RaplFirmware(node_f, e_f)
+        node_c = SimulatedNode()
+        e_c = Engine(node_c)
+        fw_c = RaplFirmware(node_c, e_c)
+        # 4 cores demand 48 GB/s; a 10 W DRAM limit admits only ~35 GB/s
+        fw_c.set_dram_limit(10.0)
+
+        def body():
+            yield Work(cycles=0.0, bytes=100e9)
+
+        for c in range(4):
+            e_f.spawn(body(), core_id=c)
+            e_c.spawn(body(), core_id=c)
+        t_free = e_f.run()
+        t_capped = e_c.run()
+        assert t_capped > t_free
+
+
+class TestMsrAndSysfs:
+    @pytest.fixture()
+    def stack(self):
+        node = SimulatedNode()
+        fw = RaplFirmware(node, Engine(node))
+        return node, fw, MSRDevice(node, fw), PowercapFS(node, fw)
+
+    def test_msr_write_programs_limit(self, stack):
+        node, fw, dev, _ = stack
+        pl = PowerLimit(22.0, True, False, 0.001)
+        dev.write(MSR_DRAM_POWER_LIMIT, encode_power_limit(pl))
+        assert fw.dram_limit == pytest.approx(22.0)
+
+    def test_msr_write_disabled_clears(self, stack):
+        node, fw, dev, _ = stack
+        fw.set_dram_limit(22.0)
+        pl = PowerLimit(22.0, False, False, 0.001)
+        dev.write(MSR_DRAM_POWER_LIMIT, encode_power_limit(pl))
+        assert fw.dram_limit is None
+
+    def test_msr_read_roundtrip(self, stack):
+        node, fw, dev, _ = stack
+        fw.set_dram_limit(22.0)
+        pl1, _, _ = decode_power_limit(dev.read(MSR_DRAM_POWER_LIMIT))
+        assert pl1.watts == pytest.approx(22.0)
+        assert pl1.enabled
+
+    def test_msr_read_unset_is_zero(self, stack):
+        _, _, dev, _ = stack
+        assert dev.read(MSR_DRAM_POWER_LIMIT) == 0
+
+    def test_sysfs_write_and_read(self, stack):
+        node, fw, _, pc = stack
+        pc.write(PowercapFS.DRAM + "/constraint_0_power_limit_uw",
+                 "24000000")
+        assert fw.dram_limit == pytest.approx(24.0)
+        assert pc.read(PowercapFS.DRAM + "/constraint_0_power_limit_uw"
+                       ) == "24000000\n"
+
+    def test_sysfs_zero_clears(self, stack):
+        node, fw, _, pc = stack
+        fw.set_dram_limit(24.0)
+        pc.write(PowercapFS.DRAM + "/constraint_0_power_limit_uw", "0")
+        assert fw.dram_limit is None

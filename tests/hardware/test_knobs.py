@@ -1,0 +1,80 @@
+"""Unit tests for the DVFS and DDCM software knobs."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.hardware.ddcm import DDCMController
+from repro.hardware.dvfs import DVFSController
+from repro.hardware.rapl import RaplFirmware
+from repro.runtime.engine import Engine, Work
+
+
+@pytest.fixture()
+def node():
+    return SimulatedNode()
+
+
+class TestDVFS:
+    def test_set_frequency_pins_clock(self, node):
+        dvfs = DVFSController(node)
+        applied = dvfs.set_frequency(1.6e9)
+        assert applied == pytest.approx(1.6e9)
+        assert node.frequency == pytest.approx(1.6e9)
+        assert dvfs.frequency == pytest.approx(1.6e9)
+
+    def test_set_frequency_snaps_to_ladder(self, node):
+        applied = DVFSController(node).set_frequency(2.33e9)
+        assert applied == pytest.approx(2.3e9)
+
+    def test_rapl_cannot_exceed_dvfs_pin(self, node):
+        """The pin acts as a ceiling even with RAPL headroom."""
+        engine = Engine(node)
+        RaplFirmware(node, engine)
+        DVFSController(node).set_frequency(2.0e9)
+
+        def body():
+            while True:
+                yield Work(cycles=0.2e9)
+
+        engine.spawn(body(), core_id=0)
+        engine.run(until=2.0)
+        assert node.frequency <= 2.0e9
+
+    def test_release_restores_turbo_ceiling(self, node):
+        dvfs = DVFSController(node)
+        dvfs.set_frequency(1.6e9)
+        dvfs.release()
+        assert node.freq_limit == node.cfg.f_turbo
+
+
+class TestDDCM:
+    def test_set_level_by_index(self, node):
+        ddcm = DDCMController(node)
+        assert ddcm.set_level(0) == pytest.approx(0.125)
+        assert ddcm.set_level(7) == pytest.approx(1.0)
+
+    def test_set_level_out_of_range(self, node):
+        with pytest.raises(ConfigurationError):
+            DDCMController(node).set_level(8)
+
+    def test_set_duty_snaps(self, node):
+        assert DDCMController(node).set_duty(0.7) == pytest.approx(0.625)
+
+    def test_release(self, node):
+        ddcm = DDCMController(node)
+        ddcm.set_level(2)
+        assert ddcm.release() == 1.0
+        assert ddcm.duty == 1.0
+
+    def test_ddcm_slows_compute_proportionally(self, node):
+        ddcm = DDCMController(node)
+        ddcm.set_duty(0.5)
+        engine = Engine(node)
+
+        def body():
+            yield Work(cycles=3.3e9)
+
+        engine.spawn(body(), core_id=0)
+        t = engine.run()
+        assert t == pytest.approx(2.0)

@@ -1,0 +1,93 @@
+"""Unit and property tests for max-min fair bandwidth allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.memory import allocate_bandwidth
+
+
+class TestAllocateBandwidth:
+    def test_under_capacity_everyone_gets_demand(self):
+        grants = allocate_bandwidth([10.0, 20.0, 5.0], capacity=100.0)
+        assert np.allclose(grants, [10.0, 20.0, 5.0])
+
+    def test_over_capacity_equal_demands_split_evenly(self):
+        grants = allocate_bandwidth([50.0, 50.0, 50.0], capacity=90.0)
+        assert np.allclose(grants, [30.0, 30.0, 30.0])
+
+    def test_small_demand_fully_granted_before_big_ones(self):
+        grants = allocate_bandwidth([10.0, 100.0, 100.0], capacity=110.0)
+        assert grants[0] == pytest.approx(10.0)
+        assert grants[1] == pytest.approx(50.0)
+        assert grants[2] == pytest.approx(50.0)
+
+    def test_order_preserved(self):
+        grants = allocate_bandwidth([100.0, 10.0], capacity=60.0)
+        assert grants[0] == pytest.approx(50.0)
+        assert grants[1] == pytest.approx(10.0)
+
+    def test_zero_demand_gets_zero(self):
+        grants = allocate_bandwidth([0.0, 80.0], capacity=50.0)
+        assert grants[0] == 0.0
+        assert grants[1] == pytest.approx(50.0)
+
+    def test_empty_demands(self):
+        assert allocate_bandwidth([], capacity=10.0).size == 0
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ConfigurationError):
+            allocate_bandwidth([-1.0], capacity=10.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            allocate_bandwidth([1.0], capacity=0.0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ConfigurationError):
+            allocate_bandwidth([[1.0, 2.0]], capacity=10.0)
+
+    def test_rejects_nan_demand(self):
+        with pytest.raises(ConfigurationError):
+            allocate_bandwidth([float("nan")], capacity=10.0)
+
+
+@given(
+    demands=st.lists(st.floats(min_value=0.0, max_value=1e12), min_size=1,
+                     max_size=32),
+    capacity=st.floats(min_value=1.0, max_value=1e12),
+)
+def test_allocation_invariants(demands, capacity):
+    grants = allocate_bandwidth(demands, capacity)
+    d = np.asarray(demands)
+    # Never grant more than demanded, never go negative.
+    assert np.all(grants <= d + 1e-9)
+    assert np.all(grants >= 0.0)
+    # Never exceed capacity.
+    assert grants.sum() <= capacity * (1 + 1e-9)
+    # Work-conserving: if demand exceeds capacity, capacity is fully used;
+    # otherwise everyone is satisfied.
+    if d.sum() > capacity:
+        assert grants.sum() == pytest.approx(capacity, rel=1e-9)
+    else:
+        assert np.allclose(grants, d)
+
+
+@given(
+    demands=st.lists(st.floats(min_value=0.1, max_value=1e9), min_size=2,
+                     max_size=16),
+    capacity=st.floats(min_value=1.0, max_value=1e9),
+)
+def test_allocation_is_max_min_fair(demands, capacity):
+    """No grant can be raised without lowering a smaller-or-equal grant."""
+    grants = allocate_bandwidth(demands, capacity)
+    d = np.asarray(demands)
+    unsatisfied = grants < d - 1e-6
+    if unsatisfied.any():
+        # All unsatisfied tasks receive the same share (the fair level),
+        # and every satisfied task's demand lies below that level.
+        level = grants[unsatisfied].min()
+        assert np.allclose(grants[unsatisfied], level, rtol=1e-6)
+        assert np.all(d[~unsatisfied] <= level * (1 + 1e-6))

@@ -1,0 +1,196 @@
+"""Unit and property tests for MSR bit-field encode/decode and the device."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import MSRAccessError, MSRError
+from repro.hardware import SimulatedNode
+from repro.hardware.msr import (
+    IA32_CLOCK_MODULATION,
+    IA32_PERF_CTL,
+    IA32_PERF_STATUS,
+    MSR_DRAM_ENERGY_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_INFO,
+    MSR_PKG_POWER_LIMIT,
+    MSR_RAPL_POWER_UNIT,
+    MSRDevice,
+    PowerLimit,
+    RaplUnits,
+    decode_power_limit,
+    decode_time_window,
+    decode_units,
+    encode_power_limit,
+    encode_time_window,
+    encode_units,
+)
+
+
+class TestUnits:
+    def test_default_units_roundtrip(self):
+        units = RaplUnits()
+        assert decode_units(encode_units(units)) == units
+
+    def test_default_register_value_matches_sdm(self):
+        # power=1/8 W -> 3, energy=2^-14 J -> 14 (0xE), time=2^-10 s -> 10 (0xA)
+        assert encode_units(RaplUnits()) == 0x3 | (14 << 8) | (10 << 16)
+
+    def test_reject_unrepresentable_units(self):
+        with pytest.raises(MSRError):
+            encode_units(RaplUnits(power=2.0**-20))
+
+    @given(
+        pu=st.integers(min_value=0, max_value=15),
+        eu=st.integers(min_value=0, max_value=31),
+        tu=st.integers(min_value=0, max_value=15),
+    )
+    def test_units_roundtrip_all_exponents(self, pu, eu, tu):
+        units = RaplUnits(power=2.0**-pu, energy=2.0**-eu, time=2.0**-tu)
+        assert decode_units(encode_units(units)) == units
+
+
+class TestTimeWindow:
+    def test_one_second_window(self):
+        tu = 2.0**-10
+        bits = encode_time_window(1.0, tu)
+        assert decode_time_window(bits, tu) == pytest.approx(1.0, rel=0.15)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(MSRError):
+            encode_time_window(0.0, 2.0**-10)
+
+    @given(st.floats(min_value=1e-3, max_value=100.0))
+    def test_roundtrip_within_format_resolution(self, seconds):
+        """The 2^Y*(1+Z/4) format has <= ~12% relative spacing."""
+        tu = 2.0**-10
+        bits = encode_time_window(seconds, tu)
+        assert decode_time_window(bits, tu) == pytest.approx(seconds, rel=0.15)
+
+    def test_field_fits_seven_bits(self):
+        bits = encode_time_window(40.0, 2.0**-10)
+        assert 0 <= bits < (1 << 7)
+
+
+class TestPowerLimitCoding:
+    def test_roundtrip_pl1(self):
+        pl1 = PowerLimit(watts=120.0, enabled=True, clamped=True, window=0.01)
+        value = encode_power_limit(pl1)
+        out, _, locked = decode_power_limit(value)
+        assert out.watts == pytest.approx(120.0)
+        assert out.enabled and out.clamped
+        assert out.window == pytest.approx(0.01, rel=0.15)
+        assert not locked
+
+    def test_pl2_occupies_high_word(self):
+        pl1 = PowerLimit(100.0, True, True, 1.0)
+        pl2 = PowerLimit(150.0, True, False, 0.01)
+        value = encode_power_limit(pl1, pl2)
+        out1, out2, _ = decode_power_limit(value)
+        assert out1.watts == pytest.approx(100.0)
+        assert out2.watts == pytest.approx(150.0)
+        assert not out2.clamped
+
+    def test_lock_bit(self):
+        pl1 = PowerLimit(100.0, True, True, 1.0)
+        value = encode_power_limit(pl1, locked=True)
+        assert value >> 63 == 1
+        _, _, locked = decode_power_limit(value)
+        assert locked
+
+    def test_limit_quantized_to_power_unit(self):
+        pl1 = PowerLimit(100.06, True, True, 1.0)
+        out, _, _ = decode_power_limit(encode_power_limit(pl1))
+        assert out.watts == pytest.approx(100.0)  # 0.125 W steps
+
+    def test_rejects_limit_too_large_for_field(self):
+        with pytest.raises(MSRError):
+            encode_power_limit(PowerLimit(5000.0, True, True, 1.0))
+
+    @given(st.floats(min_value=0.125, max_value=4000.0))
+    def test_watts_roundtrip(self, watts):
+        pl = PowerLimit(watts, True, True, 0.01)
+        out, _, _ = decode_power_limit(encode_power_limit(pl))
+        assert out.watts == pytest.approx(watts, abs=0.0626)
+
+
+class TestMSRDevice:
+    @pytest.fixture()
+    def node(self):
+        return SimulatedNode()
+
+    @pytest.fixture()
+    def dev(self, node):
+        return MSRDevice(node)
+
+    def test_unit_register(self, dev, node):
+        units = decode_units(dev.read(MSR_RAPL_POWER_UNIT))
+        assert units.power == node.cfg.power_unit
+        assert units.energy == node.cfg.energy_unit
+
+    def test_energy_counter_tracks_node_energy(self, dev, node):
+        before = dev.read(MSR_PKG_ENERGY_STATUS)
+        node.accrue(1.0)
+        after = dev.read(MSR_PKG_ENERGY_STATUS)
+        joules = (after - before) * node.cfg.energy_unit
+        assert joules == pytest.approx(node.pkg_energy, abs=node.cfg.energy_unit)
+
+    def test_energy_counter_is_32bit(self, dev, node):
+        node.pkg_energy = (2**32 + 100) * node.cfg.energy_unit
+        assert dev.read(MSR_PKG_ENERGY_STATUS) == 100
+
+    def test_dram_energy_counter(self, dev, node):
+        node.dram_energy = 1000 * node.cfg.energy_unit
+        assert dev.read(MSR_DRAM_ENERGY_STATUS) == 1000
+
+    def test_power_info_reports_tdp(self, dev, node):
+        raw = dev.read(MSR_PKG_POWER_INFO) & 0x7FFF
+        assert raw * node.cfg.power_unit == pytest.approx(node.cfg.tdp)
+
+    def test_perf_status_reflects_frequency(self, dev, node):
+        node.set_frequency(2.5e9)
+        ratio = (dev.read(IA32_PERF_STATUS) >> 8) & 0xFF
+        assert ratio == 25
+
+    def test_perf_ctl_write_sets_frequency_ceiling(self, dev, node):
+        dev.write(IA32_PERF_CTL, 16 << 8)  # 1.6 GHz
+        assert node.freq_limit == pytest.approx(1.6e9)
+        assert node.frequency <= 1.6e9
+
+    def test_clock_modulation_write_sets_duty(self, dev, node):
+        dev.write(IA32_CLOCK_MODULATION, (1 << 4) | (4 << 1))  # 4/8 duty
+        assert node.duty == pytest.approx(0.5)
+
+    def test_clock_modulation_disable_restores_full_duty(self, dev, node):
+        dev.write(IA32_CLOCK_MODULATION, (1 << 4) | (2 << 1))
+        dev.write(IA32_CLOCK_MODULATION, 0)
+        assert node.duty == 1.0
+
+    def test_clock_modulation_read_roundtrip(self, dev, node):
+        node.set_duty(0.375)
+        value = dev.read(IA32_CLOCK_MODULATION)
+        assert value & (1 << 4)
+        assert (value >> 1) & 0x7 == 3
+
+    def test_unimplemented_msr_read_raises(self, dev):
+        with pytest.raises(MSRAccessError):
+            dev.read(0xC0010015)
+
+    def test_unimplemented_msr_write_raises(self, dev):
+        with pytest.raises(MSRAccessError):
+            dev.write(0xC0010015, 0)
+
+    def test_read_only_register_write_raises(self, dev):
+        with pytest.raises(MSRError):
+            dev.write(MSR_PKG_ENERGY_STATUS, 0)
+
+    def test_power_limit_write_without_firmware_raises(self, dev):
+        pl = PowerLimit(100.0, True, True, 0.01)
+        with pytest.raises(MSRError):
+            dev.write(MSR_PKG_POWER_LIMIT, encode_power_limit(pl))
+
+    def test_non_u64_write_rejected(self, dev):
+        with pytest.raises(MSRError):
+            dev.write(IA32_PERF_CTL, -1)

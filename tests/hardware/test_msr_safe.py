@@ -1,0 +1,84 @@
+"""Unit tests for the msr-safe whitelist layer."""
+
+import pytest
+
+from repro.exceptions import MSRPermissionError
+from repro.hardware import SimulatedNode
+from repro.hardware.msr import (
+    IA32_CLOCK_MODULATION,
+    IA32_PERF_CTL,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_RAPL_POWER_UNIT,
+    MSRDevice,
+)
+from repro.hardware.msr_safe import DEFAULT_WHITELIST, MSRSafe
+
+
+@pytest.fixture()
+def node():
+    return SimulatedNode()
+
+
+@pytest.fixture()
+def safe(node):
+    return MSRSafe(MSRDevice(node))
+
+
+class TestReads:
+    def test_whitelisted_read_allowed(self, safe):
+        assert safe.read(MSR_RAPL_POWER_UNIT) > 0
+
+    def test_unlisted_read_denied(self, safe):
+        with pytest.raises(MSRPermissionError):
+            safe.read(0x1A0)  # IA32_MISC_ENABLE, not in our whitelist
+
+    def test_privileged_read_bypasses_whitelist(self, node):
+        safe = MSRSafe(MSRDevice(node), privileged=True)
+        # still raises MSRAccessError (unimplemented), but NOT a permission
+        # error: privilege check passed through to the device
+        from repro.exceptions import MSRAccessError
+
+        with pytest.raises(MSRAccessError):
+            safe.read(0x1A0)
+
+
+class TestWrites:
+    def test_read_only_register_write_denied(self, safe):
+        with pytest.raises(MSRPermissionError):
+            safe.write(MSR_PKG_ENERGY_STATUS, 0)
+
+    def test_unlisted_write_denied(self, safe):
+        with pytest.raises(MSRPermissionError):
+            safe.write(0x1A0, 0)
+
+    def test_masked_write_applies_allowed_bits(self, safe, node):
+        safe.write(IA32_PERF_CTL, 20 << 8)  # 2.0 GHz, within 0xFFFF mask
+        assert node.freq_limit == pytest.approx(2.0e9)
+
+    def test_masked_write_preserves_out_of_mask_bits(self, node):
+        dev = MSRDevice(node)
+        safe = MSRSafe(dev, whitelist={IA32_CLOCK_MODULATION: 0x0E})
+        node.set_duty(1.0)
+        # attempt to write enable bit (bit 4, outside mask) + level 2:
+        # the enable bit must be dropped, so duty stays 1.0
+        safe.write(IA32_CLOCK_MODULATION, (1 << 4) | (2 << 1))
+        assert node.duty == 1.0
+
+    def test_privileged_write_bypasses_mask(self, node):
+        safe = MSRSafe(MSRDevice(node), privileged=True)
+        safe.write(IA32_CLOCK_MODULATION, (1 << 4) | (2 << 1))
+        assert node.duty == pytest.approx(0.25)
+
+
+class TestAdministration:
+    def test_allow_adds_entry(self, safe):
+        safe.allow(0x611)
+        # now readable (0x611 is implemented by the device)
+        assert isinstance(safe.read(0x611), int)
+
+    def test_default_whitelist_not_shared_between_instances(self, node):
+        a = MSRSafe(MSRDevice(node))
+        a.allow(0xDEAD, 0xFF)
+        b = MSRSafe(MSRDevice(node))
+        assert 0xDEAD not in b.whitelist
+        assert 0xDEAD not in DEFAULT_WHITELIST

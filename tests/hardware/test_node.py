@@ -1,0 +1,101 @@
+"""Unit tests for SimulatedNode frequency/duty control and energy."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode, skylake_config
+from repro.hardware.cpu import CoreMode
+
+
+@pytest.fixture()
+def node():
+    return SimulatedNode()
+
+
+class TestFrequencyControl:
+    def test_starts_at_nominal(self, node):
+        assert node.frequency == pytest.approx(node.cfg.f_nominal)
+
+    def test_set_frequency_snaps_down(self, node):
+        applied = node.set_frequency(2.57e9)
+        assert applied == pytest.approx(2.5e9)
+        assert all(c.freq == applied for c in node.cores)
+
+    def test_set_frequency_below_ladder_raises(self, node):
+        with pytest.raises(ConfigurationError):
+            node.set_frequency(0.1e9)
+
+    def test_freq_limit_caps_future_settings(self, node):
+        node.set_freq_limit(2.0e9)
+        applied = node.set_frequency(3.3e9)
+        assert applied == pytest.approx(2.0e9)
+
+    def test_freq_limit_lowers_current_frequency(self, node):
+        node.set_frequency(3.3e9)
+        node.set_freq_limit(1.6e9)
+        assert node.frequency == pytest.approx(1.6e9)
+
+    def test_freq_limit_snaps_to_ladder(self, node):
+        assert node.set_freq_limit(2.44e9) == pytest.approx(2.4e9)
+
+
+class TestDutyControl:
+    def test_starts_unthrottled(self, node):
+        assert node.duty == 1.0
+
+    def test_set_duty_snaps_down(self, node):
+        assert node.set_duty(0.6) == pytest.approx(0.5)
+
+    def test_set_duty_exact_level(self, node):
+        assert node.set_duty(0.375) == pytest.approx(0.375)
+
+    def test_set_duty_never_below_lowest_level(self, node):
+        assert node.set_duty(0.01) == pytest.approx(0.125)
+
+    def test_set_duty_rejects_nonpositive(self, node):
+        with pytest.raises(ConfigurationError):
+            node.set_duty(0.0)
+
+
+class TestEnergy:
+    def test_accrue_integrates_power(self, node):
+        p = node.power().package
+        node.accrue(2.0)
+        assert node.pkg_energy == pytest.approx(2.0 * p)
+
+    def test_accrue_zero_dt(self, node):
+        node.accrue(0.0)
+        assert node.pkg_energy == 0.0
+
+    def test_accrue_rejects_negative_dt(self, node):
+        with pytest.raises(ConfigurationError):
+            node.accrue(-1.0)
+
+    def test_energy_monotonic(self, node):
+        last = 0.0
+        for _ in range(5):
+            node.accrue(0.5)
+            assert node.pkg_energy >= last
+            last = node.pkg_energy
+
+    def test_dram_energy_accrues(self, node):
+        node.cores[0].mode = CoreMode.BUSY
+        node.cores[0].bytes_rate = 10e9
+        node.accrue(1.0)
+        assert node.dram_energy > 0.0
+
+    def test_last_power_tracks_accrual(self, node):
+        node.accrue(1.0)
+        assert node.last_power.package == pytest.approx(node.pkg_energy)
+
+
+class TestIdleAll:
+    def test_clears_core_state(self, node):
+        core = node.cores[3]
+        core.mode = CoreMode.BUSY
+        core.compute_frac = 0.7
+        core.bytes_rate = 5e9
+        node.idle_all()
+        assert core.mode is CoreMode.IDLE
+        assert core.compute_frac == 0.0
+        assert core.bytes_rate == 0.0

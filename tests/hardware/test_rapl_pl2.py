@@ -1,0 +1,85 @@
+"""Tests for PL1/PL2 dual-limit enforcement."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.hardware.msr import MSR_PKG_POWER_LIMIT, MSRDevice, PowerLimit, \
+    decode_power_limit, encode_power_limit
+from repro.hardware.rapl import RaplFirmware
+from repro.runtime.engine import Engine, Work
+
+COMPUTE = dict(cycles=0.33e9)
+
+
+def run_loaded(fw_setup, duration=5.0):
+    node = SimulatedNode()
+    engine = Engine(node)
+    fw = RaplFirmware(node, engine)
+    fw_setup(fw)
+
+    def body():
+        while True:
+            yield Work(**COMPUTE)
+
+    for c in range(24):
+        engine.spawn(body(), core_id=c)
+    engine.run(until=duration)
+    e0, t0 = node.pkg_energy, node.clock.now
+    engine.run(until=duration + 3.0)
+    avg = (node.pkg_energy - e0) / (node.clock.now - t0)
+    return node, fw, avg
+
+
+class TestPL2:
+    def test_default_pl2_above_tdp(self):
+        node = SimulatedNode()
+        fw = RaplFirmware(node, Engine(node))
+        assert fw.limit2 == pytest.approx(1.2 * node.cfg.tdp)
+
+    def test_pl2_below_pl1_dominates(self):
+        """With PL1 at TDP but PL2 at 90 W, settled power obeys PL2."""
+        node, fw, avg = run_loaded(lambda fw: fw.set_limit2(90.0))
+        assert avg <= 90.0 * 1.08
+
+    def test_pl2_validation(self):
+        node = SimulatedNode()
+        fw = RaplFirmware(node, Engine(node))
+        with pytest.raises(ConfigurationError):
+            fw.set_limit2(0.0)
+
+    def test_windowed_power_tracked(self):
+        node, fw, avg = run_loaded(lambda fw: fw.set_limit(100.0))
+        assert fw.windowed_power == pytest.approx(avg, rel=0.15)
+
+
+class TestPL2MsrWiring:
+    def test_write_programs_both_limits(self):
+        node = SimulatedNode()
+        fw = RaplFirmware(node, Engine(node))
+        dev = MSRDevice(node, fw)
+        pl1 = PowerLimit(100.0, True, True, 1.0)
+        pl2 = PowerLimit(130.0, True, False, 0.01)
+        dev.write(MSR_PKG_POWER_LIMIT, encode_power_limit(pl1, pl2))
+        assert fw.limit == pytest.approx(100.0)
+        assert fw.limit2 == pytest.approx(130.0)
+
+    def test_read_reports_both_limits(self):
+        node = SimulatedNode()
+        fw = RaplFirmware(node, Engine(node))
+        fw.set_limit(95.0)
+        fw.set_limit2(120.0)
+        dev = MSRDevice(node, fw)
+        pl1, pl2, _ = decode_power_limit(dev.read(MSR_PKG_POWER_LIMIT))
+        assert pl1.watts == pytest.approx(95.0)
+        assert pl2.watts == pytest.approx(120.0)
+
+    def test_pl1_only_write_leaves_pl2(self):
+        node = SimulatedNode()
+        fw = RaplFirmware(node, Engine(node))
+        before = fw.limit2
+        dev = MSRDevice(node, fw)
+        dev.write(MSR_PKG_POWER_LIMIT,
+                  encode_power_limit(PowerLimit(80.0, True, True, 1.0)))
+        assert fw.limit == pytest.approx(80.0)
+        assert fw.limit2 == before

@@ -1,0 +1,107 @@
+"""Integration tests for the libmsr-style API over msr-safe."""
+
+import pytest
+
+from repro.exceptions import MSRError
+from repro.hardware import SimulatedNode
+from repro.hardware.msr import MSRDevice
+from repro.hardware.msr_safe import MSRSafe
+from repro.hardware.rapl import RaplFirmware
+from repro.libmsr import LibMSR
+from repro.runtime.engine import Engine, Work
+
+
+@pytest.fixture()
+def stack():
+    node = SimulatedNode()
+    engine = Engine(node)
+    fw = RaplFirmware(node, engine)
+    lib = LibMSR(MSRSafe(MSRDevice(node, fw)), node.clock)
+    return node, engine, fw, lib
+
+
+class TestUnits:
+    def test_units_match_config(self, stack):
+        node, _, _, lib = stack
+        assert lib.units.power == node.cfg.power_unit
+        assert lib.units.energy == node.cfg.energy_unit
+
+    def test_tdp(self, stack):
+        node, _, _, lib = stack
+        assert lib.get_tdp() == pytest.approx(node.cfg.tdp)
+
+
+class TestPowerLimits:
+    def test_set_and_get_roundtrip(self, stack):
+        _, _, fw, lib = stack
+        lib.set_pkg_power_limit(95.0, window=0.01)
+        pl = lib.get_pkg_power_limit()
+        assert pl.watts == pytest.approx(95.0)
+        assert pl.enabled
+        assert fw.limit == pytest.approx(95.0)
+
+    def test_set_limit_drives_firmware(self, stack):
+        node, engine, _, lib = stack
+        lib.set_pkg_power_limit(90.0)
+
+        def body():
+            while True:
+                yield Work(cycles=0.33e9)
+
+        for c in range(24):
+            engine.spawn(body(), core_id=c)
+        engine.run(until=3.0)
+        assert node.frequency < node.cfg.f_nominal
+
+    def test_remove_limit_disables_capping(self, stack):
+        _, _, fw, lib = stack
+        lib.set_pkg_power_limit(50.0)
+        lib.remove_pkg_power_limit()
+        assert not fw.enabled
+
+    def test_rejects_nonpositive_limit(self, stack):
+        _, _, _, lib = stack
+        with pytest.raises(MSRError):
+            lib.set_pkg_power_limit(0.0)
+
+
+class TestEnergyPolling:
+    def test_first_poll_primes(self, stack):
+        _, _, _, lib = stack
+        assert lib.poll_power() is None
+
+    def test_poll_measures_average_power(self, stack):
+        node, engine, _, lib = stack
+        lib.poll_power()
+
+        def body():
+            while True:
+                yield Work(cycles=0.33e9)
+
+        for c in range(24):
+            engine.spawn(body(), core_id=c)
+        engine.run(until=2.0)
+        poll = lib.poll_power()
+        assert poll.seconds == pytest.approx(2.0)
+        # average power should match the node's energy integral
+        assert poll.pkg_watts == pytest.approx(
+            node.pkg_energy / 2.0, rel=0.01
+        )
+        assert poll.dram_joules >= 0.0
+
+    def test_poll_handles_counter_wraparound(self, stack):
+        node, _, _, lib = stack
+        # place the counter just below the 32-bit wrap point
+        node.pkg_energy = ((1 << 32) - 10) * node.cfg.energy_unit
+        lib.poll_power()
+        node.pkg_energy += 20 * node.cfg.energy_unit
+        node.clock.advance(1.0)
+        poll = lib.poll_power()
+        assert poll.pkg_joules == pytest.approx(20 * node.cfg.energy_unit)
+
+    def test_zero_interval_power_raises(self, stack):
+        _, _, _, lib = stack
+        lib.poll_power()
+        poll = lib.poll_power()  # same timestamp
+        with pytest.raises(MSRError):
+            _ = poll.pkg_watts

@@ -1,0 +1,99 @@
+"""Integration tests for the power-policy daemon."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.hardware.msr import MSRDevice
+from repro.hardware.msr_safe import MSRSafe
+from repro.hardware.rapl import RaplFirmware
+from repro.libmsr import LibMSR
+from repro.nrm.daemon import PowerPolicyDaemon
+from repro.nrm.schemes import (
+    FixedCapSchedule,
+    LinearDecreaseSchedule,
+    StepSchedule,
+    UncappedSchedule,
+)
+from repro.runtime.engine import Engine, Work
+
+
+def make_stack():
+    node = SimulatedNode()
+    engine = Engine(node)
+    fw = RaplFirmware(node, engine)
+    lib = LibMSR(MSRSafe(MSRDevice(node, fw)), node.clock)
+    return node, engine, fw, lib
+
+
+def spawn_load(engine, n=24):
+    def body():
+        while True:
+            yield Work(cycles=0.33e9)
+
+    for c in range(n):
+        engine.spawn(body(), core_id=c)
+
+
+class TestDaemon:
+    def test_fixed_schedule_programs_firmware(self):
+        node, engine, fw, lib = make_stack()
+        PowerPolicyDaemon(engine, lib, FixedCapSchedule(95.0))
+        assert fw.limit == pytest.approx(95.0)
+        assert fw.enabled
+
+    def test_uncapped_schedule_disables_capping(self):
+        node, engine, fw, lib = make_stack()
+        fw.set_limit(60.0)
+        PowerPolicyDaemon(engine, lib, UncappedSchedule())
+        assert not fw.enabled
+
+    def test_records_power_series_at_one_hz(self):
+        node, engine, fw, lib = make_stack()
+        daemon = PowerPolicyDaemon(engine, lib, UncappedSchedule())
+        spawn_load(engine)
+        engine.run(until=5.0)
+        assert len(daemon.power_series) == 5
+        assert daemon.power_series.mean() > 50.0
+
+    def test_cap_series_tracks_schedule(self):
+        node, engine, fw, lib = make_stack()
+        schedule = LinearDecreaseSchedule(high=150.0, low=80.0, rate=10.0)
+        daemon = PowerPolicyDaemon(engine, lib, schedule)
+        spawn_load(engine)
+        engine.run(until=8.0)
+        caps = daemon.cap_series.values
+        assert caps[0] == pytest.approx(150.0)
+        assert caps[-1] < caps[0]
+
+    def test_step_schedule_reprograms_limit(self):
+        node, engine, fw, lib = make_stack()
+        schedule = StepSchedule(low=80.0, high=None, high_duration=3.0,
+                                low_duration=3.0)
+        PowerPolicyDaemon(engine, lib, schedule)
+        spawn_load(engine)
+        engine.run(until=2.5)
+        assert not fw.enabled            # uncapped half-period
+        engine.run(until=4.0)
+        assert fw.enabled and fw.limit == pytest.approx(80.0)
+
+    def test_power_respects_applied_cap(self):
+        node, engine, fw, lib = make_stack()
+        daemon = PowerPolicyDaemon(engine, lib, FixedCapSchedule(90.0))
+        spawn_load(engine)
+        engine.run(until=6.0)
+        settled = daemon.power_series.window(3.0, 6.1)
+        assert settled.mean() <= 90.0 * 1.05
+
+    def test_stop(self):
+        node, engine, fw, lib = make_stack()
+        daemon = PowerPolicyDaemon(engine, lib, UncappedSchedule())
+        daemon.stop()
+        spawn_load(engine, n=1)
+        engine.run(until=3.0)
+        assert len(daemon.power_series) == 0
+
+    def test_rejects_bad_interval(self):
+        node, engine, fw, lib = make_stack()
+        with pytest.raises(ConfigurationError):
+            PowerPolicyDaemon(engine, lib, UncappedSchedule(), interval=0.0)

@@ -1,0 +1,91 @@
+"""Tests for online beta estimation by frequency dithering."""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.apps import build
+from repro.exceptions import ConfigurationError
+from repro.experiments.table6 import APP_SIZING, PAPER
+from repro.hardware import SimulatedNode
+from repro.hardware.rapl import RaplFirmware
+from repro.nrm.estimator import OnlineBetaEstimator
+from repro.runtime.engine import Engine
+from repro.telemetry import MessageBus, ProgressMonitor
+
+
+def estimate(app_name, duration=22.0, **est_kwargs):
+    node = SimulatedNode()
+    engine = Engine(node)
+    RaplFirmware(node, engine)
+    bus = MessageBus(node.clock)
+    pub = bus.pub_socket()
+    engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+    sizing = {k: 1_000_000 if v else v
+              for k, v in APP_SIZING[app_name].items()}
+    app = build(app_name, seed=1, **sizing)
+    monitor = ProgressMonitor(engine, bus.sub_socket(app.topic))
+    estimator = OnlineBetaEstimator(engine, node, monitor, **est_kwargs)
+    app.launch(engine)
+    engine.run(until=duration)
+    return node, estimator
+
+
+class TestValidation:
+    def _base(self):
+        node = SimulatedNode()
+        engine = Engine(node)
+        bus = MessageBus(node.clock)
+        monitor = ProgressMonitor(engine, bus.sub_socket("p"))
+        return engine, node, monitor
+
+    def test_rejects_dwell_below_settle(self):
+        engine, node, monitor = self._base()
+        with pytest.raises(ConfigurationError):
+            OnlineBetaEstimator(engine, node, monitor, dwell=1.0,
+                                settle=2.0)
+
+    def test_rejects_inverted_frequencies(self):
+        engine, node, monitor = self._base()
+        with pytest.raises(ConfigurationError):
+            OnlineBetaEstimator(engine, node, monitor, f_high=1.6e9,
+                                f_low=3.3e9)
+
+    def test_silent_application_raises(self):
+        engine, node, monitor = self._base()
+        OnlineBetaEstimator(engine, node, monitor)
+        with pytest.raises(ConfigurationError):
+            engine.run(until=20.0)
+
+
+class TestEstimates:
+    @pytest.mark.parametrize("app,expected", [
+        ("lammps", PAPER["lammps"][0]),
+        ("stream", PAPER["stream"][0]),
+        ("qmcpack", PAPER["qmcpack"][0]),
+    ])
+    def test_matches_offline_characterization(self, app, expected):
+        _, est = estimate(app)
+        assert est.done
+        assert est.beta == pytest.approx(expected, abs=0.06)
+
+    def test_governor_restored_after_estimate(self):
+        node, est = estimate("lammps")
+        assert est.done
+        assert node.freq_limit == node.cfg.f_turbo
+
+    def test_callback_invoked(self):
+        seen = []
+        node = SimulatedNode()
+        engine = Engine(node)
+        RaplFirmware(node, engine)
+        bus = MessageBus(node.clock)
+        pub = bus.pub_socket()
+        engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+        app = build("lammps", n_steps=1_000_000, seed=1)
+        monitor = ProgressMonitor(engine, bus.sub_socket(app.topic))
+        OnlineBetaEstimator(engine, node, monitor, on_complete=seen.append)
+        app.launch(engine)
+        engine.run(until=20.0)
+        assert len(seen) == 1
+        assert 0.9 < seen[0] <= 1.0

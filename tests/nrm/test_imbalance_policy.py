@@ -1,0 +1,110 @@
+"""Tests for the per-core DDCM imbalance-energy policy (extension)."""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.apps import build
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.hardware.rapl import RaplFirmware
+from repro.nrm import ImbalanceEnergyPolicy
+from repro.runtime.engine import Engine
+from repro.telemetry import JobProgressReducer, MessageBus, ProgressMonitor
+
+N_RANKS = 8
+SKEW = {w: 1.0 + 0.08 * w for w in range(N_RANKS)}
+
+
+def run_skewed(policy_on: bool, duration: float = 40.0):
+    node = SimulatedNode()
+    engine = Engine(node)
+    RaplFirmware(node, engine)
+    bus = MessageBus(node.clock)
+    pub = bus.pub_socket()
+    engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+    app = build("lammps", n_steps=1_000_000, n_workers=N_RANKS, seed=3)
+    app.per_rank_progress = True
+    app.rank_work_scale = SKEW
+    reducer = JobProgressReducer(engine, bus, app.rank_topic_prefix, N_RANKS)
+    monitor = ProgressMonitor(engine, bus.sub_socket(app.topic))
+    policy = (ImbalanceEnergyPolicy(engine, node, reducer)
+              if policy_on else None)
+    app.launch(engine)
+    engine.run(until=duration)
+    rate = monitor.series.window(10.0, duration + 0.1).mean()
+    return node, rate, policy
+
+
+class TestValidation:
+    def _base(self):
+        node = SimulatedNode()
+        engine = Engine(node)
+        bus = MessageBus(node.clock)
+        reducer = JobProgressReducer(engine, bus, "p", 2)
+        return engine, node, reducer
+
+    def test_rejects_bad_interval(self):
+        engine, node, reducer = self._base()
+        with pytest.raises(ConfigurationError):
+            ImbalanceEnergyPolicy(engine, node, reducer, interval=0.0)
+
+    def test_rejects_bad_min_duty(self):
+        engine, node, reducer = self._base()
+        with pytest.raises(ConfigurationError):
+            ImbalanceEnergyPolicy(engine, node, reducer, min_duty=0.0)
+
+    def test_rejects_negative_slack(self):
+        engine, node, reducer = self._base()
+        with pytest.raises(ConfigurationError):
+            ImbalanceEnergyPolicy(engine, node, reducer, slack=-0.1)
+
+
+class TestBehaviour:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_skewed(False)
+
+    @pytest.fixture(scope="class")
+    def managed(self):
+        return run_skewed(True)
+
+    def test_modulates_fast_ranks_only(self, managed):
+        node, _, _ = managed
+        duties = [node.cores[c].duty for c in range(N_RANKS)]
+        # the least-loaded rank is modulated hardest
+        assert duties[0] < 1.0
+        # the critical (most-loaded) rank is never modulated
+        assert duties[N_RANKS - 1] == 1.0
+        # duty ordering follows the work-share ordering
+        assert duties == sorted(duties)
+
+    def test_saves_energy(self, baseline, managed):
+        node_b, _, _ = baseline
+        node_m, _, _ = managed
+        assert node_m.pkg_energy < 0.98 * node_b.pkg_energy
+
+    def test_progress_preserved(self, baseline, managed):
+        _, rate_b, _ = baseline
+        _, rate_m, _ = managed
+        assert rate_m == pytest.approx(rate_b, rel=0.01)
+
+    def test_stop_restores_full_duty(self, managed):
+        node, _, policy = managed
+        policy.stop()
+        assert all(node.cores[c].duty == 1.0 for c in range(N_RANKS))
+
+    def test_balanced_app_left_alone(self):
+        node = SimulatedNode()
+        engine = Engine(node)
+        RaplFirmware(node, engine)
+        bus = MessageBus(node.clock)
+        pub = bus.pub_socket()
+        engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+        app = build("lammps", n_steps=1_000_000, n_workers=4, seed=3)
+        app.per_rank_progress = True   # no skew
+        reducer = JobProgressReducer(engine, bus, app.rank_topic_prefix, 4)
+        ImbalanceEnergyPolicy(engine, node, reducer)
+        app.launch(engine)
+        engine.run(until=15.0)
+        assert all(node.cores[c].duty == 1.0 for c in range(4))

@@ -1,0 +1,126 @@
+"""Tests for the phase-aware capping policy (extension)."""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.apps import build
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.hardware.msr import MSRDevice
+from repro.hardware.msr_safe import MSRSafe
+from repro.hardware.rapl import RaplFirmware
+from repro.libmsr import LibMSR
+from repro.nrm import PhaseAwareCapPolicy
+from repro.runtime.engine import Engine
+from repro.telemetry import MessageBus, ProgressMonitor
+
+
+def make_stack():
+    node = SimulatedNode()
+    engine = Engine(node)
+    fw = RaplFirmware(node, engine)
+    lib = LibMSR(MSRSafe(MSRDevice(node, fw)), node.clock)
+    bus = MessageBus(node.clock)
+    pub = bus.pub_socket()
+    engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+    return node, engine, fw, lib, bus
+
+
+def run_qmcpack(policy_kwargs=None, duration=70.0):
+    node, engine, fw, lib, bus = make_stack()
+    app = build("qmcpack", vmc1_blocks=500, vmc2_blocks=400,
+                dmc_blocks=1_000_000, seed=2)
+    monitor = ProgressMonitor(engine, bus.sub_socket(app.topic))
+    policy = PhaseAwareCapPolicy(engine, lib, monitor, beta=0.84,
+                                 **(policy_kwargs or {}))
+    app.launch(engine)
+    engine.run(until=duration)
+    return node, monitor, policy
+
+
+def run_uncapped_qmcpack(duration=70.0):
+    node, engine, fw, lib, bus = make_stack()
+    app = build("qmcpack", vmc1_blocks=500, vmc2_blocks=400,
+                dmc_blocks=1_000_000, seed=2)
+    monitor = ProgressMonitor(engine, bus.sub_socket(app.topic))
+    app.launch(engine)
+    engine.run(until=duration)
+    return node, monitor
+
+
+class TestValidation:
+    def _base(self):
+        node, engine, fw, lib, bus = make_stack()
+        monitor = ProgressMonitor(engine, bus.sub_socket("p"))
+        return engine, lib, monitor
+
+    def test_rejects_bad_target(self):
+        engine, lib, monitor = self._base()
+        with pytest.raises(ConfigurationError):
+            PhaseAwareCapPolicy(engine, lib, monitor, beta=0.8,
+                                target_fraction=1.5)
+
+    def test_rejects_bad_beta(self):
+        engine, lib, monitor = self._base()
+        with pytest.raises(ConfigurationError):
+            PhaseAwareCapPolicy(engine, lib, monitor, beta=1.5)
+
+    def test_rejects_bad_threshold(self):
+        engine, lib, monitor = self._base()
+        with pytest.raises(ConfigurationError):
+            PhaseAwareCapPolicy(engine, lib, monitor, beta=0.8,
+                                phase_threshold=0.0)
+
+    def test_rejects_bad_persistence(self):
+        engine, lib, monitor = self._base()
+        with pytest.raises(ConfigurationError):
+            PhaseAwareCapPolicy(engine, lib, monitor, beta=0.8,
+                                persistence=0)
+
+
+class TestBehaviour:
+    @pytest.fixture(scope="class")
+    def capped(self):
+        return run_qmcpack()
+
+    @pytest.fixture(scope="class")
+    def uncapped(self):
+        return run_uncapped_qmcpack()
+
+    def test_adapts_to_multiple_phases(self, capped):
+        _, _, policy = capped
+        assert policy.n_phases_seen >= 2
+        # the learned phase rates reflect the real phase structure
+        assert policy.phase_rates[0] > policy.phase_rates[-1]
+
+    def test_caps_applied_below_tdp(self, capped):
+        node, _, policy = capped
+        assert all(c < node.cfg.tdp for c in policy.phase_caps)
+
+    def test_saves_energy_versus_uncapped(self, capped, uncapped):
+        node_c, _, _ = capped
+        node_u, _ = uncapped
+        assert node_c.pkg_energy < 0.85 * node_u.pkg_energy
+
+    def test_holds_progress_floor(self, capped, uncapped):
+        _, mon_c, _ = capped
+        _, mon_u = uncapped
+        total_c = sum(mon_c.series.values)
+        total_u = sum(mon_u.series.values)
+        # target 85%, with measurement/transition slack
+        assert total_c >= 0.82 * total_u
+
+    def test_cap_series_shows_measure_and_cap_states(self, capped):
+        node, _, policy = capped
+        caps = policy.cap_series.values
+        assert caps.max() == pytest.approx(node.cfg.tdp)  # measuring
+        assert caps.min() < node.cfg.tdp                  # capped
+
+    def test_stop(self):
+        node, engine, fw, lib, bus = make_stack()
+        monitor = ProgressMonitor(engine, bus.sub_socket("p"))
+        policy = PhaseAwareCapPolicy(engine, lib, monitor, beta=0.8)
+        policy.stop()
+        engine.run(until=3.0)
+        assert len(policy.cap_series) == 0

@@ -1,0 +1,165 @@
+"""Tests for dynamic policies and the power-budget hierarchy."""
+
+import pytest
+
+from repro.core.model import PowerCapModel
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.hardware.msr import MSRDevice
+from repro.hardware.msr_safe import MSRSafe
+from repro.hardware.rapl import RaplFirmware
+from repro.libmsr import LibMSR
+from repro.nrm.hierarchy import Job, SystemPowerManager
+from repro.nrm.policies import BudgetTrackingPolicy, ProgressFloorPolicy
+from repro.runtime.engine import Engine, Publish, Work
+from repro.telemetry import MessageBus, ProgressMonitor
+
+
+def make_stack():
+    node = SimulatedNode()
+    engine = Engine(node)
+    fw = RaplFirmware(node, engine)
+    lib = LibMSR(MSRSafe(MSRDevice(node, fw)), node.clock)
+    return node, engine, fw, lib
+
+
+class TestBudgetTracking:
+    def test_budget_applied_on_next_tick(self):
+        node, engine, fw, lib = make_stack()
+        policy = BudgetTrackingPolicy(engine, lib)
+        policy.receive_budget(85.0)
+
+        def body():
+            yield Work(cycles=10e9)
+
+        engine.spawn(body(), core_id=0)
+        engine.run(until=2.0)
+        assert fw.enabled and fw.limit == pytest.approx(85.0)
+
+    def test_none_budget_uncaps(self):
+        node, engine, fw, lib = make_stack()
+        policy = BudgetTrackingPolicy(engine, lib)
+        policy.receive_budget(85.0)
+        engine.run(until=1.5)
+        policy.receive_budget(None)
+        engine.run(until=3.0)
+        assert not fw.enabled
+
+    def test_rejects_nonpositive_budget(self):
+        node, engine, fw, lib = make_stack()
+        policy = BudgetTrackingPolicy(engine, lib)
+        with pytest.raises(ConfigurationError):
+            policy.receive_budget(0.0)
+
+
+class TestProgressFloor:
+    def _run(self, target_rate):
+        node, engine, fw, lib = make_stack()
+        bus = MessageBus(node.clock)
+        pub = bus.pub_socket()
+        engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+        monitor = ProgressMonitor(engine, bus.sub_socket("progress"))
+        model = PowerCapModel(beta=1.0, r_max=10.0, p_coremax=150.0)
+        policy = ProgressFloorPolicy(engine, lib, monitor, model,
+                                     target_rate, min_cap=50.0)
+
+        def body():
+            # 10 iterations/s at nominal frequency
+            while True:
+                yield Work(cycles=0.33e9)
+                yield Publish("progress", 1.0)
+
+        for c in range(24):
+            engine.spawn(body(), core_id=c)
+        engine.run(until=20.0)
+        return node, fw, monitor, policy
+
+    def test_holds_target_rate(self):
+        node, fw, monitor, policy = self._run(target_rate=8.0)
+        settled = monitor.series.window(10.0, 20.1)
+        assert settled.mean() >= 8.0 * 0.93
+
+    def test_saves_power_versus_uncapped(self):
+        node, fw, monitor, policy = self._run(target_rate=7.0)
+        # uncapped draw is ~155 W; holding 70% progress must cap well below
+        assert policy.cap < 140.0
+
+    def test_validation(self):
+        node, engine, fw, lib = make_stack()
+        bus = MessageBus(node.clock)
+        monitor = ProgressMonitor(engine, bus.sub_socket("p"))
+        model = PowerCapModel(beta=1.0, r_max=10.0, p_coremax=150.0)
+        with pytest.raises(ConfigurationError):
+            ProgressFloorPolicy(engine, lib, monitor, model, 0.0)
+        with pytest.raises(ConfigurationError):
+            ProgressFloorPolicy(engine, lib, monitor, model, 5.0, slack=2.0)
+
+
+class TestHierarchy:
+    def test_single_job_gets_everything(self):
+        mgr = SystemPowerManager(1000.0)
+        budgets = mgr.submit(Job("a", n_nodes=4))
+        assert budgets["a"] == pytest.approx(250.0)
+
+    def test_weighted_fair_share(self):
+        mgr = SystemPowerManager(1200.0)
+        mgr.submit(Job("lo", n_nodes=4, priority=1.0))
+        budgets = mgr.submit(Job("hi", n_nodes=4, priority=2.0))
+        # weights 4 vs 8 -> 400 W vs 800 W -> 100 vs 200 per node
+        assert budgets["lo"] == pytest.approx(100.0)
+        assert budgets["hi"] == pytest.approx(200.0)
+
+    def test_high_priority_arrival_shrinks_low_priority(self):
+        """The paper's Section II scenario."""
+        mgr = SystemPowerManager(1000.0)
+        received = []
+        job = Job("lo", n_nodes=2,
+                  node_sinks=[received.append, received.append])
+        mgr.submit(job)
+        before = received[-1]
+        mgr.submit(Job("hi", n_nodes=6, priority=4.0))
+        after = received[-1]
+        assert after < before
+
+    def test_floor_is_honoured(self):
+        mgr = SystemPowerManager(500.0, min_node_budget=50.0)
+        mgr.submit(Job("a", n_nodes=4, priority=1.0))
+        budgets = mgr.submit(Job("b", n_nodes=4, priority=100.0))
+        assert budgets["a"] == pytest.approx(50.0)
+        assert budgets["b"] == pytest.approx((500.0 - 200.0) / 4.0)
+
+    def test_admission_fails_when_floors_unaffordable(self):
+        mgr = SystemPowerManager(200.0, min_node_budget=50.0)
+        mgr.submit(Job("a", n_nodes=3))
+        with pytest.raises(ConfigurationError):
+            mgr.submit(Job("b", n_nodes=2))
+
+    def test_completion_returns_power(self):
+        mgr = SystemPowerManager(800.0)
+        mgr.submit(Job("a", n_nodes=4))
+        mgr.submit(Job("b", n_nodes=4))
+        budgets = mgr.complete("b")
+        assert budgets["a"] == pytest.approx(200.0)
+
+    def test_duplicate_submit_rejected(self):
+        mgr = SystemPowerManager(800.0)
+        mgr.submit(Job("a", n_nodes=1))
+        with pytest.raises(ConfigurationError):
+            mgr.submit(Job("a", n_nodes=1))
+
+    def test_unknown_completion_rejected(self):
+        mgr = SystemPowerManager(800.0)
+        with pytest.raises(ConfigurationError):
+            mgr.complete("ghost")
+
+    def test_budget_reduction_redistributes(self):
+        mgr = SystemPowerManager(1000.0)
+        mgr.submit(Job("a", n_nodes=4))
+        budgets = mgr.set_machine_budget(600.0)
+        assert budgets["a"] == pytest.approx(150.0)
+
+    def test_budget_reduction_below_floors_rejected(self):
+        mgr = SystemPowerManager(1000.0, min_node_budget=100.0)
+        mgr.submit(Job("a", n_nodes=8))
+        with pytest.raises(ConfigurationError):
+            mgr.set_machine_budget(500.0)

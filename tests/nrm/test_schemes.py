@@ -1,0 +1,112 @@
+"""Unit and property tests for the capping schedules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.nrm.schemes import (
+    FixedCapSchedule,
+    JaggedEdgeSchedule,
+    LinearDecreaseSchedule,
+    StepSchedule,
+    UncappedSchedule,
+)
+
+
+class TestLinearDecrease:
+    def test_uncapped_before_start(self):
+        s = LinearDecreaseSchedule(high=150.0, low=60.0, rate=3.0, start=5.0)
+        assert s.cap_at(4.9) is None
+
+    def test_descends_linearly(self):
+        s = LinearDecreaseSchedule(high=150.0, low=60.0, rate=3.0)
+        assert s.cap_at(0.0) == pytest.approx(150.0)
+        assert s.cap_at(10.0) == pytest.approx(120.0)
+
+    def test_holds_at_minimum(self):
+        s = LinearDecreaseSchedule(high=150.0, low=60.0, rate=3.0)
+        assert s.cap_at(1000.0) == pytest.approx(60.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearDecreaseSchedule(high=60.0, low=70.0, rate=1.0)
+        with pytest.raises(ConfigurationError):
+            LinearDecreaseSchedule(high=100.0, low=60.0, rate=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_always_within_band(self, t):
+        s = LinearDecreaseSchedule(high=150.0, low=60.0, rate=2.0)
+        cap = s.cap_at(t)
+        assert 60.0 <= cap <= 150.0
+
+
+class TestStep:
+    def test_alternation_with_uncapped_high(self):
+        s = StepSchedule(low=70.0, high=None, high_duration=10.0,
+                         low_duration=5.0)
+        assert s.cap_at(0.0) is None
+        assert s.cap_at(9.99) is None
+        assert s.cap_at(10.0) == 70.0
+        assert s.cap_at(14.99) == 70.0
+        assert s.cap_at(15.0) is None  # next period
+
+    def test_alternation_with_high_value(self):
+        s = StepSchedule(low=70.0, high=140.0, high_duration=10.0,
+                         low_duration=10.0)
+        assert s.cap_at(5.0) == 140.0
+        assert s.cap_at(15.0) == 70.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StepSchedule(low=0.0)
+        with pytest.raises(ConfigurationError):
+            StepSchedule(low=100.0, high=90.0)
+        with pytest.raises(ConfigurationError):
+            StepSchedule(low=70.0, high_duration=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_periodicity(self, t):
+        s = StepSchedule(low=70.0, high=140.0, high_duration=7.0,
+                         low_duration=3.0)
+        assert s.cap_at(t) == s.cap_at(t + 10.0)
+
+
+class TestJaggedEdge:
+    def test_starts_high_ends_low(self):
+        s = JaggedEdgeSchedule(high=150.0, low=60.0, descent=30.0)
+        assert s.cap_at(0.0) == pytest.approx(150.0)
+        assert s.cap_at(29.999) == pytest.approx(60.0, rel=1e-3)
+
+    def test_snaps_back(self):
+        s = JaggedEdgeSchedule(high=150.0, low=60.0, descent=30.0)
+        assert s.cap_at(30.0) == pytest.approx(150.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JaggedEdgeSchedule(high=60.0, low=70.0)
+        with pytest.raises(ConfigurationError):
+            JaggedEdgeSchedule(high=150.0, low=60.0, descent=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_band(self, t):
+        s = JaggedEdgeSchedule(high=150.0, low=60.0, descent=25.0)
+        assert 60.0 <= s.cap_at(t) <= 150.0
+
+
+class TestFixedAndUncapped:
+    def test_fixed_after_start(self):
+        s = FixedCapSchedule(90.0, start=10.0)
+        assert s.cap_at(9.9) is None
+        assert s.cap_at(10.0) == 90.0
+
+    def test_fixed_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedCapSchedule(0.0)
+        with pytest.raises(ConfigurationError):
+            FixedCapSchedule(10.0, start=-1.0)
+
+    def test_uncapped_always_none(self):
+        s = UncappedSchedule()
+        assert s.cap_at(0.0) is None
+        assert s.cap_at(1e6) is None

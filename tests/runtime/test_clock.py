@@ -1,0 +1,70 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import SchedulingError
+from repro.runtime.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(12.5).now == 12.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SchedulingError):
+            SimClock(-1.0)
+
+    def test_rejects_nan_start(self):
+        with pytest.raises(SchedulingError):
+            SimClock(float("nan"))
+
+    def test_advance_moves_forward(self):
+        clk = SimClock()
+        assert clk.advance(1.5) == 1.5
+        assert clk.advance(0.5) == 2.0
+        assert clk.now == 2.0
+
+    def test_advance_zero_is_allowed(self):
+        clk = SimClock(3.0)
+        assert clk.advance(0.0) == 3.0
+
+    def test_advance_rejects_negative(self):
+        clk = SimClock()
+        with pytest.raises(SchedulingError):
+            clk.advance(-0.1)
+
+    def test_advance_rejects_nan(self):
+        clk = SimClock()
+        with pytest.raises(SchedulingError):
+            clk.advance(float("nan"))
+
+    def test_advance_to_absolute(self):
+        clk = SimClock(1.0)
+        assert clk.advance_to(4.0) == 4.0
+        assert clk.now == 4.0
+
+    def test_advance_to_now_is_noop(self):
+        clk = SimClock(2.0)
+        assert clk.advance_to(2.0) == 2.0
+
+    def test_advance_to_rejects_past(self):
+        clk = SimClock(5.0)
+        with pytest.raises(SchedulingError):
+            clk.advance_to(4.999)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), max_size=30))
+def test_clock_is_monotonic_under_any_advances(dts):
+    clk = SimClock()
+    prev = clk.now
+    for dt in dts:
+        clk.advance(dt)
+        assert clk.now >= prev
+        prev = clk.now
+    assert clk.now == pytest.approx(sum(dts), abs=1e-6)

@@ -1,0 +1,139 @@
+"""Edge-case tests for engine scheduling semantics."""
+
+import pytest
+
+from repro.hardware import SimulatedNode
+from repro.runtime.engine import Barrier, BarrierGroup, Engine, Sleep, Work
+
+F_NOM = 3.3e9
+
+
+@pytest.fixture()
+def node():
+    return SimulatedNode()
+
+
+@pytest.fixture()
+def engine(node):
+    return Engine(node)
+
+
+class TestIdleAdvance:
+    def test_run_until_with_no_tasks_advances_clock(self, engine, node):
+        t = engine.run(until=5.0)
+        assert t == pytest.approx(5.0)
+
+    def test_idle_advance_accrues_idle_energy(self, engine, node):
+        engine.run(until=10.0)
+        # 24 idle cores still leak
+        assert node.pkg_energy > 0.0
+        idle_power = node.pkg_energy / 10.0
+        assert idle_power < 60.0
+
+    def test_timers_fire_during_idle_advance(self, engine):
+        fired = []
+        engine.add_timer(1.0, fired.append, period=1.0)
+        engine.run(until=4.5)
+        assert len(fired) == 4
+
+    def test_periodic_timer_does_not_prevent_termination(self, engine):
+        """Regression: run() must return once all tasks are done, even
+        with periodic timers pending."""
+        engine.add_timer(0.1, lambda now: None, period=0.1)
+
+        def body():
+            yield Work(cycles=F_NOM)
+
+        engine.spawn(body(), core_id=0)
+        t = engine.run()
+        assert t == pytest.approx(1.0)
+
+    def test_run_after_completion_is_noop_without_until(self, engine):
+        def body():
+            yield Work(cycles=F_NOM)
+
+        engine.spawn(body(), core_id=0)
+        engine.run()
+        t = engine.run()
+        assert t == pytest.approx(1.0)
+
+
+class TestMixedStates:
+    def test_sleeper_and_worker_coexist(self, engine):
+        done = []
+
+        def worker():
+            yield Work(cycles=2 * F_NOM)
+            done.append("worker")
+
+        def sleeper():
+            yield Sleep(1.0)
+            done.append("sleeper")
+
+        engine.spawn(worker(), core_id=0)
+        engine.spawn(sleeper(), core_id=1)
+        t = engine.run()
+        assert t == pytest.approx(2.0)
+        assert done == ["sleeper", "worker"]
+
+    def test_spinner_with_active_worker_is_not_deadlock(self, engine):
+        group = BarrierGroup(2)
+
+        def early():
+            yield Barrier(group)
+
+        def late():
+            yield Work(cycles=F_NOM)
+            yield Barrier(group)
+
+        engine.spawn(early(), core_id=0)
+        engine.spawn(late(), core_id=1)
+        t = engine.run()
+        assert t == pytest.approx(1.0)
+
+    def test_sleep_then_work_sequence(self, engine):
+        def body():
+            yield Sleep(0.5)
+            yield Work(cycles=F_NOM)
+            yield Sleep(0.25)
+
+        engine.spawn(body(), core_id=0)
+        assert engine.run() == pytest.approx(1.75)
+
+    def test_until_exactly_at_completion(self, engine):
+        def body():
+            yield Work(cycles=F_NOM)
+
+        engine.spawn(body(), core_id=0)
+        t = engine.run(until=1.0)
+        assert t == pytest.approx(1.0)
+        assert engine.all_done()
+
+
+class TestUncoreScale:
+    def test_scale_reduces_available_bandwidth(self, node):
+        node.set_uncore_scale(0.5)
+        engine = Engine(node)
+
+        def body():
+            yield Work(cycles=0.0, bytes=50e9)
+
+        for c in range(24):
+            engine.spawn(body(), core_id=c)
+        t = engine.run()
+        expected = 24 * 50e9 / (node.cfg.mem_bandwidth * 0.5)
+        assert t == pytest.approx(expected)
+
+    def test_scale_validation(self, node):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            node.set_uncore_scale(0.0)
+        with pytest.raises(ConfigurationError):
+            node.set_uncore_scale(1.5)
+
+    def test_effective_bandwidth_property(self, node):
+        node.set_uncore_scale(0.8)
+        assert node.effective_mem_bandwidth == pytest.approx(
+            0.8 * node.cfg.mem_bandwidth
+        )

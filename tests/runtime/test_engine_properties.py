@@ -1,0 +1,90 @@
+"""Property-based stress tests for the engine's execution semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import SimulatedNode
+from repro.runtime.engine import Barrier, BarrierGroup, Engine, Sleep, Work
+from repro.telemetry import MessageBus, ProgressMonitor
+from repro.runtime.engine import Publish
+
+F_NOM = 3.3e9
+
+# One worker's per-iteration plan: (compute cycles, sleep seconds)
+worker_plan = st.tuples(
+    st.floats(min_value=1e6, max_value=2e9),
+    st.floats(min_value=0.0, max_value=0.3),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    plans=st.lists(worker_plan, min_size=1, max_size=4),
+    n_iterations=st.integers(min_value=1, max_value=5),
+)
+def test_random_spmd_program_timing_and_conservation(plans, n_iterations):
+    """For any barrier-synchronized SPMD program of work+sleep, the
+    total runtime equals iterations x max-worker-iteration-time, and
+    instruction counters conserve the submitted work exactly."""
+    node = SimulatedNode()
+    engine = Engine(node)
+    group = BarrierGroup(len(plans))
+
+    def body(cycles, sleep_s):
+        for _ in range(n_iterations):
+            yield Work(cycles=cycles)
+            if sleep_s > 0:
+                yield Sleep(sleep_s)
+            yield Barrier(group)
+
+    for w, (cycles, sleep_s) in enumerate(plans):
+        engine.spawn(body(cycles, sleep_s), core_id=w)
+    t_end = engine.run()
+
+    per_iter = max(c / F_NOM + s for c, s in plans)
+    assert t_end == pytest.approx(n_iterations * per_iter, rel=1e-9)
+
+    snap = node.counters.snapshot(t_end)
+    # work instructions: cycles (IPC 1); spin instructions on top
+    min_expected = n_iterations * sum(c for c, _ in plans)
+    assert snap.total("PAPI_TOT_INS") >= min_expected * (1 - 1e-12)
+    # spin instructions are bounded by total wait time at full clock
+    total_wait = sum(
+        n_iterations * (per_iter - (c / F_NOM + s)) for c, s in plans
+    )
+    max_spin = total_wait * F_NOM * node.cfg.spin_ipc
+    assert snap.total("PAPI_TOT_INS") <= (min_expected + max_spin) * (1 + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=40),
+    gap_cycles=st.floats(min_value=1e7, max_value=2e9),
+    interval=st.floats(min_value=0.3, max_value=2.0),
+)
+def test_monitor_conserves_published_progress(values, gap_cycles, interval):
+    """Whatever the publish cadence and collection interval, the monitor
+    series integrates back to exactly the total progress published
+    (lossless transport)."""
+    node = SimulatedNode()
+    engine = Engine(node)
+    bus = MessageBus(node.clock)
+    pub = bus.pub_socket()
+    engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+    monitor = ProgressMonitor(engine, bus.sub_socket("p"),
+                              interval=interval)
+
+    def body():
+        for v in values:
+            yield Work(cycles=gap_cycles)
+            yield Publish("p", v)
+
+    engine.spawn(body(), core_id=0)
+    t_end = engine.run()
+    # run one extra collection interval so the last bucket closes
+    engine.run(until=t_end + interval + 1e-9)
+    collected = float(monitor.series.values.sum()) * interval
+    assert collected == pytest.approx(sum(values), rel=1e-9)

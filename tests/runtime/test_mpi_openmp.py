@@ -1,0 +1,83 @@
+"""Unit tests for the MPI-like and OpenMP-like programming surfaces."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.runtime.engine import Engine, Work
+from repro.runtime.mpi import SimMPI
+from repro.runtime.openmp import OmpTeam
+
+F_NOM = 3.3e9
+
+
+@pytest.fixture()
+def engine():
+    return Engine(SimulatedNode())
+
+
+class TestSimMPI:
+    def test_rank_pinning(self, engine):
+        mpi = SimMPI(engine, size=4)
+        tasks = mpi.launch(lambda comm, rank: iter(()))
+        assert [t.core_id for t in tasks] == [0, 1, 2, 3]
+
+    def test_size_validation(self, engine):
+        with pytest.raises(ConfigurationError):
+            SimMPI(engine, size=0)
+        with pytest.raises(ConfigurationError):
+            SimMPI(engine, size=engine.node.cfg.n_cores + 1)
+
+    def test_barrier_synchronizes_ranks(self, engine):
+        mpi = SimMPI(engine, size=3)
+        finish_times = {}
+
+        def body(comm, rank):
+            yield Work(cycles=(rank + 1) * F_NOM)
+            yield comm.barrier()
+            finish_times[rank] = comm.wtime()
+
+        mpi.launch(body)
+        engine.run()
+        assert all(t == pytest.approx(3.0) for t in finish_times.values())
+
+    def test_wtime_is_sim_time(self, engine):
+        mpi = SimMPI(engine, size=1)
+        seen = []
+
+        def body(comm, rank):
+            yield Work(cycles=F_NOM)
+            seen.append(comm.wtime())
+
+        mpi.launch(body)
+        engine.run()
+        assert seen == [pytest.approx(1.0)]
+
+
+class TestOmpTeam:
+    def test_thread_pinning(self, engine):
+        team = OmpTeam(engine, n_threads=4)
+        tasks = team.launch(lambda tm, tid: iter(()))
+        assert [t.core_id for t in tasks] == [0, 1, 2, 3]
+
+    def test_size_validation(self, engine):
+        with pytest.raises(ConfigurationError):
+            OmpTeam(engine, n_threads=0)
+        with pytest.raises(ConfigurationError):
+            OmpTeam(engine, n_threads=engine.node.cfg.n_cores + 1)
+
+    def test_region_barrier_synchronizes(self, engine):
+        team = OmpTeam(engine, n_threads=3)
+        order = []
+
+        def body(tm, tid):
+            for it in range(2):
+                yield Work(cycles=(tid + 1) * F_NOM / 10)
+                yield tm.region_barrier()
+                if tid == 0:
+                    order.append(engine.clock.now)
+
+        team.launch(body)
+        engine.run()
+        # each region ends when the slowest thread (0.3 s) arrives
+        assert order == [pytest.approx(0.3), pytest.approx(0.6)]

@@ -1,0 +1,98 @@
+"""Tests for the powercap sysfs client (Variorum-style consumer)."""
+
+import pytest
+
+from repro.exceptions import PowercapError
+from repro.hardware import SimulatedNode
+from repro.hardware.rapl import RaplFirmware
+from repro.runtime.engine import Engine, Work
+from repro.sysfs import PowercapFS
+from repro.sysfs.client import PowercapClient
+
+
+@pytest.fixture()
+def stack():
+    node = SimulatedNode()
+    engine = Engine(node)
+    fw = RaplFirmware(node, engine)
+    client = PowercapClient(PowercapFS(node, fw))
+    return node, engine, fw, client
+
+
+class TestReads:
+    def test_zone_name(self, stack):
+        *_, client = stack
+        assert client.zone_name() == "package-0"
+
+    def test_max_power_is_tdp(self, stack):
+        node, *_, client = stack
+        assert client.max_power_w() == pytest.approx(node.cfg.tdp)
+
+    def test_power_limit_roundtrip_through_firmware(self, stack):
+        _, _, fw, client = stack
+        fw.set_limit(101.5)
+        assert client.power_limit_w() == pytest.approx(101.5)
+
+    def test_enabled_flag(self, stack):
+        _, _, fw, client = stack
+        assert client.enabled()
+        fw.disable()
+        assert not client.enabled()
+
+
+class TestWrites:
+    def test_set_power_limit_drives_firmware(self, stack):
+        _, _, fw, client = stack
+        client.set_power_limit_w(88.0)
+        assert fw.limit == pytest.approx(88.0)
+        assert fw.enabled
+
+    def test_set_time_window(self, stack):
+        _, _, fw, client = stack
+        client.set_time_window_s(0.05)
+        assert fw.window == pytest.approx(0.05)
+
+    def test_set_enabled(self, stack):
+        _, _, fw, client = stack
+        client.set_enabled(False)
+        assert not fw.enabled
+        client.set_enabled(True)
+        assert fw.enabled
+
+    def test_rejects_nonpositive_limit(self, stack):
+        *_, client = stack
+        with pytest.raises(PowercapError):
+            client.set_power_limit_w(0.0)
+
+    def test_rejects_nonpositive_window(self, stack):
+        *_, client = stack
+        with pytest.raises(PowercapError):
+            client.set_time_window_s(-1.0)
+
+
+class TestEnergyPolling:
+    def test_first_poll_primes(self, stack):
+        *_, client = stack
+        assert client.energy_delta_j() is None
+
+    def test_delta_matches_simulated_energy(self, stack):
+        node, engine, _, client = stack
+        client.energy_delta_j()
+
+        def body():
+            yield Work(cycles=3.3e9)
+
+        engine.spawn(body(), core_id=0)
+        engine.run()
+        delta = client.energy_delta_j()
+        assert delta == pytest.approx(node.pkg_energy, rel=1e-3)
+
+    def test_wraparound_handled(self, stack):
+        node, _, _, client = stack
+        wrap_uj = int(client.fs.read(
+            PowercapFS.PKG + "/max_energy_range_uj")) + 1
+        node.pkg_energy = (wrap_uj - 5) / 1e6
+        client.energy_delta_j()
+        node.pkg_energy += 10 / 1e6  # crosses the wrap
+        delta = client.energy_delta_j()
+        assert delta == pytest.approx(10 / 1e6, rel=0.2)

@@ -1,0 +1,121 @@
+"""Unit tests for the powercap sysfs emulation."""
+
+import os
+
+import pytest
+
+from repro.exceptions import PowercapError
+from repro.hardware import SimulatedNode
+from repro.hardware.rapl import RaplFirmware
+from repro.runtime.engine import Engine
+from repro.sysfs import PowercapFS
+
+
+@pytest.fixture()
+def fs():
+    node = SimulatedNode()
+    fw = RaplFirmware(node, Engine(node))
+    return node, fw, PowercapFS(node, fw)
+
+
+class TestTreeLayout:
+    def test_lists_package_and_dram_zones(self, fs):
+        _, _, pc = fs
+        paths = pc.list()
+        assert "intel-rapl/intel-rapl:0/name" in paths
+        assert "intel-rapl/intel-rapl:0/intel-rapl:0:0/name" in paths
+
+    def test_zone_names(self, fs):
+        _, _, pc = fs
+        assert pc.read("intel-rapl/intel-rapl:0/name") == "package-0\n"
+        assert pc.read(PowercapFS.DRAM + "/name") == "dram\n"
+
+    def test_exists(self, fs):
+        _, _, pc = fs
+        assert pc.exists(PowercapFS.PKG + "/energy_uj")
+        assert not pc.exists(PowercapFS.PKG + "/bogus")
+
+    def test_read_missing_file_raises(self, fs):
+        _, _, pc = fs
+        with pytest.raises(PowercapError):
+            pc.read("intel-rapl/nope")
+
+
+class TestReads:
+    def test_energy_uj_tracks_node(self, fs):
+        node, _, pc = fs
+        node.accrue(1.0)
+        uj = int(pc.read(PowercapFS.PKG + "/energy_uj"))
+        assert uj == pytest.approx(node.pkg_energy * 1e6, abs=1.0)
+
+    def test_power_limit_uw_reflects_firmware(self, fs):
+        _, fw, pc = fs
+        fw.set_limit(87.5)
+        assert int(pc.read(PowercapFS.PKG + "/constraint_0_power_limit_uw")) == 87_500_000
+
+    def test_max_power_uw_is_tdp(self, fs):
+        node, _, pc = fs
+        uw = int(pc.read(PowercapFS.PKG + "/constraint_0_max_power_uw"))
+        assert uw == int(node.cfg.tdp * 1e6)
+
+    def test_values_end_with_newline(self, fs):
+        _, _, pc = fs
+        for path in pc.list():
+            assert pc.read(path).endswith("\n")
+
+
+class TestWrites:
+    def test_write_power_limit(self, fs):
+        _, fw, pc = fs
+        pc.write(PowercapFS.PKG + "/constraint_0_power_limit_uw", "95000000\n")
+        assert fw.limit == pytest.approx(95.0)
+        assert fw.enabled
+
+    def test_write_time_window(self, fs):
+        _, fw, pc = fs
+        pc.write(PowercapFS.PKG + "/constraint_0_time_window_us", "5000")
+        assert fw.window == pytest.approx(0.005)
+
+    def test_write_enabled_zero_disables(self, fs):
+        _, fw, pc = fs
+        pc.write(PowercapFS.PKG + "/enabled", "0")
+        assert not fw.enabled
+        pc.write(PowercapFS.PKG + "/enabled", "1")
+        assert fw.enabled
+
+    def test_write_rejects_malformed_integer(self, fs):
+        _, _, pc = fs
+        with pytest.raises(PowercapError):
+            pc.write(PowercapFS.PKG + "/constraint_0_power_limit_uw", "lots")
+
+    def test_write_rejects_nonpositive_limit(self, fs):
+        _, _, pc = fs
+        with pytest.raises(PowercapError):
+            pc.write(PowercapFS.PKG + "/constraint_0_power_limit_uw", "0")
+
+    def test_write_read_only_file_raises(self, fs):
+        _, _, pc = fs
+        with pytest.raises(PowercapError):
+            pc.write(PowercapFS.PKG + "/energy_uj", "0")
+
+    def test_write_missing_file_raises(self, fs):
+        _, _, pc = fs
+        with pytest.raises(PowercapError):
+            pc.write("intel-rapl/nope", "1")
+
+    def test_write_bad_enabled_value(self, fs):
+        _, _, pc = fs
+        with pytest.raises(PowercapError):
+            pc.write(PowercapFS.PKG + "/enabled", "2")
+
+
+class TestMaterialize:
+    def test_writes_real_files(self, fs, tmp_path):
+        node, _, pc = fs
+        node.accrue(0.5)
+        root = pc.materialize(tmp_path)
+        assert os.path.isdir(root)
+        limit_file = tmp_path / PowercapFS.PKG / "constraint_0_power_limit_uw"
+        assert limit_file.read_text().strip().isdigit()
+        energy_file = tmp_path / PowercapFS.PKG / "energy_uj"
+        assert int(energy_file.read_text()) > 0

@@ -1,0 +1,85 @@
+"""Integration tests: progress monitor over engine + pub/sub."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.runtime.engine import Engine, Publish, Work
+from repro.telemetry import MessageBus, ProgressMonitor
+
+F_NOM = 3.3e9
+
+
+def make_stack(bus_kwargs=None):
+    node = SimulatedNode()
+    engine = Engine(node)
+    bus = MessageBus(node.clock, **(bus_kwargs or {}))
+    pub = bus.pub_socket()
+    engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+    return node, engine, bus
+
+
+class TestMonitor:
+    def test_rate_aggregation(self):
+        node, engine, bus = make_stack()
+        mon = ProgressMonitor(engine, bus.sub_socket("progress"))
+
+        def body():
+            # 4 iterations/s for 3 s, publishing 1 unit each
+            for _ in range(12):
+                yield Work(cycles=F_NOM / 4)
+                yield Publish("progress", 1.0)
+
+        engine.spawn(body(), core_id=0)
+        engine.run()
+        assert len(mon.series) == 3
+        assert mon.series.values.tolist() == pytest.approx([4.0, 4.0, 4.0])
+        assert mon.events_seen == 12
+
+    def test_interval_scaling(self):
+        node, engine, bus = make_stack()
+        mon = ProgressMonitor(engine, bus.sub_socket("progress"),
+                              interval=0.5)
+
+        def body():
+            for _ in range(4):
+                yield Work(cycles=F_NOM / 2)  # 2 iterations/s
+                yield Publish("progress", 1.0)
+
+        engine.spawn(body(), core_id=0)
+        engine.run()
+        assert mon.series.mean() == pytest.approx(2.0)
+
+    def test_lossy_transport_produces_zero_buckets(self):
+        """The OpenMC glitch: dropped reports appear as spurious zeros."""
+        node, engine, bus = make_stack({"drop_prob": 0.4, "seed": 11})
+        mon = ProgressMonitor(engine, bus.sub_socket("progress"))
+
+        def body():
+            for _ in range(30):
+                yield Work(cycles=F_NOM)  # 1 iteration/s
+                yield Publish("progress", 1.0)
+
+        engine.spawn(body(), core_id=0)
+        engine.run()
+        values = mon.series.values
+        assert (values == 0.0).any()
+        assert values.max() > 0.0
+
+    def test_stop_halts_collection(self):
+        node, engine, bus = make_stack()
+        mon = ProgressMonitor(engine, bus.sub_socket("progress"))
+        mon.stop()
+
+        def body():
+            yield Work(cycles=2 * F_NOM)
+            yield Publish("progress", 1.0)
+
+        engine.spawn(body(), core_id=0)
+        engine.run()
+        assert len(mon.series) == 0
+
+    def test_rejects_bad_interval(self):
+        node, engine, bus = make_stack()
+        with pytest.raises(ConfigurationError):
+            ProgressMonitor(engine, bus.sub_socket("p"), interval=0.0)

@@ -1,0 +1,136 @@
+"""Tests for per-rank progress and job-level reduction (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.kernels import KernelSpec, PhaseSpec
+from repro.core.categories import Category, OnlineMetric
+from repro.exceptions import ConfigurationError
+from repro.hardware import SimulatedNode
+from repro.runtime.engine import Engine
+from repro.telemetry import MessageBus, ProgressMonitor
+from repro.telemetry.reduction import JobProgressReducer
+
+F_NOM = 3.3e9
+
+
+def make_app(jitter=0.0, n_workers=3, iterations=30):
+    spec = AppSpec(
+        name="toy",
+        description="per-rank toy",
+        category=Category.CATEGORY_1,
+        metric=OnlineMetric("Iterations per second", "it/s"),
+        parallelism="openmp",
+        phases=(PhaseSpec("main",
+                          KernelSpec(cycles=0.33e9, jitter=jitter),
+                          iterations=iterations,
+                          progress_per_iteration=float(n_workers)),),
+    )
+    app = SyntheticApp(spec, n_workers=n_workers, seed=3)
+    app.per_rank_progress = True
+    return app
+
+
+def run_with_reducer(app, interval=1.0):
+    node = SimulatedNode()
+    engine = Engine(node)
+    bus = MessageBus(node.clock)
+    pub = bus.pub_socket()
+    engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+    reducer = JobProgressReducer(engine, bus, app.rank_topic_prefix,
+                                 app.n_workers, interval=interval)
+    app_monitor = ProgressMonitor(engine, bus.sub_socket(app.topic),
+                                  interval=interval)
+    app.launch(engine)
+    engine.run()
+    return reducer, app_monitor
+
+
+class TestJobProgressReducer:
+    def test_validation(self):
+        node = SimulatedNode()
+        engine = Engine(node)
+        bus = MessageBus(node.clock)
+        with pytest.raises(ConfigurationError):
+            JobProgressReducer(engine, bus, "p", n_ranks=0)
+
+    def test_reduce_before_samples_raises(self):
+        node = SimulatedNode()
+        engine = Engine(node)
+        bus = MessageBus(node.clock)
+        reducer = JobProgressReducer(engine, bus, "p", n_ranks=2)
+        with pytest.raises(ConfigurationError):
+            reducer.mean_rate()
+
+    def test_balanced_app_has_unit_imbalance(self):
+        reducer, _ = run_with_reducer(make_app(jitter=0.0))
+        imb = reducer.imbalance()
+        finite = imb.values[np.isfinite(imb.values)]
+        assert np.all(finite == pytest.approx(1.0))
+
+    def test_min_le_mean_le_max(self):
+        reducer, _ = run_with_reducer(make_app(jitter=0.1))
+        mn = reducer.min_rate().values
+        mean = reducer.mean_rate().values
+        mx = reducer.max_rate().values
+        assert np.all(mn <= mean + 1e-12)
+        assert np.all(mean <= mx + 1e-12)
+
+    def test_jitter_shows_up_as_imbalance(self):
+        # fine monitor interval so rank finish-time skew straddles
+        # collection boundaries
+        reducer, _ = run_with_reducer(make_app(jitter=0.3, iterations=80),
+                                      interval=0.25)
+        imb = reducer.imbalance()
+        finite = imb.values[np.isfinite(imb.values)]
+        assert finite.max() > 1.0
+
+    def test_per_rank_sum_matches_app_level(self):
+        app = make_app(jitter=0.0)
+        reducer, app_monitor = run_with_reducer(app)
+        # each rank publishes progress/n_workers; mean * n == app rate
+        mean = reducer.mean_rate()
+        n = min(len(mean), len(app_monitor.series))
+        per_rank_total = mean.values[:n] * app.n_workers
+        assert per_rank_total == pytest.approx(
+            app_monitor.series.values[:n]
+        )
+
+    def test_stop(self):
+        app = make_app()
+        node = SimulatedNode()
+        engine = Engine(node)
+        bus = MessageBus(node.clock)
+        pub = bus.pub_socket()
+        engine.on_publish(lambda t, topic, v: pub.send(topic, v))
+        reducer = JobProgressReducer(engine, bus, app.rank_topic_prefix, app.n_workers)
+        reducer.stop()
+        app.launch(engine)
+        engine.run()
+        with pytest.raises(ConfigurationError):
+            reducer.mean_rate()
+
+
+class TestPerRankPublishing:
+    def test_disabled_by_default(self):
+        app = make_app()
+        app.per_rank_progress = False
+        node = SimulatedNode()
+        engine = Engine(node)
+        topics = set()
+        engine.on_publish(lambda t, topic, v: topics.add(topic))
+        app.launch(engine)
+        engine.run()
+        assert topics == {"progress/toy"}
+
+    def test_enabled_publishes_per_rank_topics(self):
+        app = make_app(n_workers=2, iterations=3)
+        node = SimulatedNode()
+        engine = Engine(node)
+        topics = set()
+        engine.on_publish(lambda t, topic, v: topics.add(topic))
+        app.launch(engine)
+        engine.run()
+        assert topics == {"progress/toy", "rank-progress/toy/rank0",
+                          "rank-progress/toy/rank1"}

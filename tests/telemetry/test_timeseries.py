@@ -1,0 +1,123 @@
+"""Unit and property tests for TimeSeries."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry import TimeSeries
+
+
+class TestBasics:
+    def test_empty(self):
+        ts = TimeSeries("x")
+        assert len(ts) == 0
+        assert ts.is_empty()
+
+    def test_append_and_access(self):
+        ts = TimeSeries("x")
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 20.0)
+        assert len(ts) == 2
+        assert ts[0] == (1.0, 10.0)
+        assert list(ts) == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_constructor_samples(self):
+        ts = TimeSeries("x", [(0.0, 1.0), (1.0, 2.0)])
+        assert len(ts) == 2
+
+    def test_rejects_time_going_backwards(self):
+        ts = TimeSeries("x")
+        ts.append(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ts.append(1.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries("x")
+        ts.append(1.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_arrays_are_copies(self):
+        ts = TimeSeries("x", [(0.0, 1.0)])
+        ts.values[0] = 99.0
+        assert ts[0][1] == 1.0
+
+
+class TestStatistics:
+    @pytest.fixture()
+    def ts(self):
+        return TimeSeries("x", [(0.0, 2.0), (1.0, 4.0), (2.0, 6.0)])
+
+    def test_mean(self, ts):
+        assert ts.mean() == pytest.approx(4.0)
+
+    def test_min_max(self, ts):
+        assert ts.min() == 2.0
+        assert ts.max() == 6.0
+
+    def test_std(self, ts):
+        assert ts.std() == pytest.approx(np.std([2.0, 4.0, 6.0]))
+
+    def test_cv(self, ts):
+        assert ts.coefficient_of_variation() == pytest.approx(ts.std() / 4.0)
+
+    def test_cv_undefined_at_zero_mean(self):
+        ts = TimeSeries("x", [(0.0, -1.0), (1.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            ts.coefficient_of_variation()
+
+    def test_empty_stats_raise(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeries("x").mean()
+
+
+class TestWindow:
+    def test_half_open_interval(self):
+        ts = TimeSeries("x", [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)])
+        w = ts.window(0.5, 2.0)
+        assert list(w) == [(1.0, 2.0)]
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeries("x").window(2.0, 1.0)
+
+
+class TestResample:
+    def test_averages_within_bins(self):
+        ts = TimeSeries("x", [(0.1, 1.0), (0.6, 3.0), (1.2, 10.0)])
+        r = ts.resample(1.0, t_start=0.0, t_end=2.0)
+        assert len(r) == 2
+        assert r[0] == (pytest.approx(1.0), pytest.approx(2.0))
+        assert r[1] == (pytest.approx(2.0), pytest.approx(10.0))
+
+    def test_empty_bins_filled(self):
+        ts = TimeSeries("x", [(0.5, 4.0), (2.5, 6.0)])
+        r = ts.resample(1.0, t_start=0.0, t_end=3.0, fill=-1.0)
+        assert r.values.tolist() == [4.0, -1.0, 6.0]
+
+    def test_rejects_nonpositive_interval(self):
+        ts = TimeSeries("x", [(0.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            ts.resample(0.0)
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeries("x").resample(1.0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100),
+                  st.floats(min_value=-1e6, max_value=1e6)),
+        min_size=1, max_size=50,
+    )
+)
+def test_resample_preserves_value_range(samples):
+    samples = sorted(samples, key=lambda s: s[0])
+    ts = TimeSeries("x", samples)
+    r = ts.resample(1.0, t_start=0.0, t_end=101.0, fill=ts.min())
+    # bin means never exceed the raw extremes
+    assert r.max() <= ts.max() + 1e-9
+    assert r.min() >= ts.min() - 1e-9
