@@ -29,7 +29,8 @@ class NodeInstance:
     """A self-contained node running one application under a budget."""
 
     def __init__(self, node_id: int, cfg: NodeConfig, app_name: str,
-                 app_kwargs: dict | None = None, seed: int = 0) -> None:
+                 app_kwargs: dict | None = None, seed: int = 0,
+                 initial_budget: float | None = None) -> None:
         self.node_id = node_id
         self.node = SimulatedNode(cfg)
         self.engine = Engine(self.node)
@@ -37,6 +38,13 @@ class NodeInstance:
         self.libmsr = LibMSR(MSRSafe(MSRDevice(self.node, self.firmware)),
                              self.node.clock)
         self.policy = BudgetTrackingPolicy(self.engine, self.libmsr)
+        if initial_budget is not None:
+            # Apply the admission-time cap *before* the first cycle runs:
+            # the tracking policy only enforces budgets on its next tick,
+            # which would leave a capped job uncapped for its first
+            # second — enough to blow a cluster power budget at scale.
+            self.libmsr.set_pkg_power_limit(initial_budget)
+            self.policy.receive_budget(initial_budget)
 
         kwargs = dict(app_kwargs or {})
         kwargs.setdefault("seed", seed)
@@ -85,6 +93,14 @@ class NodeInstance:
         if recent.is_empty():
             return 0.0
         return float(recent.values.mean())
+
+    def cumulative_progress(self) -> float:
+        """Total progress units published so far (the 1 Hz monitor's
+        rate samples integrated over their collection windows)."""
+        series = self.monitor.series
+        if series.is_empty():
+            return 0.0
+        return float(series.values.sum()) * self.monitor.interval
 
     def epoch_energy(self) -> float:
         """Package energy consumed since the previous call (joules)."""

@@ -82,8 +82,10 @@ class ProgressAwareRebalancer:
         r = np.asarray(rates, dtype=float)
         uniform = self.budget / n
         mean = r.mean()
-        if mean <= 0:
-            # no progress signal yet: fall back to uniform
+        if not np.isfinite(mean) or mean <= 0:
+            # no usable progress signal (all-zero epoch, NaN/inf samples,
+            # or a degenerate negative sum): dividing by the mean would
+            # poison every budget, so fall back to the uniform split
             return [uniform] * n
         # deficit > 0 for slow nodes, < 0 for fast ones; zero-sum before
         # the bound projection

@@ -119,6 +119,13 @@ class PowerCapModel:
         cap."""
         return self.delta_progress(self.effective_core_cap(p_cap))
 
+    def slowdown_at_package_cap(self, p_cap: float) -> float:
+        """Predicted *fractional* progress slowdown under a package cap:
+        ``delta / r_max`` in [0, 1). This is the quantity a resource
+        manager compares against a job's slowdown tolerance when
+        choosing a cap (the paper's Section VI use case)."""
+        return self.delta_progress_at_package_cap(p_cap) / self.r_max
+
     # -- inverse (the paper's stated use case: pick a budget for a target
     # performance) ---------------------------------------------------------
 

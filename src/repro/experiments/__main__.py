@@ -19,6 +19,7 @@ import time
 from repro.experiments import (
     extension_energy,
     extension_intrusiveness,
+    extension_scheduler,
     extension_techniques,
     figure1,
     figure2,
@@ -62,6 +63,8 @@ _EXPERIMENTS = {
         duration=6.0 if quick else 10.0,
         warmup=2.5 if quick else 4.0, seed=seed),
         extension_techniques.render),
+    "extension_scheduler": (lambda seed, quick: extension_scheduler.run(
+        seed=seed, quick=quick), extension_scheduler.render),
 }
 
 
@@ -70,12 +73,21 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate a table or figure from the paper.",
     )
-    parser.add_argument("name", choices=sorted(_EXPERIMENTS) + ["all"],
+    parser.add_argument("name", nargs="?",
+                        choices=sorted(_EXPERIMENTS) + ["all"],
                         help="experiment to run (or 'all')")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--quick", action="store_true",
                         help="reduced repeats/durations")
+    parser.add_argument("--list", action="store_true",
+                        help="print the registered experiment names and exit")
     args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(sorted(_EXPERIMENTS)))
+        return 0
+    if args.name is None:
+        parser.error("an experiment name is required (or use --list)")
 
     names = sorted(_EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:

@@ -1,0 +1,55 @@
+"""Power-aware multi-job cluster scheduling (extension).
+
+The paper's Section VI builds a model so that "a resource manager can
+predict the progress slowdown a power cap will cause *before* applying
+it"; this subpackage is the layer that actually spends those
+predictions. It schedules a queue of jobs onto a shared node pool under
+a cluster-wide power budget, choosing per-job RAPL caps whose predicted
+slowdown stays inside each job's declared tolerance (the Eco-Mode
+contract of Angelelli et al., 2024) and backfilling with the power the
+caps free up:
+
+* :mod:`repro.scheduler.job` — the job model (work target + eco-mode
+  slowdown tolerance) and per-job bookkeeping,
+* :mod:`repro.scheduler.queue` — the deterministic submission queue,
+* :mod:`repro.scheduler.powerbook` — per-application power/progress
+  profiles with fitted progress models, used for cap selection,
+* :mod:`repro.scheduler.scheduler` — the FCFS / power-aware-backfill
+  epoch loop with intra-job progress-aware rebalancing,
+* :mod:`repro.scheduler.events` — the typed decision-trace log,
+* :mod:`repro.scheduler.report` — per-job and cluster-level outcomes.
+"""
+
+from repro.scheduler.events import (
+    BudgetViolation,
+    CapSelected,
+    EventLog,
+    JobCompleted,
+    JobStarted,
+    JobSubmitted,
+    SchedulerEvent,
+)
+from repro.scheduler.job import Job, JobRecord, JobState
+from repro.scheduler.powerbook import AppPowerProfile, PowerBook
+from repro.scheduler.queue import JobQueue
+from repro.scheduler.report import SchedulerReport
+from repro.scheduler.scheduler import PowerAwareScheduler, SchedulerConfig
+
+__all__ = [
+    "Job",
+    "JobRecord",
+    "JobState",
+    "JobQueue",
+    "AppPowerProfile",
+    "PowerBook",
+    "PowerAwareScheduler",
+    "SchedulerConfig",
+    "SchedulerReport",
+    "SchedulerEvent",
+    "EventLog",
+    "JobSubmitted",
+    "CapSelected",
+    "JobStarted",
+    "JobCompleted",
+    "BudgetViolation",
+]

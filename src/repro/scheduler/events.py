@@ -1,0 +1,112 @@
+"""Structured scheduler telemetry: a typed, append-only event log.
+
+Every decision the scheduler makes is recorded as a frozen dataclass —
+submissions, cap selections, placements, completions, and budget
+violations — so experiments can assert on the *decision trace* (not
+just aggregate outcomes) and two runs with the same seed can be
+compared event-by-event for determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Type, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "SchedulerEvent",
+    "JobSubmitted",
+    "CapSelected",
+    "JobStarted",
+    "JobCompleted",
+    "BudgetViolation",
+    "EventLog",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerEvent:
+    """Base class: something that happened at a simulated time."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class JobSubmitted(SchedulerEvent):
+    job_id: str
+    app_name: str
+    n_nodes: int
+    max_slowdown: float | None
+
+
+@dataclass(frozen=True)
+class CapSelected(SchedulerEvent):
+    """The model-driven admission decision for an eco-mode job."""
+
+    job_id: str
+    cap: float                   #: chosen per-node package cap (W)
+    predicted_slowdown: float    #: model prediction at that cap
+    tolerance: float             #: the job's declared max slowdown
+
+
+@dataclass(frozen=True)
+class JobStarted(SchedulerEvent):
+    job_id: str
+    slots: tuple[int, ...]
+    cap: float | None
+    demand: float                #: power charged against the budget (W)
+
+
+@dataclass(frozen=True)
+class JobCompleted(SchedulerEvent):
+    job_id: str
+    run_time: float
+    measured_slowdown: float
+
+
+@dataclass(frozen=True)
+class BudgetViolation(SchedulerEvent):
+    """Measured cluster power exceeded the budget over one epoch."""
+
+    power: float
+    budget: float
+
+
+_E = TypeVar("_E", bound=SchedulerEvent)
+
+
+class EventLog:
+    """Append-only, time-ordered log of :class:`SchedulerEvent`."""
+
+    def __init__(self) -> None:
+        self._events: list[SchedulerEvent] = []
+
+    def append(self, event: SchedulerEvent) -> None:
+        if self._events and event.time < self._events[-1].time - 1e-12:
+            raise ConfigurationError(
+                f"event at t={event.time} precedes last event "
+                f"t={self._events[-1].time}")
+        self._events.append(event)
+
+    def of_type(self, kind: Type[_E]) -> list[_E]:
+        """All events of a given type, in order."""
+        return [e for e in self._events if isinstance(e, kind)]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SchedulerEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, idx: int) -> SchedulerEvent:
+        return self._events[idx]
+
+    def render(self) -> str:
+        """Human-readable one-line-per-event trace."""
+        lines = []
+        for e in self._events:
+            fields = {k: v for k, v in vars(e).items() if k != "time"}
+            body = " ".join(f"{k}={v}" for k, v in fields.items())
+            lines.append(f"t={e.time:8.2f}  {type(e).__name__:16s} {body}")
+        return "\n".join(lines)

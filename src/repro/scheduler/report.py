@@ -1,0 +1,130 @@
+"""Aggregated outcome of one scheduler run.
+
+:class:`SchedulerReport` collects what a site operator (or an
+acceptance test) asks of a power-aware scheduler: per-job wait/run
+times and slowdown compliance, cluster power utilisation against the
+budget, makespan, energy, and the model's per-job prediction error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.report import ascii_table, series_block
+from repro.scheduler.events import EventLog
+from repro.scheduler.job import JobRecord
+from repro.telemetry.timeseries import TimeSeries
+
+__all__ = ["SchedulerReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class SchedulerReport:
+    """Everything measured in one scheduler run."""
+
+    policy: str
+    n_slots: int
+    power_budget: float
+    records: tuple[JobRecord, ...]       #: completed jobs, submission order
+    makespan: float                      #: last interpolated completion time
+    total_energy: float                  #: package energy, all nodes (J)
+    violations: int                      #: epochs with power > budget
+    power: TimeSeries                    #: per-epoch mean cluster power (W)
+    committed: TimeSeries                #: per-epoch admitted demand (W)
+    utilisation: TimeSeries              #: per-epoch busy-slot fraction
+    events: EventLog
+
+    # -- aggregates --------------------------------------------------------
+
+    def mean_wait(self) -> float:
+        """Mean queue wait across jobs (s)."""
+        self._require_jobs()
+        return float(np.mean([r.wait_time for r in self.records]))
+
+    def mean_power_utilisation(self) -> float:
+        """Mean measured power as a fraction of the budget."""
+        if self.power.is_empty():
+            raise ConfigurationError("run produced no power samples")
+        return self.power.mean() / self.power_budget
+
+    def all_within_tolerance(self) -> bool:
+        """Did every job honour its declared slowdown tolerance?"""
+        self._require_jobs()
+        return all(r.within_tolerance for r in self.records)
+
+    def max_prediction_error(self) -> float:
+        """Worst |predicted - measured| slowdown among capped jobs."""
+        errors = [r.prediction_error for r in self.records
+                  if r.cap is not None]
+        return max(errors) if errors else 0.0
+
+    def _require_jobs(self) -> None:
+        if not self.records:
+            raise ConfigurationError("report contains no completed jobs")
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        rows = []
+        for r in self.records:
+            job = r.job
+            rows.append([
+                job.job_id,
+                job.app_name,
+                job.n_nodes,
+                "-" if job.max_slowdown is None else f"{job.max_slowdown:.0%}",
+                "uncapped" if r.cap is None else f"{r.cap:.0f}",
+                f"{r.wait_time:.1f}",
+                f"{r.run_time:.1f}",
+                f"{r.predicted_slowdown:.1%}",
+                "-" if math.isnan(r.measured_slowdown)
+                else f"{r.measured_slowdown:.1%}",
+                "-" if r.cap is None else f"{r.prediction_error * 100:.1f}pp",
+                "Y" if r.within_tolerance else "N",
+            ])
+        table = ascii_table(
+            ["Job", "App", "Nodes", "Tol", "Cap (W)", "Wait (s)",
+             "Run (s)", "Pred slow", "Meas slow", "Model err", "OK"],
+            rows,
+            title=f"[{self.policy}] budget={self.power_budget:.0f} W, "
+                  f"{self.n_slots} slots",
+        )
+        summary = (
+            f"  makespan {self.makespan:.1f} s | energy "
+            f"{self.total_energy / 1e3:.1f} kJ | mean wait "
+            f"{self.mean_wait():.1f} s | budget violations "
+            f"{self.violations} | power utilisation "
+            f"{self.mean_power_utilisation():.0%}"
+        )
+        return "\n".join([
+            table,
+            summary,
+            series_block("  cluster power", self.power, unit="W"),
+            series_block("  busy slots", self.utilisation, unit="frac"),
+        ])
+
+
+def build_report(*, policy: str, n_slots: int, power_budget: float,
+                 records: list[JobRecord], total_energy: float,
+                 violations: int, power: TimeSeries, committed: TimeSeries,
+                 utilisation: TimeSeries, events: EventLog
+                 ) -> SchedulerReport:
+    """Assemble the report from the scheduler's raw state."""
+    ends = [r.end_time for r in records if not math.isnan(r.end_time)]
+    return SchedulerReport(
+        policy=policy,
+        n_slots=n_slots,
+        power_budget=power_budget,
+        records=tuple(records),
+        makespan=max(ends) if ends else 0.0,
+        total_energy=total_energy,
+        violations=violations,
+        power=power,
+        committed=committed,
+        utilisation=utilisation,
+        events=events,
+    )

@@ -1,0 +1,462 @@
+"""Power-aware multi-job cluster scheduler.
+
+The missing layer between the paper's single-job cluster
+(:mod:`repro.cluster.simulation`) and a resource manager: a
+discrete-event scheduler that admits a queue of :class:`Job`\\ s onto a
+shared pool of node slots while keeping the *cluster's* power draw
+under a budget — by spending the progress model's predictions at
+admission time.
+
+Admission works like Eco-Mode (Angelelli et al., 2024): an eco job
+declares the slowdown it tolerates; the scheduler asks the power book
+for the cheapest per-node cap whose *predicted* slowdown (Eqs. 1-7,
+fitted alpha) stays inside that tolerance, charges ``n_nodes * cap``
+watts against the budget, and applies the cap through RAPL before the
+job's first cycle. Jobs without a tolerance are charged their measured
+uncapped draw. Two policies decide *who* starts:
+
+* ``fcfs`` — strict queue order: the head waits for nodes *and* watts;
+  nobody overtakes it.
+* ``backfill`` — power-aware backfill: when the head does not fit,
+  later jobs that fit the *current* node and power holes may start.
+  Because eco jobs shrink their own power demand to fit, capping turns
+  queue wait into (bounded) slowdown — the Eco-Mode trade.
+
+While a job runs, its per-node budgets are re-allocated every epoch by
+the paper-enabled :class:`~repro.cluster.policies.ProgressAwareRebalancer`
+(slow nodes get more of the job's fixed power), so intra-job
+variability is handled by the same machinery the single-job cluster
+uses. The loop is deterministic: same seed, same workload -> identical
+event trace, placements, caps, and completion times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node_instance import NodeInstance
+from repro.cluster.policies import ProgressAwareRebalancer
+from repro.cluster.variability import perturb_config
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.hardware.config import NodeConfig, skylake_config
+from repro.scheduler.events import (
+    BudgetViolation,
+    CapSelected,
+    EventLog,
+    JobCompleted,
+    JobStarted,
+    JobSubmitted,
+)
+from repro.scheduler.job import Job, JobRecord, JobState
+from repro.scheduler.powerbook import PowerBook
+from repro.scheduler.queue import JobQueue
+from repro.scheduler.report import SchedulerReport, build_report
+from repro.telemetry.timeseries import TimeSeries
+
+__all__ = ["SchedulerConfig", "PowerAwareScheduler"]
+
+_POLICIES = ("fcfs", "backfill")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Static parameters of one scheduler run.
+
+    Attributes
+    ----------
+    n_slots:
+        Node slots in the shared pool.
+    power_budget:
+        Cluster-wide package power budget (W).
+    policy:
+        ``"fcfs"`` or ``"backfill"``.
+    epoch:
+        Re-allocation/telemetry interval (s); 1 s matches the paper's
+        monitor.
+    min_cap:
+        Lowest per-node cap the scheduler will ever select (W) — below
+        this RAPL falls back to duty-cycling and the model is useless.
+    cap_step:
+        Candidate-cap grid spacing for eco admission (W).
+    eco_margin:
+        Fraction of a job's tolerance the *predicted* slowdown may use;
+        the rest absorbs residual model error.
+    n_workers:
+        Workers per node-application instance.
+    variability:
+        ``(sigma_dynamic, sigma_static)`` per-slot manufacturing
+        spread, or None for identical slots.
+    seed:
+        Master seed for slot variability and application noise.
+    max_time:
+        Hard wall on simulated time — exceeded means a job cannot
+        finish (e.g. its application holds less work than
+        ``work_units``), which raises instead of looping forever.
+    stall_epochs:
+        Consecutive epochs a running job may show zero progress on
+        every node before the scheduler declares it wedged.
+    """
+
+    n_slots: int
+    power_budget: float
+    policy: str = "backfill"
+    epoch: float = 1.0
+    min_cap: float = 55.0
+    cap_step: float = 5.0
+    eco_margin: float = 0.8
+    n_workers: int = 8
+    variability: tuple[float, float] | None = None
+    seed: int = 0
+    max_time: float = 100_000.0
+    stall_epochs: int = 30
+
+    def __post_init__(self) -> None:
+        if self.n_slots < 1:
+            raise ConfigurationError(
+                f"n_slots must be >= 1, got {self.n_slots}")
+        if self.power_budget <= 0:
+            raise ConfigurationError("power_budget must be positive")
+        if self.policy not in _POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {_POLICIES}, got {self.policy!r}")
+        if self.epoch <= 0:
+            raise ConfigurationError("epoch must be positive")
+        if self.min_cap <= 0 or self.cap_step <= 0:
+            raise ConfigurationError("min_cap and cap_step must be positive")
+        if not 0.0 < self.eco_margin <= 1.0:
+            raise ConfigurationError("eco_margin must lie in (0, 1]")
+        if self.n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        if self.max_time <= 0 or self.stall_epochs < 1:
+            raise ConfigurationError("bad max_time/stall_epochs")
+
+
+class _RunningJob:
+    """Live state of a placed job (nodes advance on a local clock)."""
+
+    __slots__ = ("record", "nodes", "rebalancer", "start", "stalled",
+                 "last_cumulative")
+
+    def __init__(self, record: JobRecord, nodes: list[NodeInstance],
+                 rebalancer: ProgressAwareRebalancer | None,
+                 start: float) -> None:
+        self.record = record
+        self.nodes = nodes
+        self.rebalancer = rebalancer
+        self.start = start
+        self.stalled = 0
+        self.last_cumulative = 0.0
+
+    def local_time(self, now: float) -> float:
+        return now - self.start
+
+    def min_cumulative(self) -> float:
+        return min(n.cumulative_progress() for n in self.nodes)
+
+
+class PowerAwareScheduler:
+    """Admit, place, cap, and run a queue of jobs under a power budget.
+
+    Parameters
+    ----------
+    config:
+        Run parameters.
+    powerbook:
+        Per-application power/progress profiles (characterized lazily
+        for every distinct ``app_name`` submitted).
+    cfg:
+        Baseline slot hardware configuration.
+    """
+
+    def __init__(self, config: SchedulerConfig, powerbook: PowerBook,
+                 cfg: NodeConfig | None = None) -> None:
+        self.config = config
+        self.book = powerbook
+        base = cfg if cfg is not None else skylake_config()
+        self._slot_cfgs: list[NodeConfig] = []
+        for slot in range(config.n_slots):
+            slot_cfg = base
+            if config.variability is not None:
+                rng = np.random.default_rng([config.seed, slot])
+                slot_cfg = perturb_config(
+                    base, rng, sigma_dynamic=config.variability[0],
+                    sigma_static=config.variability[1])
+            self._slot_cfgs.append(slot_cfg)
+        self._free_slots: list[int] = list(range(config.n_slots))
+        self.queue = JobQueue()
+        self.records: dict[str, JobRecord] = {}
+        self.events = EventLog()
+        self.power_series = TimeSeries("cluster-power")
+        self.committed_series = TimeSeries("committed-power")
+        self.utilisation = TimeSeries("slot-utilisation")
+        self.now = 0.0
+        self.violations = 0
+        self.total_energy = 0.0
+        self._running: dict[str, _RunningJob] = {}
+        self._started = 0  # submission-independent placement counter
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Enqueue a job (before or during :meth:`run`)."""
+        if job.n_nodes > self.config.n_slots:
+            raise ConfigurationError(
+                f"job {job.job_id!r} wants {job.n_nodes} nodes but the "
+                f"cluster has {self.config.n_slots}")
+        if job.submit_time < self.now:
+            raise ConfigurationError(
+                f"job {job.job_id!r} submitted in the past "
+                f"({job.submit_time} < {self.now})")
+        self.queue.submit(job)
+        self.records[job.job_id] = JobRecord(job=job)
+        # logged at the call time (the log is time-ordered and callers
+        # may pre-submit future arrivals in any order); the arrival
+        # itself is job.submit_time
+        self.events.append(JobSubmitted(
+            time=self.now, job_id=job.job_id, app_name=job.app_name,
+            n_nodes=job.n_nodes, max_slowdown=job.max_slowdown))
+
+    # ------------------------------------------------------------------
+    # Admission planning
+    # ------------------------------------------------------------------
+
+    def _plan(self, job: Job) -> tuple[float | None, float, float]:
+        """(cap, per-node power demand, predicted slowdown) for a job.
+
+        Eco jobs get the cheapest model-approved cap; rigid jobs are
+        charged their measured uncapped package draw.
+        """
+        profile = self.book.profile(job.app_name)
+        if job.max_slowdown is None:
+            return None, profile.p_uncapped, 0.0
+        ceiling = min(self._slot_cfgs[0].tdp, profile.p_uncapped)
+        floor = min(self.config.min_cap, ceiling)
+        cap, predicted = profile.cheapest_cap(
+            job.max_slowdown, floor=floor, ceiling=ceiling,
+            step=self.config.cap_step, margin=self.config.eco_margin)
+        return cap, cap, predicted
+
+    def _committed_power(self) -> float:
+        return sum(run.record.demand for run in self._running.values())
+
+    def _fits(self, job: Job, node_power: float) -> bool:
+        if job.n_nodes > len(self._free_slots):
+            return False
+        demand = job.n_nodes * node_power
+        return self._committed_power() + demand \
+            <= self.config.power_budget + 1e-9
+
+    def _try_start_jobs(self) -> None:
+        for job in self.queue.visible(self.now):
+            cap, node_power, predicted = self._plan(job)
+            if self._fits(job, node_power):
+                self._start(job, cap, node_power, predicted)
+            elif self.config.policy == "fcfs":
+                # strict queue order: nobody overtakes a blocked head
+                break
+            # backfill: leave the blocked job queued and keep walking —
+            # later jobs may fit the current node/power holes
+
+    def _start(self, job: Job, cap: float | None, node_power: float,
+               predicted: float) -> None:
+        record = self.records[job.job_id]
+        self.queue.remove(job.job_id)
+        slots = tuple(self._free_slots[:job.n_nodes])
+        del self._free_slots[:job.n_nodes]
+        if cap is not None:
+            self.events.append(CapSelected(
+                time=self.now, job_id=job.job_id, cap=cap,
+                predicted_slowdown=predicted, tolerance=job.max_slowdown))
+
+        nodes = []
+        for k, slot in enumerate(slots):
+            kwargs = dict(job.app_kwargs or {})
+            kwargs.setdefault("n_workers", self.config.n_workers)
+            nodes.append(NodeInstance(
+                node_id=slot,
+                cfg=self._slot_cfgs[slot],
+                app_name=job.app_name,
+                app_kwargs=kwargs,
+                seed=self.config.seed + 7919 * self._started + 131 * k,
+                initial_budget=cap,
+            ))
+        self._started += 1
+
+        rebalancer = None
+        if cap is not None and job.n_nodes >= 2:
+            # re-shuffle the job's fixed power between its nodes; bounds
+            # keep every node inside RAPL's useful range around the cap
+            rebalancer = ProgressAwareRebalancer(
+                cap * job.n_nodes,
+                min_node=cap * 0.7,
+                max_node=min(self._slot_cfgs[0].tdp, cap * 1.5),
+            )
+
+        record.state = JobState.RUNNING
+        record.slots = slots
+        record.cap = cap
+        record.node_power = node_power
+        record.predicted_slowdown = predicted
+        record.start_time = self.now
+        self._running[job.job_id] = _RunningJob(
+            record, nodes, rebalancer, self.now)
+        self.events.append(JobStarted(
+            time=self.now, job_id=job.job_id, slots=slots, cap=cap,
+            demand=record.demand))
+
+    # ------------------------------------------------------------------
+    # Epoch loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SchedulerReport:
+        """Drive the cluster until every submitted job has completed."""
+        epoch = self.config.epoch
+        while self.queue or self._running:
+            if self.now > self.config.max_time:
+                raise SimulationError(
+                    f"scheduler exceeded max_time={self.config.max_time}: "
+                    f"queued={[j.job_id for j in self.queue]} "
+                    f"running={sorted(self._running)}")
+            self._try_start_jobs()
+            if not self._running:
+                # nothing runnable: idle-hop to the next arrival
+                nxt = self.queue.next_arrival(self.now)
+                if nxt is None:
+                    raise SimulationError(
+                        "queued jobs can never start: "
+                        f"{[j.job_id for j in self.queue]}")
+                hops = max(1, math.ceil((nxt - self.now) / epoch - 1e-9))
+                self.now += hops * epoch
+                continue
+            self._rebalance()
+            self._advance_epoch()
+        return self._report()
+
+    def _rebalance(self) -> None:
+        window = 3 * self.config.epoch
+        for run in self._running.values():
+            if run.rebalancer is None:
+                continue
+            rates = [n.recent_rate(window=window) for n in run.nodes]
+            for node, budget in zip(run.nodes, run.rebalancer.allocate(rates)):
+                node.receive_budget(budget)
+
+    def _advance_epoch(self) -> None:
+        epoch = self.config.epoch
+        self.now += epoch
+        epoch_energy = 0.0
+        for run in self._running.values():
+            target = run.local_time(self.now)
+            for node in run.nodes:
+                node.advance(target)
+                epoch_energy += node.epoch_energy()
+        self.total_energy += epoch_energy
+        power = epoch_energy / epoch
+        busy = self.config.n_slots - len(self._free_slots)
+        self.power_series.append(self.now, power)
+        self.committed_series.append(self.now, self._committed_power())
+        self.utilisation.append(self.now, busy / self.config.n_slots)
+        if power > self.config.power_budget + 1e-6:
+            self.violations += 1
+            self.events.append(BudgetViolation(
+                time=self.now, power=power, budget=self.config.power_budget))
+        self._complete_finished()
+
+    def _complete_finished(self) -> None:
+        for job_id in list(self._running):
+            run = self._running[job_id]
+            job = run.record.job
+            cumulative = run.min_cumulative()
+            if cumulative <= run.last_cumulative + 1e-12:
+                run.stalled += 1
+                if run.stalled >= self.config.stall_epochs:
+                    raise SimulationError(
+                        f"job {job_id!r} made no progress for "
+                        f"{run.stalled} epochs — its application likely "
+                        f"holds less work than work_units={job.work_units}")
+            else:
+                run.stalled = 0
+            run.last_cumulative = cumulative
+            if cumulative < job.work_units:
+                continue
+            self._finish(job_id, run)
+
+    def _finish(self, job_id: str, run: _RunningJob) -> None:
+        record = run.record
+        job = record.job
+        # interpolate the actual crossing inside the last epoch, per
+        # node; the *job* completes when its slowest node crosses
+        crossing = max(
+            _crossing_time(n.monitor.series, job.work_units,
+                           n.monitor.interval)
+            for n in run.nodes
+        )
+        record.end_time = run.start + crossing
+        record.state = JobState.COMPLETED
+        record.energy += sum(n.node.pkg_energy for n in run.nodes)
+        skip = min(2.0, 0.25 * crossing)
+        record.measured_rate = _steady_rate(
+            [n.monitor.series for n in run.nodes], skip, crossing)
+        profile = self.book.profile(job.app_name)
+        record.measured_slowdown = 1.0 - record.measured_rate / profile.r_max
+        self._free_slots.extend(record.slots)
+        self._free_slots.sort()
+        del self._running[job_id]
+        self.events.append(JobCompleted(
+            time=self.now, job_id=job_id, run_time=record.run_time,
+            measured_slowdown=record.measured_slowdown))
+
+    # ------------------------------------------------------------------
+
+    def _report(self) -> SchedulerReport:
+        return build_report(
+            policy=self.config.policy,
+            n_slots=self.config.n_slots,
+            power_budget=self.config.power_budget,
+            records=list(self.records.values()),
+            total_energy=self.total_energy,
+            violations=self.violations,
+            power=self.power_series,
+            committed=self.committed_series,
+            utilisation=self.utilisation,
+            events=self.events,
+        )
+
+
+def _crossing_time(series: TimeSeries, target: float,
+                   interval: float) -> float:
+    """Time (on the node's local clock) when the integrated progress
+    series first reached ``target``, linearly interpolated inside the
+    crossing monitor window."""
+    cumulative = 0.0
+    for t, rate in series:
+        gained = rate * interval
+        if cumulative + gained >= target - 1e-12:
+            if gained <= 0:
+                return t
+            frac = (target - cumulative) / gained
+            return t - interval + frac * interval
+        cumulative += gained
+    raise SimulationError(
+        f"series {series.name!r} never reached {target} "
+        f"(got {cumulative})")
+
+
+def _steady_rate(series_list: list[TimeSeries], skip: float,
+                 end: float) -> float:
+    """Mean per-node progress rate over [skip, end], averaging the
+    job's nodes (startup transient excluded so the figure is comparable
+    to the power book's steady uncapped rate)."""
+    rates = []
+    for series in series_list:
+        window = series.window(skip, end + 1e-9)
+        if not window.is_empty():
+            rates.append(window.mean())
+    if not rates:
+        raise SimulationError("no steady-state samples to rate a job by")
+    return float(np.mean(rates))

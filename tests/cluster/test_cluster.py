@@ -72,6 +72,19 @@ class TestPolicies:
         p = ProgressAwareRebalancer(300.0)
         assert p.allocate([0.0, 0.0, 0.0]) == pytest.approx([100.0] * 3)
 
+    @pytest.mark.parametrize("rates", [
+        [float("nan"), 10.0, 12.0],
+        [float("inf"), 10.0, 12.0],
+        [-30.0, 10.0, 12.0],  # degenerate negative sum -> mean <= 0
+    ])
+    def test_rebalancer_uniform_on_corrupt_signal(self, rates):
+        """Non-finite or degenerate rate samples (e.g. a monitor that has
+        produced no window yet) must not poison the allocation."""
+        p = ProgressAwareRebalancer(300.0)
+        budgets = p.allocate(rates)
+        assert budgets == pytest.approx([100.0] * 3)
+        assert all(np.isfinite(budgets))
+
     def test_rebalancer_respects_floor(self):
         p = ProgressAwareRebalancer(150.0, min_node=45.0, gain=10.0)
         budgets = p.allocate([1.0, 100.0, 100.0])

@@ -113,6 +113,16 @@ class TestEq5Eq7:
             m.r_max - m.progress_at_core_power(cap)
         )
 
+    def test_fractional_slowdown_normalises_delta(self):
+        m = make_model(beta=0.8)
+        cap = 70.0
+        assert m.slowdown_at_package_cap(cap) == pytest.approx(
+            m.delta_progress_at_package_cap(cap) / m.r_max
+        )
+        # non-binding cap: no slowdown; binding cap: strictly in (0, 1)
+        assert m.slowdown_at_package_cap(1000.0) == 0.0
+        assert 0.0 < m.slowdown_at_package_cap(cap) < 1.0
+
 
 class TestInverse:
     def test_roundtrip(self):

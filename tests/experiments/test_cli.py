@@ -9,7 +9,8 @@ class TestCli:
     def test_every_table_and_figure_registered(self):
         expected = {f"table{i}" for i in range(1, 7)} \
             | {f"figure{i}" for i in range(1, 6)} \
-            | {"ext-energy", "ext-techniques", "ext-intrusiveness"}
+            | {"ext-energy", "ext-techniques", "ext-intrusiveness",
+               "extension_scheduler"}
         assert set(_EXPERIMENTS) == expected
 
     def test_cheap_experiment_prints_render(self, capsys):
@@ -29,3 +30,12 @@ class TestCli:
     def test_quick_flag_accepted(self, capsys):
         assert main(["table1", "--quick", "--seed", "3"]) == 0
         assert "MIPS" in capsys.readouterr().out
+
+    def test_list_flag_prints_every_name(self, capsys):
+        assert main(["--list"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert listed == sorted(_EXPERIMENTS)
+
+    def test_missing_name_without_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,40 @@
+"""Tests for the typed scheduler event log."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scheduler import (
+    BudgetViolation,
+    CapSelected,
+    EventLog,
+    JobStarted,
+    JobSubmitted,
+)
+
+
+class TestEventLog:
+    def test_append_and_filter_by_type(self):
+        log = EventLog()
+        log.append(JobSubmitted(time=0.0, job_id="a", app_name="lammps",
+                                n_nodes=2, max_slowdown=0.2))
+        log.append(CapSelected(time=1.0, job_id="a", cap=65.0,
+                               predicted_slowdown=0.15, tolerance=0.2))
+        log.append(JobStarted(time=1.0, job_id="a", slots=(0, 1), cap=65.0,
+                              demand=130.0))
+        assert len(log) == 3
+        caps = log.of_type(CapSelected)
+        assert len(caps) == 1 and caps[0].cap == 65.0
+        assert log[0].job_id == "a"
+
+    def test_rejects_time_travel(self):
+        log = EventLog()
+        log.append(BudgetViolation(time=5.0, power=320.0, budget=300.0))
+        with pytest.raises(ConfigurationError):
+            log.append(BudgetViolation(time=4.0, power=320.0, budget=300.0))
+
+    def test_render_mentions_type_and_fields(self):
+        log = EventLog()
+        log.append(BudgetViolation(time=2.0, power=321.5, budget=300.0))
+        text = log.render()
+        assert "BudgetViolation" in text
+        assert "321.5" in text

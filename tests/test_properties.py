@@ -139,3 +139,31 @@ class TestRebalancerProperties:
         sorted_budgets = [budgets[i] for i in order]
         for a, b in zip(sorted_budgets, sorted_budgets[1:]):
             assert b <= a + 1e-6
+
+    @given(
+        rates=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=10),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+        gain=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_any_feasible_budget_is_exactly_spent(self, rates, frac, gain):
+        """For every budget in the feasible band [n*min, n*max] the
+        projection lands exactly on it, with every node clamped in-bounds
+        — including at both band edges where all nodes pin."""
+        n = len(rates)
+        lo, hi = 45.0, 200.0
+        budget = n * lo + frac * n * (hi - lo)
+        policy = ProgressAwareRebalancer(budget, min_node=lo, max_node=hi,
+                                         gain=gain)
+        budgets = policy.allocate(rates)
+        assert sum(budgets) == pytest.approx(budget, rel=1e-6, abs=1e-6)
+        assert all(lo - 1e-6 <= b <= hi + 1e-6 for b in budgets)
+
+    @given(rate=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+           budget=st.floats(min_value=45.0, max_value=200.0))
+    @settings(max_examples=40, deadline=None)
+    def test_single_node_gets_the_whole_budget(self, rate, budget):
+        policy = ProgressAwareRebalancer(budget, min_node=45.0,
+                                         max_node=200.0)
+        assert policy.allocate([rate]) == pytest.approx([budget])
