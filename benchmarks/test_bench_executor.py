@@ -1,0 +1,59 @@
+"""Benchmark the RunExecutor process-pool fan-out on a Figure-4 sweep.
+
+Runs one LAMMPS cap sweep twice — serially and through a two-worker
+``RunExecutor`` — and asserts the two produce *identical* numbers (the
+pool only changes wall-clock, never results). The serial/parallel
+timings are written to ``benchmarks/out/executor_speedup.txt``.
+
+The speedup assertion is guarded on available CPUs: on a single-core
+host the pool cannot beat serial execution (it adds fork overhead), so
+only the numeric-identity contract is enforced there.
+"""
+
+import os
+import time
+
+from repro.experiments import figure4
+from repro.runtime.executor import RunExecutor, default_workers
+
+SWEEP = dict(
+    caps=(115.0, 85.0),
+    repeats=2,
+    seed=0,
+    uncapped_window=6.0,
+    capped_window=7.0,
+    warmup=2.0,
+)
+
+
+def _sweep(executor=None):
+    start = time.perf_counter()
+    panel = figure4.run_panel("lammps", executor=executor, **SWEEP)
+    return panel, time.perf_counter() - start
+
+
+def test_bench_executor_speedup(benchmark, save_artifact):
+    (serial_panel, serial_s) = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1,
+    )
+    pooled_panel, pooled_s = _sweep(executor=RunExecutor(2))
+
+    # The contract: the pool is a pure wall-clock optimisation.
+    assert pooled_panel == serial_panel
+
+    cpus = default_workers()
+    speedup = serial_s / pooled_s if pooled_s > 0 else float("inf")
+    lines = [
+        "RunExecutor figure-4 sweep (lammps, 2 caps x 2 repeats)",
+        f"cpus available : {cpus}",
+        f"serial         : {serial_s:.3f} s",
+        f"workers=2      : {pooled_s:.3f} s",
+        f"speedup        : {speedup:.2f}x",
+        "numeric parity : identical (field-wise panel equality)",
+    ]
+    save_artifact("executor_speedup", "\n".join(lines))
+
+    if cpus >= 2 and "CI" not in os.environ:
+        # With real parallelism available the pool must win. CI runners
+        # share cores unpredictably, so only assert on local hardware.
+        assert pooled_s < serial_s, (serial_s, pooled_s)

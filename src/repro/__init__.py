@@ -14,7 +14,12 @@ The package provides:
 * :mod:`repro.sysfs` / :mod:`repro.libmsr` — the Linux powercap sysfs tree
   and a libmsr-style wrapper API over the emulated MSRs;
 * :mod:`repro.runtime` — a deterministic fluid discrete-event engine with
-  MPI-like and OpenMP-like programming surfaces;
+  MPI-like and OpenMP-like programming surfaces, and a process-pool
+  executor for fanning out independent runs;
+* :mod:`repro.stack` — the unified node-stack layer: a picklable
+  :class:`~repro.stack.spec.StackSpec` and the
+  :class:`~repro.stack.builder.NodeStack` assembly every consumer
+  (Testbed, cluster, scheduler) builds nodes through;
 * :mod:`repro.apps` — synthetic analogues of the paper's applications
   (LAMMPS, AMG, QMCPACK, STREAM, OpenMC, CANDLE, Category-3 codes and the
   Listing-1 load-imbalance example), calibrated to the paper's beta / MPO
@@ -36,7 +41,8 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-__all__ = ["Testbed", "RunResult", "__version__"]
+__all__ = ["Testbed", "RunResult", "StackSpec", "NodeStack", "RunExecutor",
+           "__version__"]
 
 
 def __getattr__(name: str):
@@ -46,4 +52,12 @@ def __getattr__(name: str):
         from repro.experiments import harness
 
         return getattr(harness, name)
+    if name in ("StackSpec", "NodeStack"):
+        import repro.stack as stack
+
+        return getattr(stack, name)
+    if name == "RunExecutor":
+        from repro.runtime.executor import RunExecutor
+
+        return RunExecutor
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

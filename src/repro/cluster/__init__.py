@@ -11,6 +11,8 @@ scale-up:
   model (leakage / dynamic coefficient spread),
 * :mod:`repro.cluster.node_instance` — one node's full stack (hardware,
   firmware, telemetry, budget policy, application) advanced in epochs,
+* :mod:`repro.cluster.lockstep` — the epoch-advance/rebalance loop
+  shared by the cluster simulation and the power-aware scheduler,
 * :mod:`repro.cluster.simulation` — lockstep cluster execution with a
   pluggable cluster-level power policy,
 * :mod:`repro.cluster.policies` — uniform budgets vs a progress-aware
@@ -18,6 +20,11 @@ scale-up:
   case the paper's online-progress metric enables).
 """
 
+from repro.cluster.lockstep import (
+    advance_lockstep,
+    collect_rates,
+    rebalance_nodes,
+)
 from repro.cluster.node_instance import NodeInstance
 from repro.cluster.policies import ProgressAwareRebalancer, UniformPowerPolicy
 from repro.cluster.simulation import ClusterSimulation
@@ -29,4 +36,7 @@ __all__ = [
     "UniformPowerPolicy",
     "ProgressAwareRebalancer",
     "perturb_config",
+    "advance_lockstep",
+    "collect_rates",
+    "rebalance_nodes",
 ]

@@ -1,0 +1,80 @@
+"""Epoch-lockstep helpers shared by the cluster and the scheduler.
+
+Nodes interact only through epoch-granular budget decisions, so a
+multi-node simulation is exact when every node's independent engine is
+advanced one epoch at a time and budgets are re-allocated between
+epochs. Both :class:`~repro.cluster.simulation.ClusterSimulation` and
+:class:`~repro.scheduler.scheduler.PowerAwareScheduler` previously
+hand-rolled this loop; this module is the single implementation.
+
+The advance itself is intentionally serial: live node stacks hold
+Python generators (the application tasks) and cannot cross a process
+boundary, and within one epoch the per-node work is far too small to
+amortize any hand-off. Parallelism lives one level up, in
+:class:`~repro.runtime.executor.RunExecutor`, which fans out *whole
+independent runs* rebuilt from picklable specs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node_instance import NodeInstance
+
+__all__ = ["collect_rates", "rebalance_nodes", "advance_lockstep"]
+
+
+class BudgetAllocator(Protocol):
+    """Anything with ``allocate(rates) -> per-node budgets``."""
+
+    def allocate(self, rates: Sequence[float]) -> Sequence[float]: ...
+
+
+def collect_rates(nodes: Sequence["NodeInstance"],
+                  window: float) -> list[float]:
+    """Trailing per-node progress rates over ``window`` seconds.
+
+    A node whose monitor has not produced a sample yet — every node in
+    the first epoch, since the 1 Hz monitor only closes its first
+    window at t = interval — reports 0.0 rather than poisoning the
+    allocation with NaNs.
+    """
+    rates = []
+    for node in nodes:
+        if node.monitor.series.is_empty():
+            rates.append(0.0)
+        else:
+            rates.append(node.recent_rate(window=window))
+    return rates
+
+
+def rebalance_nodes(nodes: Sequence["NodeInstance"],
+                    allocator: BudgetAllocator,
+                    window: float) -> list[float]:
+    """One re-allocation round: sample rates, allocate, deliver.
+
+    Returns the budgets delivered (applied by each node's tracking
+    policy on its next tick).
+    """
+    rates = collect_rates(nodes, window)
+    budgets = [float(b) for b in allocator.allocate(rates)]
+    for node, budget in zip(nodes, budgets):
+        node.receive_budget(budget)
+    return budgets
+
+
+def advance_lockstep(nodes: Sequence["NodeInstance"],
+                     target: float) -> float:
+    """Advance every node's engine to absolute local time ``target``.
+
+    Returns the package energy (J) the nodes consumed since their
+    previous :meth:`~repro.cluster.node_instance.NodeInstance.epoch_energy`
+    mark — the quantity both the cluster's power accounting and the
+    scheduler's budget-violation check integrate per epoch.
+    """
+    energy = 0.0
+    for node in nodes:
+        node.advance(target)
+        energy += node.epoch_energy()
+    return energy

@@ -1,26 +1,17 @@
 """One cluster node's complete software/hardware stack.
 
-A :class:`NodeInstance` owns a simulated node, its RAPL firmware, the
-libmsr access path, a budget-tracking policy, the progress bus/monitor,
-and one application — everything the single-node Testbed wires, but
-advanceable in *epochs* so many nodes can run in lockstep under a
-cluster-level power policy.
+A :class:`NodeInstance` is a thin, epoch-advanceable wrapper around a
+:class:`~repro.stack.builder.NodeStack` built with the budget-tracking
+controller — everything the single-node Testbed wires, but advanceable
+in *epochs* so many nodes can run in lockstep under a cluster-level
+power policy (see :mod:`repro.cluster.lockstep`).
 """
 
 from __future__ import annotations
 
-from repro.apps import build as build_app
 from repro.exceptions import ConfigurationError
 from repro.hardware.config import NodeConfig
-from repro.hardware.msr import MSRDevice
-from repro.hardware.msr_safe import MSRSafe
-from repro.hardware.node import SimulatedNode
-from repro.hardware.rapl import RaplFirmware
-from repro.libmsr import LibMSR
-from repro.nrm.policies import BudgetTrackingPolicy
-from repro.runtime.engine import Engine
-from repro.telemetry.monitor import ProgressMonitor
-from repro.telemetry.pubsub import MessageBus
+from repro.stack import BUDGET, NodeStack, StackSpec
 
 __all__ = ["NodeInstance"]
 
@@ -31,43 +22,72 @@ class NodeInstance:
     def __init__(self, node_id: int, cfg: NodeConfig, app_name: str,
                  app_kwargs: dict | None = None, seed: int = 0,
                  initial_budget: float | None = None) -> None:
-        self.node_id = node_id
-        self.node = SimulatedNode(cfg)
-        self.engine = Engine(self.node)
-        self.firmware = RaplFirmware(self.node, self.engine)
-        self.libmsr = LibMSR(MSRSafe(MSRDevice(self.node, self.firmware)),
-                             self.node.clock)
-        self.policy = BudgetTrackingPolicy(self.engine, self.libmsr)
-        if initial_budget is not None:
-            # Apply the admission-time cap *before* the first cycle runs:
-            # the tracking policy only enforces budgets on its next tick,
-            # which would leave a capped job uncapped for its first
-            # second — enough to blow a cluster power budget at scale.
-            self.libmsr.set_pkg_power_limit(initial_budget)
-            self.policy.receive_budget(initial_budget)
-
-        kwargs = dict(app_kwargs or {})
-        kwargs.setdefault("seed", seed)
-        kwargs.setdefault("cfg", cfg)
-        self.app = build_app(app_name, **kwargs)
-
-        bus = MessageBus(self.node.clock,
-                         drop_prob=self.app.spec.transport_drop_prob,
-                         seed=seed + 1)
-        pub = bus.pub_socket()
-        self.engine.on_publish(lambda t, topic, v: pub.send(topic, v))
-        self.monitor = ProgressMonitor(
-            self.engine, bus.sub_socket(self.app.topic),
-            name=f"node{node_id}:{self.app.topic}",
+        spec = StackSpec(
+            app_name=app_name,
+            cfg=cfg,
+            app_kwargs=app_kwargs,
+            seed=seed,
+            controller=BUDGET,
+            initial_budget=initial_budget,
+            name=f"node{node_id}",
         )
-        self.app.launch(self.engine)
+        self._init_from_spec(node_id, spec)
+
+    @classmethod
+    def from_spec(cls, node_id: int, spec: StackSpec) -> "NodeInstance":
+        """Build a node directly from a picklable stack spec.
+
+        The spec must select the budget controller (cluster nodes are
+        driven by budgets, not schedules).
+        """
+        if spec.controller != BUDGET:
+            raise ConfigurationError(
+                f"cluster nodes need the budget controller, "
+                f"got {spec.controller!r}")
+        inst = cls.__new__(cls)
+        inst._init_from_spec(node_id, spec)
+        return inst
+
+    def _init_from_spec(self, node_id: int, spec: StackSpec) -> None:
+        self.node_id = node_id
+        self.stack = NodeStack(spec).launch()
         self._energy_mark = 0.0
+
+    # -- stack accessors (the public surface predates repro.stack) ---------
+
+    @property
+    def node(self):
+        return self.stack.node
+
+    @property
+    def engine(self):
+        return self.stack.engine
+
+    @property
+    def firmware(self):
+        return self.stack.firmware
+
+    @property
+    def libmsr(self):
+        return self.stack.libmsr
+
+    @property
+    def policy(self):
+        return self.stack.policy
+
+    @property
+    def app(self):
+        return self.stack.app
+
+    @property
+    def monitor(self):
+        return self.stack.main_monitor
 
     # ------------------------------------------------------------------
 
     def receive_budget(self, watts: float | None) -> None:
         """Deliver a node power budget (applied on the policy's next tick)."""
-        self.policy.receive_budget(watts)
+        self.stack.policy.receive_budget(watts)
 
     def advance(self, until: float) -> None:
         """Run this node's engine to absolute simulated time ``until``."""
@@ -75,13 +95,13 @@ class NodeInstance:
             raise ConfigurationError(
                 f"node {self.node_id}: cannot rewind to {until} from {self.now}"
             )
-        self.engine.run(until=until)
+        self.stack.engine.run(until=until)
 
     # -- telemetry ---------------------------------------------------------
 
     @property
     def now(self) -> float:
-        return self.node.clock.now
+        return self.stack.now
 
     def recent_rate(self, window: float = 5.0) -> float:
         """Mean progress rate over the trailing ``window`` seconds

@@ -18,6 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.lockstep import (
+    advance_lockstep,
+    collect_rates,
+    rebalance_nodes,
+)
 from repro.cluster.node_instance import NodeInstance
 from repro.cluster.variability import perturb_config
 from repro.exceptions import ConfigurationError
@@ -73,6 +78,7 @@ class ClusterSimulation:
         self.budget_history = TimeSeries("allocated-total")
         self.total_progress = TimeSeries("job-total-progress")
         self.critical_path = TimeSeries("job-critical-path")
+        self.total_energy = 0.0  #: package energy integrated over run()
 
     # ------------------------------------------------------------------
 
@@ -88,14 +94,11 @@ class ClusterSimulation:
             raise ConfigurationError("duration and epoch must be positive")
         end = self.now + duration
         while self.now < end - 1e-9:
-            rates = [n.recent_rate(window=3 * epoch) for n in self.nodes]
-            budgets = self.policy.allocate(rates)
-            for node, budget in zip(self.nodes, budgets):
-                node.receive_budget(budget)
+            budgets = rebalance_nodes(self.nodes, self.policy,
+                                      window=3 * epoch)
             target = min(self.now + epoch, end)
-            for node in self.nodes:
-                node.advance(target)
-            current = [n.recent_rate(window=epoch) for n in self.nodes]
+            self.total_energy += advance_lockstep(self.nodes, target)
+            current = collect_rates(self.nodes, window=epoch)
             self.total_progress.append(target, float(np.sum(current)))
             self.critical_path.append(target, float(np.min(current)))
             self.budget_history.append(target, float(np.sum(budgets)))

@@ -34,37 +34,44 @@ from repro.experiments import (
     table6,
 )
 
-#: name -> (run(seed, quick) -> result, render)
+#: name -> (run(seed, quick, workers) -> result, render).  ``workers``
+#: parallelizes experiments built from independent runs; the others
+#: ignore it (their runs share live state and stay serial).
 _EXPERIMENTS = {
-    "table1": (lambda seed, quick: table1.run(seed=seed), table1.render),
-    "table2": (lambda seed, quick: table2.run(), table2.render),
-    "table3": (lambda seed, quick: table3.run(), table3.render),
-    "table4": (lambda seed, quick: table4.run(), table4.render),
-    "table5": (lambda seed, quick: table5.run(), table5.render),
-    "table6": (lambda seed, quick: table6.run(
+    "table1": (lambda seed, quick, workers: table1.run(seed=seed),
+               table1.render),
+    "table2": (lambda seed, quick, workers: table2.run(), table2.render),
+    "table3": (lambda seed, quick, workers: table3.run(), table3.render),
+    "table4": (lambda seed, quick, workers: table4.run(), table4.render),
+    "table5": (lambda seed, quick, workers: table5.run(), table5.render),
+    "table6": (lambda seed, quick, workers: table6.run(
         seed=seed, scale=0.5 if quick else 1.0), table6.render),
-    "figure1": (lambda seed, quick: figure1.run(
-        duration=25.0 if quick else 40.0, seed=seed), figure1.render),
-    "figure2": (lambda seed, quick: figure2.run(
+    "figure1": (lambda seed, quick, workers: figure1.run(
+        duration=25.0 if quick else 40.0, seed=seed, workers=workers),
+        figure1.render),
+    "figure2": (lambda seed, quick, workers: figure2.run(
         duration=6.0 if quick else 10.0, seed=seed), figure2.render),
-    "figure3": (lambda seed, quick: figure3.run(
+    "figure3": (lambda seed, quick, workers: figure3.run(
         duration=40.0 if quick else 60.0, seed=seed), figure3.render),
-    "figure4": (lambda seed, quick: figure4.run(
-        repeats=1 if quick else 5, seed=seed), figure4.render),
-    "figure5": (lambda seed, quick: figure5.run(
+    "figure4": (lambda seed, quick, workers: figure4.run(
+        repeats=1 if quick else 5, seed=seed, workers=workers),
+        figure4.render),
+    "figure5": (lambda seed, quick, workers: figure5.run(
         duration=6.0 if quick else 10.0,
         warmup=2.5 if quick else 4.0, seed=seed), figure5.render),
-    "ext-energy": (lambda seed, quick: extension_energy.run(seed=seed),
-                   extension_energy.render),
-    "ext-intrusiveness": (lambda seed, quick: extension_intrusiveness.run(
-        duration=18.0 if quick else 30.0, seed=seed),
+    "ext-energy": (lambda seed, quick, workers: extension_energy.run(
+        seed=seed), extension_energy.render),
+    "ext-intrusiveness": (
+        lambda seed, quick, workers: extension_intrusiveness.run(
+            duration=18.0 if quick else 30.0, seed=seed),
         extension_intrusiveness.render),
-    "ext-techniques": (lambda seed, quick: extension_techniques.run(
+    "ext-techniques": (lambda seed, quick, workers: extension_techniques.run(
         duration=6.0 if quick else 10.0,
         warmup=2.5 if quick else 4.0, seed=seed),
         extension_techniques.render),
-    "extension_scheduler": (lambda seed, quick: extension_scheduler.run(
-        seed=seed, quick=quick), extension_scheduler.render),
+    "extension_scheduler": (
+        lambda seed, quick, workers: extension_scheduler.run(
+            seed=seed, quick=quick), extension_scheduler.render),
 }
 
 
@@ -79,6 +86,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--quick", action="store_true",
                         help="reduced repeats/durations")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for experiments made of "
+                             "independent runs (default: serial)")
     parser.add_argument("--list", action="store_true",
                         help="print the registered experiment names and exit")
     args = parser.parse_args(argv)
@@ -93,7 +103,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         run, render = _EXPERIMENTS[name]
         start = time.perf_counter()
-        result = run(args.seed, args.quick)
+        result = run(args.seed, args.quick, args.workers)
         elapsed = time.perf_counter() - start
         print(render(result))
         print(f"\n[{name} regenerated in {elapsed:.1f} s wall time]\n")

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.core.progress import TraceCharacterization, classify_trace
 from repro.experiments.harness import Testbed
 from repro.experiments.report import series_block
+from repro.runtime.executor import RunExecutor
 from repro.telemetry.timeseries import TimeSeries
 
 __all__ = ["Figure1Result", "run", "render"]
@@ -30,27 +31,35 @@ class Figure1Result:
     qmcpack_class: TraceCharacterization
 
 
+def _trace(args: tuple) -> TimeSeries:
+    """Worker: one uncapped trace (module-level so pools can import it)."""
+    app, duration, cfg, seed, app_kwargs = args
+    return Testbed(cfg=cfg, seed=seed).run(app, duration=duration,
+                                           app_kwargs=app_kwargs).progress
+
+
 def run(duration: float = 40.0, seed: int = 0,
-        testbed: Testbed | None = None) -> Figure1Result:
-    """Collect the three uncapped traces (~``duration`` seconds each)."""
+        testbed: Testbed | None = None,
+        workers: int | None = None) -> Figure1Result:
+    """Collect the three uncapped traces (~``duration`` seconds each).
+
+    The traces are independent runs; ``workers > 1`` collects them on a
+    process pool with identical numbers.
+    """
     tb = testbed or Testbed(seed=seed)
-    lammps = tb.run("lammps", duration=duration,
-                    app_kwargs={"n_steps": 100_000}).progress
-    amg = tb.run("amg", duration=duration,
-                 app_kwargs={"n_iterations": 100_000,
-                             "setup_iterations": 0}).progress
     # QMCPACK sized so all three phases fit inside the window:
     # ~a third of the window each at their respective block rates.
     third = duration / 3.0
-    qmcpack = tb.run(
-        "qmcpack",
-        duration=duration,
-        app_kwargs={
-            "vmc1_blocks": int(25.0 * third),
-            "vmc2_blocks": int(20.0 * third),
-            "dmc_blocks": 100_000,
-        },
-    ).progress
+    tasks = [
+        ("lammps", duration, tb.cfg, tb.seed, {"n_steps": 100_000}),
+        ("amg", duration, tb.cfg, tb.seed,
+         {"n_iterations": 100_000, "setup_iterations": 0}),
+        ("qmcpack", duration, tb.cfg, tb.seed,
+         {"vmc1_blocks": int(25.0 * third),
+          "vmc2_blocks": int(20.0 * third),
+          "dmc_blocks": 100_000}),
+    ]
+    lammps, amg, qmcpack = RunExecutor(workers or 1).map(_trace, tasks)
     return Figure1Result(
         lammps=lammps, amg=amg, qmcpack=qmcpack,
         lammps_class=classify_trace(lammps),

@@ -27,6 +27,7 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.harness import DeltaMeasurement, Testbed
 from repro.experiments.report import ascii_table
 from repro.experiments.table6 import PAPER as TABLE6
+from repro.runtime.executor import RunExecutor
 
 __all__ = ["Figure4Panel", "Figure4Result", "run", "render",
            "DEFAULT_CAPS", "APP_SIZING"]
@@ -99,12 +100,16 @@ def run_panel(app: str, *, caps: tuple[float, ...] | None = None,
               capped_window: float | None = None,
               warmup: float = 3.0,
               firmware_kwargs: dict | None = None,
-              testbed: Testbed | None = None) -> Figure4Panel:
+              testbed: Testbed | None = None,
+              executor: RunExecutor | None = None) -> Figure4Panel:
     """Measure + predict one application's sweep.
 
     ``firmware_kwargs`` supports ablations (e.g. disabling the firmware's
     uncore DVFS with ``{"min_uncore_scale": 1.0}``) to attribute model
     error to specific unmodeled RAPL mechanisms.
+
+    ``executor`` fans the per-cap repeats out over a process pool; the
+    numbers are identical to the serial sweep.
     """
     tb = testbed or Testbed(seed=seed)
     beta = TABLE6[app][0]
@@ -132,6 +137,7 @@ def run_panel(app: str, *, caps: tuple[float, ...] | None = None,
             uncapped_window=uncapped_window, capped_window=capped_window,
             warmup=warmup, app_kwargs=sizing,
             firmware_kwargs=firmware_kwargs,
+            executor=executor,
         )
         measurements.append(m)
         predictions.append(model.delta_progress(m.p_corecap))
@@ -159,9 +165,16 @@ def run_panel(app: str, *, caps: tuple[float, ...] | None = None,
 def run(apps: tuple[str, ...] = ("lammps", "amg", "qmcpack", "stream",
                                  "openmc"),
         repeats: int = 5, seed: int = 0,
-        testbed: Testbed | None = None, **panel_kwargs) -> Figure4Result:
-    """All five panels (4a-4e)."""
+        testbed: Testbed | None = None,
+        workers: int | None = None, **panel_kwargs) -> Figure4Result:
+    """All five panels (4a-4e).
+
+    ``workers > 1`` distributes each panel's repeat runs over a process
+    pool (identical numbers, shorter wall-clock).
+    """
     tb = testbed or Testbed(seed=seed)
+    if workers is not None and "executor" not in panel_kwargs:
+        panel_kwargs["executor"] = RunExecutor(workers)
     return Figure4Result(panels=tuple(
         run_panel(app, repeats=repeats, seed=seed, testbed=tb,
                   **panel_kwargs)

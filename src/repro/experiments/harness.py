@@ -1,10 +1,12 @@
 """Measurement machinery shared by all experiments.
 
-:class:`Testbed` assembles a full software/hardware stack per run — the
+:class:`Testbed` runs measurement protocols over the unified node stack
+(:mod:`repro.stack`): each run assembles the full testbed assembly — the
 simulated node, RAPL firmware, MSR device behind msr-safe, the
 libmsr-style API, the ZeroMQ-style bus, 1 Hz progress monitors, and the
-power-policy daemon — then executes one application under a capping
-schedule and returns every series the paper's figures need.
+power-policy daemon — through :class:`~repro.stack.builder.NodeStack`,
+executes one application under a capping schedule, and returns every
+series the paper's figures need.
 
 The module also implements the paper's measurement protocols:
 
@@ -13,7 +15,10 @@ The module also implements the paper's measurement protocols:
 * :meth:`Testbed.measure_delta_progress` — Section VI-B: the
   step-function protocol ("the change in progress is measured when a
   power cap is applied from an uncapped state"), averaged over five
-  repeats per cap.
+  repeats per cap. The repeats are independent runs described by plain
+  data, so they fan out over a
+  :class:`~repro.runtime.executor.RunExecutor` process pool when one is
+  supplied — with results identical to the serial path.
 """
 
 from __future__ import annotations
@@ -23,25 +28,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis import mean_confidence_interval
-from repro.apps import build as build_app
 from repro.apps.base import SyntheticApp
 from repro.core.beta import beta_from_times, mpo_from_delta
-from repro.core.progress import steady_rate
 from repro.exceptions import ConfigurationError
 from repro.hardware.config import NodeConfig, skylake_config
 from repro.hardware.counters import CounterSnapshot
-from repro.hardware.ddcm import DDCMController
-from repro.hardware.dvfs import DVFSController
-from repro.hardware.msr import MSRDevice
-from repro.hardware.msr_safe import MSRSafe
-from repro.hardware.node import SimulatedNode
-from repro.hardware.rapl import RaplFirmware
-from repro.libmsr import LibMSR
-from repro.nrm.daemon import PowerPolicyDaemon
-from repro.nrm.schemes import CapSchedule, FixedCapSchedule, UncappedSchedule
-from repro.runtime.engine import Engine
-from repro.telemetry.monitor import ProgressMonitor
-from repro.telemetry.pubsub import MessageBus
+from repro.nrm.schemes import CapSchedule, FixedCapSchedule
+from repro.runtime.executor import RunExecutor
+from repro.stack import NodeStack, StackSpec
 from repro.telemetry.timeseries import TimeSeries
 
 __all__ = ["Testbed", "RunResult", "DeltaMeasurement",
@@ -168,81 +162,42 @@ class Testbed:
             imbalance example).
         """
         seed = self.seed if seed is None else seed
-        if isinstance(app, str):
-            kwargs = dict(app_kwargs or {})
-            kwargs.setdefault("seed", seed)
-            kwargs.setdefault("cfg", self.cfg)
-            app = build_app(app, **kwargs)
+        prebuilt = None if isinstance(app, str) else app
+        spec = StackSpec(
+            app_name=app if prebuilt is None else prebuilt.name,
+            cfg=self.cfg,
+            app_kwargs=app_kwargs,
+            seed=seed,
+            schedule=schedule,
+            monitor_interval=monitor_interval,
+            topics=topics,
+            dvfs_freq=dvfs_freq,
+            duty=duty,
+            firmware_kwargs=firmware_kwargs,
+            sample_node_state=True,
+        )
+        stack = NodeStack(spec, app=prebuilt)
+        counters_before = stack.node.counters.snapshot(stack.now)
+        end = stack.run(until=duration)
+        counters_after = stack.node.counters.snapshot(stack.now)
 
-        node = SimulatedNode(self.cfg)
-        engine = Engine(node)
-        firmware = RaplFirmware(node, engine, **(firmware_kwargs or {}))
-        libmsr = LibMSR(MSRSafe(MSRDevice(node, firmware)), node.clock)
-
-        if dvfs_freq is not None:
-            DVFSController(node).set_frequency(dvfs_freq)
-        if duty is not None:
-            DDCMController(node).set_duty(duty)
-
-        bus = MessageBus(node.clock,
-                         drop_prob=app.spec.transport_drop_prob,
-                         seed=seed + 1)
-        pub = bus.pub_socket()
-        engine.on_publish(lambda t, topic, v: pub.send(topic, v))
-
-        if topics is None:
-            topics = self._default_topics(app)
-        monitors = {
-            topic: ProgressMonitor(engine, bus.sub_socket(topic),
-                                   interval=monitor_interval, name=topic)
-            for topic in topics
-        }
-
-        daemon = PowerPolicyDaemon(engine, libmsr,
-                                   schedule or UncappedSchedule())
-
-        freq_series = TimeSeries("frequency")
-        duty_series = TimeSeries("duty")
-        uncore_series = TimeSeries("uncore-power")
-
-        def sample_state(now: float) -> None:
-            freq_series.append(now, node.frequency)
-            duty_series.append(now, node.duty)
-            uncore_series.append(now, node.last_power.uncore)
-
-        engine.add_timer(monitor_interval, sample_state,
-                         period=monitor_interval)
-
-        counters_before = node.counters.snapshot(node.clock.now)
-        app.launch(engine)
-        end = engine.run(until=duration)
-        counters_after = node.counters.snapshot(node.clock.now)
-
-        main_topic = topics[0]
+        daemon = stack.daemon
+        assert daemon is not None  # Testbed stacks use the daemon controller
         return RunResult(
-            app_name=app.name,
+            app_name=stack.app.name,
             seed=seed,
             duration=end,
-            progress=monitors[main_topic].series,
-            topics={t: m.series for t, m in monitors.items()},
+            progress=stack.progress_series,
+            topics=stack.topic_series(),
             power=daemon.power_series,
-            frequency=freq_series,
-            duty=duty_series,
-            uncore_power=uncore_series,
+            frequency=stack.freq_series,
+            duty=stack.duty_series,
+            uncore_power=stack.uncore_series,
             cap=daemon.cap_series,
             counters=counters_after.delta(counters_before),
-            pkg_energy=node.pkg_energy,
-            app=app,
+            pkg_energy=stack.node.pkg_energy,
+            app=stack.app,
         )
-
-    @staticmethod
-    def _default_topics(app: SyntheticApp) -> tuple[str, ...]:
-        if app.name == "imbalance":
-            return ("progress/imbalance/iterations",
-                    "progress/imbalance/work_units")
-        if app.name == "urban":
-            return tuple(f"progress/{c.name}" for c in app.components)  # type: ignore[attr-defined]
-        return (app.topic,)
 
     # ------------------------------------------------------------------
     # Section IV-A: beta / MPO characterization
@@ -276,35 +231,37 @@ class Testbed:
                                capped_window: float = 16.0,
                                warmup: float = 3.0,
                                app_kwargs: dict | None = None,
-                               firmware_kwargs: dict | None = None
+                               firmware_kwargs: dict | None = None,
+                               executor: RunExecutor | None = None
                                ) -> DeltaMeasurement:
         """The paper's protocol: run uncapped, step down to ``p_cap``,
-        measure the change in the progress rate; repeat and average."""
+        measure the change in the progress rate; repeat and average.
+
+        The repeats are independent runs (per-repeat seeds are fixed up
+        front), so an ``executor`` with ``workers > 1`` runs them on a
+        process pool with numerically identical results — the serial
+        path executes the very same worker function in-process.
+        """
         if repeats < 1:
             raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
-        deltas = []
-        uncapped_rates = []
         total = uncapped_window + capped_window
-        for rep in range(repeats):
-            result = self.run(
-                app_name,
-                duration=total,
-                schedule=FixedCapSchedule(p_cap, start=uncapped_window),
+        tasks = [
+            _DeltaRepeatTask(
+                cfg=self.cfg,
                 seed=self.seed + 101 * rep,
+                app_name=app_name,
+                p_cap=p_cap,
+                uncapped_window=uncapped_window,
+                capped_window=capped_window,
+                warmup=warmup,
                 app_kwargs=app_kwargs,
                 firmware_kwargs=firmware_kwargs,
             )
-            # Zeros are averaged in: for coarse reporters (OpenMC's ~1
-            # batch/s) empty 1 Hz buckets are how a sub-1/s rate shows
-            # up, and dropping them would bias the mean to exactly one
-            # batch per bucket. The protocol therefore runs the app with
-            # a lossless transport.
-            r_un = result.steady_progress(warmup, uncapped_window,
-                                          ignore_zeros=False)
-            r_cap = result.steady_progress(uncapped_window + warmup,
-                                           total + 1e-9, ignore_zeros=False)
-            deltas.append(r_un - r_cap)
-            uncapped_rates.append(r_un)
+            for rep in range(repeats)
+        ]
+        pairs = (executor or RunExecutor(1)).map(_delta_repeat, tasks)
+        uncapped_rates = [r_un for r_un, _ in pairs]
+        deltas = [r_un - r_cap for r_un, r_cap in pairs]
         ci_low, ci_high = mean_confidence_interval(deltas)
         return DeltaMeasurement(
             p_cap=p_cap,
@@ -316,3 +273,45 @@ class Testbed:
             ci_low=ci_low,
             ci_high=ci_high,
         )
+
+
+@dataclass(frozen=True)
+class _DeltaRepeatTask:
+    """Picklable description of one Section VI-B repeat."""
+
+    cfg: NodeConfig
+    seed: int
+    app_name: str
+    p_cap: float
+    uncapped_window: float
+    capped_window: float
+    warmup: float
+    app_kwargs: dict | None
+    firmware_kwargs: dict | None
+
+
+def _delta_repeat(task: _DeltaRepeatTask) -> tuple[float, float]:
+    """Execute one repeat; module-level so a process pool can import it.
+
+    Returns ``(uncapped rate, capped rate)``. Workers rebuild the whole
+    stack from the task's plain data, so this function is the unit of
+    work for both the serial path and the process pool.
+    """
+    total = task.uncapped_window + task.capped_window
+    tb = Testbed(cfg=task.cfg, seed=task.seed)
+    result = tb.run(
+        task.app_name,
+        duration=total,
+        schedule=FixedCapSchedule(task.p_cap, start=task.uncapped_window),
+        app_kwargs=task.app_kwargs,
+        firmware_kwargs=task.firmware_kwargs,
+    )
+    # Zeros are averaged in: for coarse reporters (OpenMC's ~1 batch/s)
+    # empty 1 Hz buckets are how a sub-1/s rate shows up, and dropping
+    # them would bias the mean to exactly one batch per bucket. The
+    # protocol therefore runs the app with a lossless transport.
+    r_un = result.steady_progress(task.warmup, task.uncapped_window,
+                                  ignore_zeros=False)
+    r_cap = result.steady_progress(task.uncapped_window + task.warmup,
+                                   total + 1e-9, ignore_zeros=False)
+    return r_un, r_cap

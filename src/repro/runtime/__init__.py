@@ -5,7 +5,9 @@ run: a simulation clock (:mod:`repro.runtime.clock`), a fluid work-integration
 engine (:mod:`repro.runtime.engine`) that advances compute/memory work at
 rates determined by the node's current frequency, duty cycle, and memory
 contention, plus MPI-like (:mod:`repro.runtime.mpi`) and OpenMP-like
-(:mod:`repro.runtime.openmp`) programming surfaces.
+(:mod:`repro.runtime.openmp`) programming surfaces, and a process-pool
+run executor (:mod:`repro.runtime.executor`) that fans independent runs
+out across workers which rebuild their stacks from picklable specs.
 """
 
 from repro.runtime.clock import SimClock
@@ -17,6 +19,7 @@ from repro.runtime.engine import (
     TaskState,
     Work,
 )
+from repro.runtime.executor import RunExecutor, derive_seed
 
 __all__ = [
     "SimClock",
@@ -26,4 +29,6 @@ __all__ = [
     "Barrier",
     "Publish",
     "TaskState",
+    "RunExecutor",
+    "derive_seed",
 ]

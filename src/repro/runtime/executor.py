@@ -1,0 +1,132 @@
+"""Fan independent simulation runs out over a process pool.
+
+Every hot loop in the repo — the 5×-per-cap repeats of the Fig. 4
+delta-progress protocol, cap-grid sweeps, multi-trace figures — is a
+sequence of *independent* single-node runs. Live stacks hold Python
+generators and cannot cross a process boundary, but their inputs can:
+a run is fully described by plain data (a node config, an application
+name and kwargs, a schedule, a seed — see
+:class:`~repro.stack.spec.StackSpec`), so a worker process rebuilds the
+stack from scratch and ships only the measured numbers back.
+
+:class:`RunExecutor` is the one dispatch point: ``workers=1`` executes
+the very same worker callable serially in-process, so parallel and
+serial results are numerically identical by construction, and callers
+never branch on the execution mode.
+
+Determinism: per-run seeds must not depend on pool size or completion
+order. :func:`derive_seed` derives a stable, collision-resistant seed
+stream via ``np.random.default_rng([base_seed, run_index])`` — the same
+(seed, index) pair always yields the same run seed, on any worker, in
+any pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+
+__all__ = ["RunExecutor", "derive_seed", "default_workers"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def derive_seed(base_seed: int, run_index: int) -> int:
+    """Deterministic per-run seed, stable across pool sizes and hosts.
+
+    Seeds the NumPy bit generator with the ``[base_seed, run_index]``
+    key (SeedSequence hashes the pair), so distinct indices give
+    independent streams and the mapping never depends on how runs are
+    batched onto workers.
+    """
+    if run_index < 0:
+        raise ConfigurationError(
+            f"run_index must be non-negative, got {run_index}")
+    rng = np.random.default_rng([int(base_seed), int(run_index)])
+    return int(rng.integers(0, 2**31 - 1))
+
+
+def default_workers() -> int:
+    """A sensible worker count: the CPUs this process may run on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class RunExecutor:
+    """Order-preserving map over independent runs, serial or pooled.
+
+    Parameters
+    ----------
+    workers:
+        Process count. ``1`` (the default) runs serially in-process —
+        the fallback path and the reference for numerical identity.
+        ``None`` selects :func:`default_workers`.
+    start_method:
+        Multiprocessing start method; default prefers ``fork`` (cheap,
+        inherits the imported simulator) and falls back to ``spawn``.
+
+    The executor is stateless between calls: each :meth:`map` opens and
+    closes its own pool, so an instance can be shared freely across
+    sweep stages.
+    """
+
+    def __init__(self, workers: int | None = 1, *,
+                 start_method: str | None = None) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        elif start_method not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                f"unknown start method {start_method!r}")
+        self.workers = workers
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------
+
+    def map(self, fn: Callable[[_T], _R],
+            items: Iterable[_T]) -> list[_R]:
+        """``[fn(item) for item in items]``, possibly across processes.
+
+        ``fn`` must be a module-level callable and every item picklable
+        when ``workers > 1`` (the serial path has no such constraint).
+        Results come back in submission order. A worker process dying
+        (OOM kill, segfault, interpreter abort) raises
+        :class:`~repro.exceptions.SimulationError`; ordinary exceptions
+        raised *by* ``fn`` propagate unchanged, exactly as in the
+        serial path.
+        """
+        work: Sequence[_T] = list(items)
+        if self.workers == 1 or len(work) <= 1:
+            return [fn(item) for item in work]
+        ctx = multiprocessing.get_context(self.start_method)
+        n = min(self.workers, len(work))
+        try:
+            with ProcessPoolExecutor(max_workers=n, mp_context=ctx) as pool:
+                return list(pool.map(fn, work))
+        except BrokenProcessPool as exc:
+            raise SimulationError(
+                f"a RunExecutor worker process died while mapping "
+                f"{getattr(fn, '__name__', fn)!r} over {len(work)} runs "
+                f"({n} workers, start method {self.start_method!r}); "
+                "the usual causes are the OOM killer or a native crash "
+                "in a dependency"
+            ) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RunExecutor(workers={self.workers}, "
+                f"start_method={self.start_method!r})")

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster.lockstep import advance_lockstep, rebalance_nodes
 from repro.cluster.node_instance import NodeInstance
 from repro.cluster.policies import ProgressAwareRebalancer
 from repro.cluster.variability import perturb_config
@@ -54,6 +55,7 @@ from repro.scheduler.job import Job, JobRecord, JobState
 from repro.scheduler.powerbook import PowerBook
 from repro.scheduler.queue import JobQueue
 from repro.scheduler.report import SchedulerReport, build_report
+from repro.stack import BUDGET, StackSpec
 from repro.telemetry.timeseries import TimeSeries
 
 __all__ = ["SchedulerConfig", "PowerAwareScheduler"]
@@ -273,18 +275,8 @@ class PowerAwareScheduler:
                 time=self.now, job_id=job.job_id, cap=cap,
                 predicted_slowdown=predicted, tolerance=job.max_slowdown))
 
-        nodes = []
-        for k, slot in enumerate(slots):
-            kwargs = dict(job.app_kwargs or {})
-            kwargs.setdefault("n_workers", self.config.n_workers)
-            nodes.append(NodeInstance(
-                node_id=slot,
-                cfg=self._slot_cfgs[slot],
-                app_name=job.app_name,
-                app_kwargs=kwargs,
-                seed=self.config.seed + 7919 * self._started + 131 * k,
-                initial_budget=cap,
-            ))
+        nodes = [NodeInstance.from_spec(slot, spec)
+                 for slot, spec in self._node_specs(job, slots, cap)]
         self._started += 1
 
         rebalancer = None
@@ -337,24 +329,38 @@ class PowerAwareScheduler:
             self._advance_epoch()
         return self._report()
 
+    def _node_specs(self, job: Job, slots: tuple[int, ...],
+                    cap: float | None) -> list[tuple[int, StackSpec]]:
+        """Picklable stack specs for a job's placement, one per slot."""
+        specs = []
+        for k, slot in enumerate(slots):
+            kwargs = dict(job.app_kwargs or {})
+            kwargs.setdefault("n_workers", self.config.n_workers)
+            specs.append((slot, StackSpec(
+                app_name=job.app_name,
+                cfg=self._slot_cfgs[slot],
+                app_kwargs=kwargs,
+                seed=self.config.seed + 7919 * self._started + 131 * k,
+                controller=BUDGET,
+                initial_budget=cap,
+                name=f"node{slot}",
+            )))
+        return specs
+
     def _rebalance(self) -> None:
         window = 3 * self.config.epoch
         for run in self._running.values():
             if run.rebalancer is None:
                 continue
-            rates = [n.recent_rate(window=window) for n in run.nodes]
-            for node, budget in zip(run.nodes, run.rebalancer.allocate(rates)):
-                node.receive_budget(budget)
+            rebalance_nodes(run.nodes, run.rebalancer, window)
 
     def _advance_epoch(self) -> None:
         epoch = self.config.epoch
         self.now += epoch
         epoch_energy = 0.0
         for run in self._running.values():
-            target = run.local_time(self.now)
-            for node in run.nodes:
-                node.advance(target)
-                epoch_energy += node.epoch_energy()
+            epoch_energy += advance_lockstep(run.nodes,
+                                             run.local_time(self.now))
         self.total_energy += epoch_energy
         power = epoch_energy / epoch
         busy = self.config.n_slots - len(self._free_slots)

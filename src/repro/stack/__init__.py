@@ -1,0 +1,25 @@
+"""Unified node-stack assembly.
+
+One layer owns the wiring of the paper's testbed stack — node, RAPL
+firmware, msr-safe, libmsr, pub/sub bus, 1 Hz monitors, power
+controller — so the single-node Testbed, the cluster NodeInstance and
+the power-aware scheduler all run the *same* component graph:
+
+* :class:`~repro.stack.spec.StackSpec` — a picklable description of
+  one stack (workers rebuild stacks from specs across process
+  boundaries);
+* :class:`~repro.stack.builder.NodeStack` — assembles the component
+  graph from a spec, with lifecycle hooks for telemetry taps.
+"""
+
+from repro.stack.builder import NodeStack, default_topics
+from repro.stack.spec import BUDGET, CONTROLLERS, DAEMON, StackSpec
+
+__all__ = [
+    "StackSpec",
+    "NodeStack",
+    "default_topics",
+    "DAEMON",
+    "BUDGET",
+    "CONTROLLERS",
+]

@@ -1,0 +1,66 @@
+"""Tests for the shared epoch-lockstep helpers."""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.cluster.lockstep import (
+    advance_lockstep,
+    collect_rates,
+    rebalance_nodes,
+)
+from repro.cluster.node_instance import NodeInstance
+from repro.cluster.policies import UniformPowerPolicy
+from repro.hardware.config import skylake_config
+
+APP_KW = {"n_steps": 1_000_000, "n_workers": 8}
+
+
+def make_nodes(n=2, seed=0, budget=None):
+    return [NodeInstance(i, skylake_config(), "lammps", app_kwargs=APP_KW,
+                         seed=seed + 1000 * i, initial_budget=budget)
+            for i in range(n)]
+
+
+class TestCollectRates:
+    def test_first_epoch_is_all_zeros(self):
+        # Before any epoch has run, no monitor has closed a window: the
+        # guard must report 0.0 instead of NaN-poisoning an allocator.
+        nodes = make_nodes(2)
+        assert collect_rates(nodes, window=3.0) == [0.0, 0.0]
+
+    def test_rates_positive_after_progress(self):
+        nodes = make_nodes(2)
+        advance_lockstep(nodes, 4.0)
+        rates = collect_rates(nodes, window=3.0)
+        assert all(r > 0.0 for r in rates)
+
+
+class TestRebalanceNodes:
+    def test_first_epoch_allocation_survives_empty_series(self):
+        nodes = make_nodes(3)
+        budgets = rebalance_nodes(nodes, UniformPowerPolicy(300.0),
+                                  window=3.0)
+        assert budgets == pytest.approx([100.0] * 3)
+
+    def test_budgets_delivered_to_policies(self):
+        nodes = make_nodes(2)
+        rebalance_nodes(nodes, UniformPowerPolicy(160.0), window=3.0)
+        advance_lockstep(nodes, 4.0)  # policy applies on its next tick
+        for node in nodes:
+            assert node.policy.cap_series.values[-1] == pytest.approx(80.0)
+
+
+class TestAdvanceLockstep:
+    def test_advances_all_nodes_and_sums_energy(self):
+        nodes = make_nodes(2)
+        energy = advance_lockstep(nodes, 3.0)
+        assert all(n.now == pytest.approx(3.0) for n in nodes)
+        assert energy == pytest.approx(sum(n.node.pkg_energy for n in nodes))
+
+    def test_energy_is_per_epoch_delta(self):
+        nodes = make_nodes(1)
+        first = advance_lockstep(nodes, 2.0)
+        second = advance_lockstep(nodes, 4.0)
+        assert first > 0 and second > 0
+        assert first + second == pytest.approx(nodes[0].node.pkg_energy)
