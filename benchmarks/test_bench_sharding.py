@@ -1,0 +1,76 @@
+"""Benchmark the sharded epoch loop against the serial path.
+
+Runs one cluster rebalancing job twice — ``shards=1`` (in-process, the
+pre-refactor behaviour) and ``shards=2`` (two long-lived worker
+processes) — and asserts the two produce *identical* series: sharding
+is a pure wall-clock optimisation. Timings are written to
+``benchmarks/out/sharding_speedup.txt``.
+
+The speedup assertion is guarded on available CPUs: on a single-core
+host the shard workers cannot beat serial execution (they add fork and
+pipe overhead), so only the numeric-identity contract is enforced there.
+"""
+
+import os
+import time
+
+from repro.cluster.policies import ProgressAwareRebalancer
+from repro.cluster.simulation import ClusterSimulation
+from repro.runtime.executor import default_workers
+
+N_NODES = 8
+DURATION = 12.0
+EPOCH = 1.0
+APP_KW = {"n_steps": 10_000_000, "n_workers": 4}
+
+
+def _run(shards):
+    sim = ClusterSimulation(
+        N_NODES, "lammps",
+        ProgressAwareRebalancer(8 * 95.0, min_node=60.0, max_node=130.0),
+        app_kwargs=APP_KW, variability=(0.05, 0.08), seed=7, shards=shards)
+    start = time.perf_counter()
+    try:
+        sim.run(DURATION, epoch=EPOCH)
+        series = {
+            "total_progress": (list(sim.total_progress.times),
+                               list(sim.total_progress.values)),
+            "critical_path": (list(sim.critical_path.times),
+                              list(sim.critical_path.values)),
+            "budget_history": (list(sim.budget_history.times),
+                               list(sim.budget_history.values)),
+            "total_energy": sim.total_energy,
+            "now": sim.now,
+        }
+    finally:
+        sim.close()
+    return series, time.perf_counter() - start
+
+
+def test_bench_sharding_speedup(benchmark, save_artifact):
+    serial_series, serial_s = benchmark.pedantic(
+        lambda: _run(shards=1), rounds=1, iterations=1,
+    )
+    sharded_series, sharded_s = _run(shards=2)
+
+    # The contract: sharding never changes the numbers.
+    assert sharded_series == serial_series
+
+    cpus = default_workers()
+    speedup = serial_s / sharded_s if sharded_s > 0 else float("inf")
+    lines = [
+        f"Sharded epoch loop ({N_NODES} lammps nodes, "
+        f"{DURATION:.0f} s / {EPOCH:.0f} s epochs, progress-aware "
+        "rebalancing)",
+        f"cpus available : {cpus}",
+        f"shards=1       : {serial_s:.3f} s",
+        f"shards=2       : {sharded_s:.3f} s",
+        f"speedup        : {speedup:.2f}x",
+        "numeric parity : identical (series + energy equality)",
+    ]
+    save_artifact("sharding_speedup", "\n".join(lines))
+
+    if cpus >= 2 and "CI" not in os.environ:
+        # With real parallelism available the shards must win. CI
+        # runners share cores unpredictably, so only assert locally.
+        assert sharded_s < serial_s, (serial_s, sharded_s)

@@ -14,80 +14,76 @@ Section II envisions — with *zero prior knowledge* of the application:
 4. it applies the cap and keeps monitoring — if progress drifts below
    the floor, the ProgressFloorPolicy-style feedback nudges the cap.
 
+The node itself is a stock :class:`~repro.stack.builder.NodeStack`
+assembled with no controller; a lifecycle hook arms the online
+estimator, which bootstraps the rest of the NRM while the app runs.
+
 Usage::
 
     python examples/autonomous_nrm.py
 """
 
-from repro.apps import build
 from repro.core.model import PowerCapModel
 from repro.experiments.report import series_block
-from repro.hardware import SimulatedNode
-from repro.hardware.msr import MSRDevice
-from repro.hardware.msr_safe import MSRSafe
-from repro.hardware.rapl import RaplFirmware
-from repro.libmsr import LibMSR
 from repro.nrm import OnlineBetaEstimator
 from repro.nrm.policies import ProgressFloorPolicy
-from repro.runtime.engine import Engine
-from repro.telemetry import MessageBus, ProgressMonitor
+from repro.stack import NONE, NodeStack, StackSpec
 
 TARGET_FRACTION = 0.85
 APP = "qmcpack"
-APP_KW = dict(vmc1_blocks=0, vmc2_blocks=0, dmc_blocks=1_000_000, seed=7)
+APP_KW = dict(vmc1_blocks=0, vmc2_blocks=0, dmc_blocks=1_000_000)
 
 
 def main() -> None:
-    node = SimulatedNode()
-    engine = Engine(node)
-    firmware = RaplFirmware(node, engine)
-    libmsr = LibMSR(MSRSafe(MSRDevice(node, firmware)), node.clock)
-    bus = MessageBus(node.clock)
-    pub = bus.pub_socket()
-    engine.on_publish(lambda t, topic, v: pub.send(topic, v))
-
-    app = build(APP, **APP_KW)
-    monitor = ProgressMonitor(engine, bus.sub_socket(app.topic))
-    app.launch(engine)
-
-    # -- 1+2: estimate beta online while the app runs ---------------------
-    estimator = OnlineBetaEstimator(engine, node, monitor, dwell=8.0)
+    spec = StackSpec(app_name=APP, app_kwargs=APP_KW, seed=7,
+                     controller=NONE)
     state = {}
 
-    def after_estimate(beta: float) -> None:
-        print(f"t={engine.clock.now:5.1f}s  beta estimated online: "
-              f"{beta:.2f} (paper's offline value: 0.84)")
-        # -- 3: uncapped baseline over the next window -------------------
-        libmsr.poll_power()
-        t_mark = engine.clock.now
+    def arm_estimator(stack: NodeStack) -> None:
+        """Stack hook: start the dithering estimator; its completion
+        callback measures the baseline, builds the model and arms the
+        floor policy — the NRM assembles itself while the app runs."""
+        engine, libmsr = stack.engine, stack.libmsr
+        monitor = stack.main_monitor
+        estimator = OnlineBetaEstimator(engine, stack.node, monitor,
+                                        dwell=8.0)
 
-        def build_model(now: float) -> None:
-            window = monitor.series.window(t_mark + 1.0, now + 1e-9)
-            r_max = float(window.values.mean())
-            poll = libmsr.poll_power()
-            p_uncapped = poll.pkg_watts
-            model = PowerCapModel(beta=beta, r_max=r_max,
-                                  p_coremax=beta * p_uncapped)
-            target = TARGET_FRACTION * r_max
-            print(f"t={now:5.1f}s  baseline: {r_max:.2f} blocks/s at "
-                  f"{p_uncapped:.1f} W")
-            # -- 4: hold the floor with feedback around the model cap ----
-            state["policy"] = ProgressFloorPolicy(
-                engine, libmsr, monitor, model, target)
-            print(f"t={now:5.1f}s  floor policy armed: target "
-                  f"{target:.2f} blocks/s, initial cap "
-                  f"{state['policy'].cap:.1f} W")
+        def after_estimate(beta: float) -> None:
+            print(f"t={engine.clock.now:5.1f}s  beta estimated online: "
+                  f"{beta:.2f} (paper's offline value: 0.84)")
+            # -- 3: uncapped baseline over the next window ---------------
+            libmsr.poll_power()
+            t_mark = engine.clock.now
 
-        engine.add_timer(10.0, build_model)
+            def build_model(now: float) -> None:
+                window = monitor.series.window(t_mark + 1.0, now + 1e-9)
+                r_max = float(window.values.mean())
+                poll = libmsr.poll_power()
+                p_uncapped = poll.pkg_watts
+                model = PowerCapModel(beta=beta, r_max=r_max,
+                                      p_coremax=beta * p_uncapped)
+                target = TARGET_FRACTION * r_max
+                print(f"t={now:5.1f}s  baseline: {r_max:.2f} blocks/s at "
+                      f"{p_uncapped:.1f} W")
+                # -- 4: hold the floor with feedback around the cap ------
+                state["policy"] = ProgressFloorPolicy(
+                    engine, libmsr, monitor, model, target)
+                print(f"t={now:5.1f}s  floor policy armed: target "
+                      f"{target:.2f} blocks/s, initial cap "
+                      f"{state['policy'].cap:.1f} W")
 
-    estimator.on_complete = after_estimate
-    engine.run(until=70.0)
+            engine.add_timer(10.0, build_model)
+
+        estimator.on_complete = after_estimate
+
+    stack = NodeStack(spec, hooks=(arm_estimator,))
+    stack.run(until=70.0)
 
     print()
-    print(series_block("progress (blocks/s)", monitor.series))
+    print(series_block("progress (blocks/s)", stack.progress_series))
     policy = state["policy"]
     print(series_block("cap (W)", policy.cap_series))
-    settled = monitor.series.window(45.0, 70.1)
+    settled = stack.progress_series.window(45.0, 70.1)
     print(f"\nsettled progress: {settled.mean():.2f} blocks/s "
           f"(floor {policy.target_rate:.2f}); cap {policy.cap:.1f} W "
           f"vs ~160 W uncapped")

@@ -7,8 +7,11 @@ reduced. The NRM responds to this reduced power budget for the
 low-priority job by implementing a hard, immediate power cap on the
 node."
 
-One simulated node runs the low-priority job (LAMMPS). The system power
-manager initially grants it a generous node budget; 15 s in, a large
+One simulated node runs the low-priority job (LAMMPS). The whole node —
+firmware, msr-safe, libmsr, bus, monitor, budget-tracking policy — is
+assembled by :class:`~repro.stack.builder.NodeStack` from a spec; a
+lifecycle hook grafts the machine-level hierarchy on top. The system
+power manager initially grants a generous node budget; 15 s in, a large
 high-priority job is admitted, the low-priority node budget shrinks, the
 node's budget-tracking policy applies the cap, and online progress drops
 accordingly — exactly the dynamic the paper's progress metric exists to
@@ -19,39 +22,17 @@ Usage::
     python examples/budget_hierarchy.py
 """
 
-from repro.apps import build
 from repro.experiments.report import series_block
-from repro.hardware import SimulatedNode
-from repro.hardware.msr import MSRDevice
-from repro.hardware.msr_safe import MSRSafe
-from repro.hardware.rapl import RaplFirmware
-from repro.libmsr import LibMSR
 from repro.nrm.hierarchy import Job, SystemPowerManager
-from repro.nrm.policies import BudgetTrackingPolicy
-from repro.runtime.engine import Engine
-from repro.telemetry import MessageBus, ProgressMonitor
+from repro.stack import BUDGET, NodeStack, StackSpec
 
 
-def main() -> None:
-    # --- one real simulated node for the low-priority job -------------
-    node = SimulatedNode()
-    engine = Engine(node)
-    firmware = RaplFirmware(node, engine)
-    libmsr = LibMSR(MSRSafe(MSRDevice(node, firmware)), node.clock)
-    policy = BudgetTrackingPolicy(engine, libmsr)
-
-    bus = MessageBus(node.clock)
-    pub = bus.pub_socket()
-    engine.on_publish(lambda t, topic, v: pub.send(topic, v))
-    monitor = ProgressMonitor(engine, bus.sub_socket("progress/lammps"))
-
-    app = build("lammps", n_steps=1_000_000, seed=2)
-    app.launch(engine)
-
-    # --- the machine-level hierarchy ------------------------------------
+def wire_hierarchy(stack: NodeStack) -> None:
+    """Stack hook: feed the machine-level budget hierarchy into the
+    node's budget-tracking policy and script the two admission events."""
     mgr = SystemPowerManager(machine_budget=2000.0, min_node_budget=50.0)
     low_job = Job("climate-lowpri", n_nodes=8, priority=1.0,
-                  node_sinks=[policy.receive_budget])
+                  node_sinks=[stack.policy.receive_budget])
     budgets = mgr.submit(low_job)
     print(f"t=0s: low-priority job admitted, node budget "
           f"{budgets['climate-lowpri']:.0f} W")
@@ -67,15 +48,24 @@ def main() -> None:
         print(f"t={now:.0f}s: high-priority job finished -> low-priority "
               f"node budget back to {budgets['climate-lowpri']:.0f} W")
 
-    engine.add_timer(15.0, admit_high_priority)
-    engine.add_timer(35.0, complete_high_priority)
-    engine.run(until=50.0)
+    stack.engine.add_timer(15.0, admit_high_priority)
+    stack.engine.add_timer(35.0, complete_high_priority)
+
+
+def main() -> None:
+    spec = StackSpec(app_name="lammps",
+                     app_kwargs={"n_steps": 1_000_000},
+                     seed=2,
+                     controller=BUDGET)
+    stack = NodeStack(spec, hooks=(wire_hierarchy,))
+    stack.run(until=50.0)
 
     print()
-    print(series_block("node budget cap (W)", policy.cap_series))
-    print(series_block("lammps progress (atom-steps/s)", monitor.series))
-    mid = monitor.series.window(20.0, 35.0).mean()
-    outer = monitor.series.window(5.0, 15.0).mean()
+    print(series_block("node budget cap (W)", stack.policy.cap_series))
+    print(series_block("lammps progress (atom-steps/s)",
+                       stack.progress_series))
+    mid = stack.progress_series.window(20.0, 35.0).mean()
+    outer = stack.progress_series.window(5.0, 15.0).mean()
     print(f"\nprogress during the squeeze: {mid:,.0f} vs {outer:,.0f} "
           f"before it ({mid / outer * 100:.0f}%)")
 

@@ -13,47 +13,38 @@ measure-then-cap policy from :mod:`repro.nrm.phase_aware`:
   (the Eq.-4 model inverse),
 * re-measure when the progress monitor shows the rate level shift.
 
-Compare against the uncapped run: substantial energy savings at a small,
-*controlled* progress cost.
+Both runs use the same :class:`~repro.stack.builder.NodeStack`
+assembly; the capped run adds the policy through a lifecycle hook.
+Compare against the uncapped run: substantial energy savings at a
+small, *controlled* progress cost.
 
 Usage::
 
     python examples/phase_aware_capping.py
 """
 
-from repro.apps import build
 from repro.experiments.report import series_block
-from repro.hardware import SimulatedNode
-from repro.hardware.msr import MSRDevice
-from repro.hardware.msr_safe import MSRSafe
-from repro.hardware.rapl import RaplFirmware
-from repro.libmsr import LibMSR
 from repro.nrm import PhaseAwareCapPolicy
-from repro.runtime.engine import Engine
-from repro.telemetry import MessageBus, ProgressMonitor
+from repro.stack import NONE, NodeStack, StackSpec
 
 DURATION = 70.0
-APP_KW = dict(vmc1_blocks=500, vmc2_blocks=400, dmc_blocks=1_000_000,
-              seed=2)
+APP_KW = dict(vmc1_blocks=500, vmc2_blocks=400, dmc_blocks=1_000_000)
 
 
 def run(with_policy: bool):
-    node = SimulatedNode()
-    engine = Engine(node)
-    firmware = RaplFirmware(node, engine)
-    libmsr = LibMSR(MSRSafe(MSRDevice(node, firmware)), node.clock)
-    bus = MessageBus(node.clock)
-    pub = bus.pub_socket()
-    engine.on_publish(lambda t, topic, v: pub.send(topic, v))
-    app = build("qmcpack", **APP_KW)
-    monitor = ProgressMonitor(engine, bus.sub_socket(app.topic))
-    policy = None
-    if with_policy:
-        policy = PhaseAwareCapPolicy(engine, libmsr, monitor, beta=0.84,
-                                     target_fraction=0.85)
-    app.launch(engine)
-    engine.run(until=DURATION)
-    return node, monitor, policy
+    spec = StackSpec(app_name="qmcpack", app_kwargs=APP_KW, seed=2,
+                     controller=NONE)
+    installed = {}
+
+    def arm_policy(stack: NodeStack) -> None:
+        installed["policy"] = PhaseAwareCapPolicy(
+            stack.engine, stack.libmsr, stack.main_monitor,
+            beta=0.84, target_fraction=0.85)
+
+    hooks = (arm_policy,) if with_policy else ()
+    stack = NodeStack(spec, hooks=hooks)
+    stack.run(until=DURATION)
+    return stack.node, stack.main_monitor, installed.get("policy")
 
 
 def main() -> None:

@@ -15,14 +15,15 @@ units such as atoms or particles).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
 from repro.core.categories import Category, OnlineMetric
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.apps.body import SpmdBody
 from repro.apps.kernels import PhaseSpec
-from repro.runtime.engine import Publish, TaskState, Work
+from repro.runtime.engine import TaskState
 from repro.runtime.mpi import SimMPI
 from repro.runtime.openmp import OmpTeam
 
@@ -154,47 +155,38 @@ class SyntheticApp:
         # Shared (iteration-wide) noise stream: identical for all workers.
         return np.random.default_rng([self.seed, 0, phase_idx])
 
-    def _body(self, barrier, wid: int) -> Generator:
-        rng = self._worker_rng(wid)
-        skew = 1.0
-        if self.rank_work_scale is not None:
-            skew = self.rank_work_scale.get(wid, 1.0)
-        if self.report_every < 1:
-            raise ConfigurationError(
-                f"report_every must be >= 1, got {self.report_every}"
-            )
-        if self.publish_overhead_cycles < 0:
-            raise ConfigurationError("publish overhead must be >= 0")
-        pending = 0.0
-        batched = 0
-        for p_idx, phase in enumerate(self.spec.phases):
-            shared_rng = self._phase_rng(p_idx)
-            for _ in range(phase.iterations):
-                shared = phase.kernel.shared_factor(shared_rng) * skew
-                yield phase.kernel.sample(rng, shared)
-                if self.per_rank_progress and phase.publish:
-                    # Published pre-barrier: rank-level rates expose the
-                    # imbalance the barrier otherwise hides. The value is
-                    # the rank's own work share (its fraction of the
-                    # iteration's progress units, scaled by any static
-                    # decomposition skew).
-                    yield Publish(
-                        f"{self.rank_topic_prefix}/rank{wid}",
-                        phase.progress_per_iteration * skew / self.n_workers,
-                    )
-                yield barrier()
-                if wid == 0 and phase.publish:
-                    pending += phase.progress_per_iteration
-                    batched += 1
-                    if batched >= self.report_every:
-                        if self.publish_overhead_cycles > 0:
-                            # the report itself costs the publisher time
-                            yield Work(cycles=self.publish_overhead_cycles)
-                        yield Publish(self.topic, pending)
-                        pending = 0.0
-                        batched = 0
-        if wid == 0 and pending > 0:
-            yield Publish(self.topic, pending)
+    def _body(self, barrier, wid: int) -> Iterator:
+        """One worker's directive stream. Bodies are resumable state
+        machines (:mod:`repro.apps.body`) rather than generators, so a
+        mid-run task can be checkpointed; the directive sequence matches
+        the historical generator bit-for-bit."""
+        return SpmdBody(self, barrier, wid)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable run-level state (the post-construction knobs; the
+        per-task loop state lives in each body's snapshot)."""
+        return {
+            "name": self.name,
+            "per_rank_progress": self.per_rank_progress,
+            "rank_work_scale": None if self.rank_work_scale is None
+            else dict(self.rank_work_scale),
+            "publish_overhead_cycles": self.publish_overhead_cycles,
+            "report_every": self.report_every,
+        }
+
+    def restore(self, state: dict) -> None:
+        if state["name"] != self.name:
+            raise CheckpointError(
+                f"app checkpoint is for {state['name']!r}, "
+                f"restoring into {self.name!r}")
+        self.per_rank_progress = state["per_rank_progress"]
+        self.rank_work_scale = state["rank_work_scale"]
+        self.publish_overhead_cycles = state["publish_overhead_cycles"]
+        self.report_every = state["report_every"]
 
     # ------------------------------------------------------------------
     # Introspection

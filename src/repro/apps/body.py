@@ -1,0 +1,232 @@
+"""Resumable worker bodies: explicit step-state instead of generator frames.
+
+The engine drives tasks through the iterator protocol (``next(task.gen)``),
+so a worker body does not have to be a generator — any iterator works.
+Plain generators hold their loop state in a frame that cannot be pickled
+or rebuilt, which is what kept live node stacks pinned to one process.
+The classes here replace the generator bodies with small state machines:
+
+* each call to :meth:`_fill` produces one loop iteration's directives
+  into an explicit queue, updating named state variables (phase index,
+  iteration counter, RNG states) as it goes;
+* :meth:`__next__` drains the queue, so the engine sees exactly the
+  directive sequence the old generators yielded — the golden parity
+  fixtures in ``tests/stack`` pin this bit-for-bit;
+* :meth:`snapshot` / :meth:`restore` capture and reinstall that state,
+  making a mid-run task shippable across a process boundary (the
+  checkpoint layer in :mod:`repro.stack.checkpoint` builds on this).
+
+Barriers need care: a :class:`~repro.runtime.engine.Barrier` directive
+holds a live :class:`~repro.runtime.engine.BarrierGroup`, which must be
+*this* engine's group after a restore. The queue therefore stores a
+sentinel that is materialized through the body's barrier callable only
+when popped, and :attr:`barrier_group` lets the engine find the group a
+restored task was spinning at (the callables are side-effect-free).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.runtime.engine import Publish, Sleep, Work
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.base import SyntheticApp
+    from repro.runtime.engine import Barrier, BarrierGroup
+
+__all__ = ["ResumableBody", "SpmdBody", "rng_state", "restore_rng"]
+
+#: Queue marker for "wait at the team barrier"; re-materialized through
+#: the body's barrier callable at pop time (see module docstring).
+_BARRIER = "__barrier__"
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """Picklable state of a numpy Generator."""
+    return rng.bit_generator.state
+
+
+def restore_rng(state: dict) -> np.random.Generator:
+    """Rebuild a numpy Generator from :func:`rng_state` output."""
+    rng = np.random.default_rng(0)
+    if state["bit_generator"] != type(rng.bit_generator).__name__:
+        raise CheckpointError(
+            f"cannot restore RNG: checkpoint uses "
+            f"{state['bit_generator']!r}, runtime provides "
+            f"{type(rng.bit_generator).__name__!r}")
+    rng.bit_generator.state = state
+    return rng
+
+
+class ResumableBody:
+    """Iterator-protocol worker body with snapshot/restore.
+
+    Subclasses implement :meth:`_fill` (enqueue one iteration's
+    directives; return ``False`` when the run is over) and the state
+    hooks :meth:`_state` / :meth:`_set_state`.
+    """
+
+    def __init__(self, app: "SyntheticApp", barrier: Callable[[], "Barrier"],
+                 wid: int) -> None:
+        self.app = app
+        self.wid = wid
+        self._barrier = barrier
+        self._queue: deque[Any] = deque()
+        self._exhausted = False
+
+    # -- engine-facing ---------------------------------------------------
+
+    @property
+    def barrier_group(self) -> "BarrierGroup":
+        """The group this body waits at (barrier callables are
+        side-effect-free, so probing one is safe at any time)."""
+        return self._barrier().group
+
+    def __iter__(self) -> "ResumableBody":
+        return self
+
+    def __next__(self) -> Any:
+        while not self._queue:
+            if self._exhausted or not self._fill():
+                self._exhausted = True
+                raise StopIteration
+        item = self._queue.popleft()
+        if isinstance(item, str) and item == _BARRIER:
+            return self._barrier()
+        return item
+
+    # -- checkpointing ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable body state (directive queue + subclass loop state)."""
+        return {
+            "kind": type(self).__name__,
+            "queue": list(self._queue),
+            "exhausted": self._exhausted,
+            "state": self._state(),
+        }
+
+    def restore(self, state: dict) -> None:
+        if state["kind"] != type(self).__name__:
+            raise CheckpointError(
+                f"body checkpoint is for {state['kind']!r}, "
+                f"restoring into {type(self).__name__!r}")
+        self._queue = deque(state["queue"])
+        self._exhausted = state["exhausted"]
+        self._set_state(state["state"])
+
+    # -- subclass hooks --------------------------------------------------
+
+    def _fill(self) -> bool:
+        raise NotImplementedError
+
+    def _state(self) -> dict:
+        raise NotImplementedError
+
+    def _set_state(self, state: dict) -> None:
+        raise NotImplementedError
+
+
+class SpmdBody(ResumableBody):
+    """The default phase/iteration SPMD loop of :class:`SyntheticApp`.
+
+    Emits, per iteration: the kernel quantum, the optional per-rank
+    progress report, the barrier, and (worker 0) the batched progress
+    publish — exactly the directive stream of the old generator body.
+    """
+
+    def __init__(self, app: "SyntheticApp", barrier: Callable[[], "Barrier"],
+                 wid: int) -> None:
+        super().__init__(app, barrier, wid)
+        self._rng = app._worker_rng(wid)
+        self._shared_rng: np.random.Generator | None = None
+        self._p_idx = 0
+        self._it = 0
+        self._pending = 0.0
+        self._batched = 0
+        self._flushed = False
+        # Resolved at the first _fill: callers may tune the app's
+        # instrumentation knobs between construction and launch.
+        self._skew: float | None = None
+
+    def _resolve_knobs(self) -> float:
+        app = self.app
+        if app.report_every < 1:
+            raise ConfigurationError(
+                f"report_every must be >= 1, got {app.report_every}")
+        if app.publish_overhead_cycles < 0:
+            raise ConfigurationError("publish overhead must be >= 0")
+        if app.rank_work_scale is not None:
+            return app.rank_work_scale.get(self.wid, 1.0)
+        return 1.0
+
+    def _fill(self) -> bool:
+        app, wid = self.app, self.wid
+        if self._skew is None:
+            self._skew = self._resolve_knobs()
+        phases = app.spec.phases
+        while self._p_idx < len(phases):
+            phase = phases[self._p_idx]
+            if self._it >= phase.iterations:
+                self._p_idx += 1
+                self._it = 0
+                self._shared_rng = None
+                continue
+            if self._shared_rng is None:
+                self._shared_rng = app._phase_rng(self._p_idx)
+            shared = phase.kernel.shared_factor(self._shared_rng) * self._skew
+            self._queue.append(phase.kernel.sample(self._rng, shared))
+            if app.per_rank_progress and phase.publish:
+                # Published pre-barrier: rank-level rates expose the
+                # imbalance the barrier otherwise hides.
+                self._queue.append(Publish(
+                    f"{app.rank_topic_prefix}/rank{wid}",
+                    phase.progress_per_iteration * self._skew / app.n_workers,
+                ))
+            self._queue.append(_BARRIER)
+            if wid == 0 and phase.publish:
+                self._pending += phase.progress_per_iteration
+                self._batched += 1
+                if self._batched >= app.report_every:
+                    if app.publish_overhead_cycles > 0:
+                        # the report itself costs the publisher time
+                        self._queue.append(
+                            Work(cycles=app.publish_overhead_cycles))
+                    self._queue.append(Publish(app.topic, self._pending))
+                    self._pending = 0.0
+                    self._batched = 0
+            self._it += 1
+            return True
+        if wid == 0 and self._pending > 0 and not self._flushed:
+            self._flushed = True
+            self._queue.append(Publish(app.topic, self._pending))
+            return True
+        return False
+
+    def _state(self) -> dict:
+        return {
+            "rng": rng_state(self._rng),
+            "shared_rng": None if self._shared_rng is None
+            else rng_state(self._shared_rng),
+            "p_idx": self._p_idx,
+            "it": self._it,
+            "pending": self._pending,
+            "batched": self._batched,
+            "flushed": self._flushed,
+            "skew": self._skew,
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._rng = restore_rng(state["rng"])
+        self._shared_rng = None if state["shared_rng"] is None \
+            else restore_rng(state["shared_rng"])
+        self._p_idx = state["p_idx"]
+        self._it = state["it"]
+        self._pending = state["pending"]
+        self._batched = state["batched"]
+        self._flushed = state["flushed"]
+        self._skew = state["skew"]

@@ -17,11 +17,12 @@ training in Category 2.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Iterator
 
 import numpy as np
 
 from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.body import ResumableBody, restore_rng, rng_state, _BARRIER
 from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
 from repro.core.categories import Category, OnlineMetric
 from repro.exceptions import ConfigurationError
@@ -56,26 +57,19 @@ class CandleApp(SyntheticApp):
         self.epochs_run = 0
         self.final_loss = float("nan")
 
-    def _body(self, barrier, wid: int) -> Generator:
-        kernel = self.spec.phases[0].kernel
-        rng = self._worker_rng(wid)
-        # The loss trajectory is data-determined: every worker replays the
-        # same stream, so all workers stop after the same epoch.
-        loss_rng = np.random.default_rng([self.seed, 0, 0])
-        loss = 1.0
-        epoch = 0
-        while loss > self.target_loss and epoch < self.max_epochs:
-            yield kernel.sample(rng)
-            yield barrier()
-            loss *= self.loss_decay * float(
-                np.exp(loss_rng.normal(0.0, self.loss_noise))
-            )
-            epoch += 1
-            if wid == 0:
-                yield Publish(self.topic, 1.0)
-        if wid == 0:
-            self.epochs_run = epoch
-            self.final_loss = loss
+    def _body(self, barrier, wid: int) -> Iterator:
+        return _CandleBody(self, barrier, wid)
+
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["epochs_run"] = self.epochs_run
+        state["final_loss"] = self.final_loss
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self.epochs_run = state["epochs_run"]
+        self.final_loss = state["final_loss"]
 
     def total_iterations(self) -> int:
         # Unknown in advance — the defining Category-2 property.
@@ -83,6 +77,51 @@ class CandleApp(SyntheticApp):
             "CANDLE's epoch count is decided online by the convergence "
             "criterion and cannot be predicted (paper Table IV, Q5 = No)"
         )
+
+
+class _CandleBody(ResumableBody):
+    """One training epoch per fill; the convergence loop is explicit.
+
+    The loss trajectory is data-determined: every worker replays the
+    same stream, so all workers stop after the same epoch.
+    """
+
+    def __init__(self, app: CandleApp, barrier, wid: int) -> None:
+        super().__init__(app, barrier, wid)
+        self._rng = app._worker_rng(wid)
+        self._loss_rng = np.random.default_rng([app.seed, 0, 0])
+        self._loss = 1.0
+        self._epoch = 0
+
+    def _fill(self) -> bool:
+        app: CandleApp = self.app
+        if not (self._loss > app.target_loss
+                and self._epoch < app.max_epochs):
+            if self.wid == 0:
+                app.epochs_run = self._epoch
+                app.final_loss = self._loss
+            return False
+        kernel = app.spec.phases[0].kernel
+        self._queue.append(kernel.sample(self._rng))
+        self._queue.append(_BARRIER)
+        self._loss *= app.loss_decay * float(
+            np.exp(self._loss_rng.normal(0.0, app.loss_noise)))
+        self._epoch += 1
+        if self.wid == 0:
+            self._queue.append(Publish(app.topic, 1.0))
+        return True
+
+    def _state(self) -> dict:
+        return {"rng": rng_state(self._rng),
+                "loss_rng": rng_state(self._loss_rng),
+                "loss": self._loss,
+                "epoch": self._epoch}
+
+    def _set_state(self, state: dict) -> None:
+        self._rng = restore_rng(state["rng"])
+        self._loss_rng = restore_rng(state["loss_rng"])
+        self._loss = state["loss"]
+        self._epoch = state["epoch"]
 
 
 def build(target_loss: float = 0.25, loss_decay: float = 0.93,

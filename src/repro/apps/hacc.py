@@ -12,11 +12,10 @@ measure online performance reliably" (Section III-A).
 
 from __future__ import annotations
 
-from typing import Generator
-
-import numpy as np
+from typing import Iterator
 
 from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.body import ResumableBody, restore_rng, rng_state, _BARRIER
 from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
 from repro.core.categories import Category
 from repro.hardware.config import NodeConfig, skylake_config
@@ -39,28 +38,53 @@ class HaccApp(SyntheticApp):
         self.n_steps = n_steps
         self.growth = growth
 
-    def _body(self, barrier, wid: int) -> Generator:
-        short = self.spec.phases[0].kernel
-        long_range = self.spec.phases[1].kernel
-        rng = self._worker_rng(wid)
-        shared_rng = self._phase_rng(0)
-        for step in range(self.n_steps):
-            # Clustering growth: the short-range kernel inflates over the
-            # run, identically on every rank.
-            inflation = (1.0 + self.growth) ** step
-            shared = short.shared_factor(shared_rng) * inflation
-            yield short.sample(rng, shared)
-            yield barrier()
-            yield long_range.sample(rng)
-            yield barrier()
-            if (step + 1) % _IO_EVERY == 0:
-                yield Sleep(_IO_SLEEP)
-                yield barrier()
-            if wid == 0:
-                yield Publish(self.topic, 1.0)
+    def _body(self, barrier, wid: int) -> Iterator:
+        return _HaccBody(self, barrier, wid)
 
     def total_iterations(self) -> int:
         return self.n_steps
+
+
+class _HaccBody(ResumableBody):
+    """One HACC timestep per fill: short-range, long-range, periodic I/O."""
+
+    def __init__(self, app: HaccApp, barrier, wid: int) -> None:
+        super().__init__(app, barrier, wid)
+        self._rng = app._worker_rng(wid)
+        self._shared_rng = app._phase_rng(0)
+        self._step = 0
+
+    def _fill(self) -> bool:
+        app: HaccApp = self.app
+        if self._step >= app.n_steps:
+            return False
+        short = app.spec.phases[0].kernel
+        long_range = app.spec.phases[1].kernel
+        # Clustering growth: the short-range kernel inflates over the
+        # run, identically on every rank.
+        inflation = (1.0 + app.growth) ** self._step
+        shared = short.shared_factor(self._shared_rng) * inflation
+        self._queue.append(short.sample(self._rng, shared))
+        self._queue.append(_BARRIER)
+        self._queue.append(long_range.sample(self._rng))
+        self._queue.append(_BARRIER)
+        if (self._step + 1) % _IO_EVERY == 0:
+            self._queue.append(Sleep(_IO_SLEEP))
+            self._queue.append(_BARRIER)
+        if self.wid == 0:
+            self._queue.append(Publish(app.topic, 1.0))
+        self._step += 1
+        return True
+
+    def _state(self) -> dict:
+        return {"rng": rng_state(self._rng),
+                "shared_rng": rng_state(self._shared_rng),
+                "step": self._step}
+
+    def _set_state(self, state: dict) -> None:
+        self._rng = restore_rng(state["rng"])
+        self._shared_rng = restore_rng(state["shared_rng"])
+        self._step = state["step"]
 
 
 def build(n_steps: int = 80, growth: float = 0.02, n_workers: int = 24,

@@ -18,9 +18,10 @@ Two progress definitions are published on separate topics:
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Iterator
 
 from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.body import ResumableBody, _BARRIER
 from repro.apps.kernels import KernelSpec, PhaseSpec
 from repro.core.categories import Category, OnlineMetric
 from repro.exceptions import ConfigurationError
@@ -61,22 +62,45 @@ class ImbalanceApp(SyntheticApp):
         """Work units across all ranks for one outer iteration."""
         return sum(self.work_units(w) for w in range(self.n_workers))
 
-    def _body(self, barrier, wid: int) -> Generator:
-        sleep_s = self._sleep_seconds(wid)
-        for _ in range(self.n_iterations):
-            # do_(un)equal_work: usleep performs the "work"; the tiny
-            # Work quantum accounts for syscall/MPI overhead instructions.
-            yield Sleep(sleep_s)
-            yield Work(cycles=_OVERHEAD_CYCLES * sleep_s,
-                       instructions=_OVERHEAD_INS * sleep_s)
-            yield barrier()
-            if wid == 0:
-                yield Publish("progress/imbalance/iterations", 1.0)
-                yield Publish("progress/imbalance/work_units",
-                              self.total_work_units_per_iteration())
+    def _body(self, barrier, wid: int) -> Iterator:
+        return _ImbalanceBody(self, barrier, wid)
 
     def total_iterations(self) -> int:
         return self.n_iterations
+
+
+class _ImbalanceBody(ResumableBody):
+    """One outer iteration per fill; only the loop counter is state."""
+
+    def __init__(self, app: ImbalanceApp, barrier, wid: int) -> None:
+        super().__init__(app, barrier, wid)
+        self._it = 0
+
+    def _fill(self) -> bool:
+        app: ImbalanceApp = self.app
+        if self._it >= app.n_iterations:
+            return False
+        sleep_s = app._sleep_seconds(self.wid)
+        # do_(un)equal_work: usleep performs the "work"; the tiny
+        # Work quantum accounts for syscall/MPI overhead instructions.
+        self._queue.append(Sleep(sleep_s))
+        self._queue.append(Work(cycles=_OVERHEAD_CYCLES * sleep_s,
+                                instructions=_OVERHEAD_INS * sleep_s))
+        self._queue.append(_BARRIER)
+        if self.wid == 0:
+            self._queue.append(
+                Publish("progress/imbalance/iterations", 1.0))
+            self._queue.append(
+                Publish("progress/imbalance/work_units",
+                        app.total_work_units_per_iteration()))
+        self._it += 1
+        return True
+
+    def _state(self) -> dict:
+        return {"it": self._it}
+
+    def _set_state(self, state: dict) -> None:
+        self._it = state["it"]
 
 
 def build(equal: bool = True, n_iterations: int = 5, n_workers: int = 24,

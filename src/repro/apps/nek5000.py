@@ -13,11 +13,12 @@ ranks, so the published step rate wanders by design.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Iterator
 
 import numpy as np
 
 from repro.apps.base import AppSpec, SyntheticApp
+from repro.apps.body import ResumableBody, restore_rng, rng_state, _BARRIER
 from repro.apps.kernels import KernelSpec, PhaseSpec, cycles_for_rate
 from repro.core.categories import Category
 from repro.hardware.config import NodeConfig, skylake_config
@@ -38,21 +39,50 @@ class NekApp(SyntheticApp):
         self.n_steps = n_steps
         self.walk_sigma = walk_sigma
 
-    def _body(self, barrier, wid: int) -> Generator:
-        kernel = self.spec.phases[0].kernel
-        rng = self._worker_rng(wid)
-        walk_rng = np.random.default_rng([self.seed, 0, 7])
-        multiplier = 1.0
-        for _ in range(self.n_steps):
-            multiplier *= float(np.exp(walk_rng.normal(0.0, self.walk_sigma)))
-            multiplier = float(np.clip(multiplier, _WALK_LO, _WALK_HI))
-            yield kernel.sample(rng, multiplier)
-            yield barrier()
-            if wid == 0:
-                yield Publish(self.topic, 1.0)
+    def _body(self, barrier, wid: int) -> Iterator:
+        return _NekBody(self, barrier, wid)
 
     def total_iterations(self) -> int:
         return self.n_steps
+
+
+class _NekBody(ResumableBody):
+    """One timestep per fill; the walk multiplier is explicit state."""
+
+    def __init__(self, app: NekApp, barrier, wid: int) -> None:
+        super().__init__(app, barrier, wid)
+        self._rng = app._worker_rng(wid)
+        self._walk_rng = np.random.default_rng([app.seed, 0, 7])
+        self._multiplier = 1.0
+        self._step = 0
+
+    def _fill(self) -> bool:
+        app: NekApp = self.app
+        if self._step >= app.n_steps:
+            return False
+        kernel = app.spec.phases[0].kernel
+        self._multiplier *= float(
+            np.exp(self._walk_rng.normal(0.0, app.walk_sigma)))
+        self._multiplier = float(
+            np.clip(self._multiplier, _WALK_LO, _WALK_HI))
+        self._queue.append(kernel.sample(self._rng, self._multiplier))
+        self._queue.append(_BARRIER)
+        if self.wid == 0:
+            self._queue.append(Publish(app.topic, 1.0))
+        self._step += 1
+        return True
+
+    def _state(self) -> dict:
+        return {"rng": rng_state(self._rng),
+                "walk_rng": rng_state(self._walk_rng),
+                "multiplier": self._multiplier,
+                "step": self._step}
+
+    def _set_state(self, state: dict) -> None:
+        self._rng = restore_rng(state["rng"])
+        self._walk_rng = restore_rng(state["walk_rng"])
+        self._multiplier = state["multiplier"]
+        self._step = state["step"]
 
 
 def build(n_steps: int = 150, walk_sigma: float = 0.12, n_workers: int = 24,

@@ -59,6 +59,16 @@ class UrbanApp(SyntheticApp):
             "(paper: Category 3, multi-component)"
         )
 
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["components"] = [c.snapshot() for c in self.components]
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        for comp, comp_state in zip(self.components, state["components"]):
+            comp.restore(comp_state)
+
 
 def build(duration_steps: int = 40, n_workers: int = 24, seed: int = 0,
           cfg: NodeConfig | None = None) -> UrbanApp:

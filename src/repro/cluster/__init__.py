@@ -13,6 +13,9 @@ scale-up:
   firmware, telemetry, budget policy, application) advanced in epochs,
 * :mod:`repro.cluster.lockstep` — the epoch-advance/rebalance loop
   shared by the cluster simulation and the power-aware scheduler,
+* :mod:`repro.cluster.sharding` — the same lockstep loop over
+  long-lived shard worker processes; serial and sharded paths run the
+  identical step function, so results are bit-for-bit equal,
 * :mod:`repro.cluster.simulation` — lockstep cluster execution with a
   pluggable cluster-level power policy,
 * :mod:`repro.cluster.policies` — uniform budgets vs a progress-aware
@@ -27,6 +30,13 @@ from repro.cluster.lockstep import (
 )
 from repro.cluster.node_instance import NodeInstance
 from repro.cluster.policies import ProgressAwareRebalancer, UniformPowerPolicy
+from repro.cluster.sharding import (
+    NodeTelemetry,
+    ShardedLockstep,
+    StepRequest,
+    StepResult,
+    step_node,
+)
 from repro.cluster.simulation import ClusterSimulation
 from repro.cluster.variability import perturb_config
 
@@ -39,4 +49,9 @@ __all__ = [
     "advance_lockstep",
     "collect_rates",
     "rebalance_nodes",
+    "ShardedLockstep",
+    "StepRequest",
+    "StepResult",
+    "NodeTelemetry",
+    "step_node",
 ]

@@ -7,12 +7,14 @@ epochs. Both :class:`~repro.cluster.simulation.ClusterSimulation` and
 :class:`~repro.scheduler.scheduler.PowerAwareScheduler` previously
 hand-rolled this loop; this module is the single implementation.
 
-The advance itself is intentionally serial: live node stacks hold
-Python generators (the application tasks) and cannot cross a process
-boundary, and within one epoch the per-node work is far too small to
-amortize any hand-off. Parallelism lives one level up, in
-:class:`~repro.runtime.executor.RunExecutor`, which fans out *whole
-independent runs* rebuilt from picklable specs.
+These helpers advance nodes serially in-process. Since the node stacks
+became checkpointable (:mod:`repro.stack.checkpoint`), the epoch loop
+can also be *sharded*: :class:`~repro.cluster.sharding.ShardedLockstep`
+keeps shards of rebuilt nodes alive in long-lived worker processes and
+exchanges only ``(rates, epoch_energy)`` up and budgets down per epoch,
+running the identical step function so results match the serial path
+bit-for-bit. Whole independent runs still fan out one level up, in
+:class:`~repro.runtime.executor.RunExecutor`.
 """
 
 from __future__ import annotations

@@ -53,6 +53,26 @@ class NodeInstance:
         self.stack = NodeStack(spec).launch()
         self._energy_mark = 0.0
 
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable node state: the stack checkpoint plus the epoch
+        energy mark. The mark MUST travel with the checkpoint — restoring
+        a node with a zero mark would double-count every joule consumed
+        before the checkpoint in the next :meth:`epoch_energy` call."""
+        return {"version": 1, "node_id": self.node_id,
+                "energy_mark": self._energy_mark,
+                "stack": self.stack.snapshot()}
+
+    @classmethod
+    def from_checkpoint(cls, state: dict) -> "NodeInstance":
+        """Rebuild a node mid-run from a :meth:`snapshot` dict."""
+        inst = cls.__new__(cls)
+        inst.node_id = state["node_id"]
+        inst.stack = NodeStack.from_checkpoint(state["stack"])
+        inst._energy_mark = state["energy_mark"]
+        return inst
+
     # -- stack accessors (the public surface predates repro.stack) ---------
 
     @property

@@ -1,0 +1,418 @@
+"""Sharded epoch-lockstep execution over long-lived worker processes.
+
+The lockstep invariant (see :mod:`repro.cluster.lockstep`) is that nodes
+interact *only* through epoch-granular budget decisions. That makes the
+per-epoch data flow tiny and explicit — budgets go down, trailing
+progress rates and epoch energy come back up — while the heavy state
+(every node's engine, firmware, bus, monitors) never moves. This module
+exploits exactly that shape:
+
+* :class:`ShardedLockstep` partitions nodes round-robin over ``shards``
+  long-lived worker processes. Each worker *rebuilds* its shard's
+  :class:`~repro.cluster.node_instance.NodeInstance`\\ s from picklable
+  :class:`~repro.stack.spec.StackSpec`\\ s (or mid-run checkpoints, see
+  :meth:`NodeInstance.snapshot`) and keeps them alive across epochs.
+* Per epoch the parent sends one :class:`StepRequest` per node and gets
+  one :class:`StepResult` back — a handful of floats either way.
+* With ``shards=1`` no process is spawned: the same
+  :func:`step_node` function runs in-process on locally built nodes, so
+  the serial path and the sharded path produce identical results *by
+  construction* — the golden parity tests in ``tests/cluster`` and
+  ``tests/scheduler`` pin this bit-for-bit.
+
+Budget timing is preserved exactly: the budget-tracking policy applies
+budgets on its next tick, so delivering a budget in the worker
+immediately before the epoch's ``advance`` is indistinguishable from the
+serial code delivering it between epochs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.node_instance import NodeInstance
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.stack.spec import StackSpec
+from repro.telemetry.timeseries import TimeSeries
+
+__all__ = [
+    "StepRequest",
+    "StepResult",
+    "NodeTelemetry",
+    "step_node",
+    "node_rate",
+    "ShardedLockstep",
+]
+
+
+# ----------------------------------------------------------------------
+# Wire types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StepRequest:
+    """One node's marching orders for one epoch.
+
+    Attributes
+    ----------
+    node_id:
+        The node to advance.
+    target:
+        Absolute local time to advance the node's engine to.
+    budget, set_budget:
+        When ``set_budget`` is true, deliver ``budget`` (watts, or None
+        for uncapped) to the node's tracking policy before advancing.
+        The flag distinguishes "no budget update this epoch" from
+        "update to uncapped".
+    windows:
+        Trailing-rate windows (seconds) to evaluate *after* the advance;
+        the results come back keyed by these exact floats.
+    """
+
+    node_id: int
+    target: float
+    budget: float | None = None
+    set_budget: bool = False
+    windows: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """What one node reports back after an epoch step."""
+
+    node_id: int
+    now: float            #: node-local clock after the advance
+    energy: float         #: package joules since the previous epoch mark
+    cumulative: float     #: total progress units published so far
+    rates: dict[float, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class NodeTelemetry:
+    """Full telemetry pulled from a node (used at job completion)."""
+
+    node_id: int
+    now: float
+    progress: TimeSeries       #: copy of the main monitor's rate series
+    interval: float            #: the monitor's collection interval
+    pkg_energy: float          #: lifetime package energy (J)
+    frequency: float           #: current package frequency (Hz)
+
+
+# ----------------------------------------------------------------------
+# The shard-step function (shared by serial and worker paths)
+# ----------------------------------------------------------------------
+
+
+def node_rate(node: NodeInstance, window: float) -> float:
+    """Trailing progress rate with the lockstep empty-monitor guard
+    (0.0 before the monitor's first sample), exactly as
+    :func:`repro.cluster.lockstep.collect_rates` computes it."""
+    if node.monitor.series.is_empty():
+        return 0.0
+    return node.recent_rate(window=window)
+
+
+def step_node(node: NodeInstance, req: StepRequest) -> StepResult:
+    """Advance one node by one epoch and report back.
+
+    This is THE epoch step — the serial path and every shard worker run
+    this same function, which is what makes sharded results identical to
+    serial ones by construction.
+    """
+    if req.set_budget:
+        node.receive_budget(req.budget)
+    node.advance(req.target)
+    rates = {w: node_rate(node, w) for w in req.windows}
+    return StepResult(
+        node_id=node.node_id,
+        now=node.now,
+        energy=node.epoch_energy(),
+        cumulative=node.cumulative_progress(),
+        rates=rates,
+    )
+
+
+def _node_telemetry(node: NodeInstance) -> NodeTelemetry:
+    return NodeTelemetry(
+        node_id=node.node_id,
+        now=node.now,
+        progress=node.monitor.series.copy(),
+        interval=node.monitor.interval,
+        pkg_energy=node.node.pkg_energy,
+        frequency=node.node.frequency,
+    )
+
+
+def _build_node(node_id: int, item) -> NodeInstance:
+    if isinstance(item, StackSpec):
+        return NodeInstance.from_spec(node_id, item)
+    return NodeInstance.from_checkpoint(item)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+
+def _worker_main(conn) -> None:
+    """Shard worker loop: own a dict of live nodes, serve commands.
+
+    Protocol: ``(command, payload)`` tuples over the pipe; every command
+    gets exactly one ``("ok", result)`` or ``("error", message)`` reply.
+    """
+    nodes: dict[int, NodeInstance] = {}
+    while True:
+        try:
+            cmd, payload = conn.recv()
+        except EOFError:  # parent died; nothing sane left to do
+            return
+        try:
+            if cmd == "build":
+                for node_id, item in payload:
+                    nodes[node_id] = _build_node(node_id, item)
+                conn.send(("ok", None))
+            elif cmd == "step":
+                results = [step_node(nodes[req.node_id], req)
+                           for req in payload]
+                conn.send(("ok", results))
+            elif cmd == "rates":
+                conn.send(("ok", [node_rate(nodes[node_id], window)
+                                  for node_id, window in payload]))
+            elif cmd == "telemetry":
+                conn.send(("ok", [_node_telemetry(nodes[node_id])
+                                  for node_id in payload]))
+            elif cmd == "checkpoint":
+                conn.send(("ok", [nodes[node_id].snapshot()
+                                  for node_id in payload]))
+            elif cmd == "remove":
+                for node_id in payload:
+                    del nodes[node_id]
+                conn.send(("ok", None))
+            elif cmd == "close":
+                conn.send(("ok", None))
+                return
+            else:
+                conn.send(("error", f"unknown command {cmd!r}"))
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+
+
+# ----------------------------------------------------------------------
+# Parent-side coordinator
+# ----------------------------------------------------------------------
+
+
+class ShardedLockstep:
+    """Drive a set of lockstep nodes, optionally sharded over processes.
+
+    Parameters
+    ----------
+    shards:
+        1 = serial in-process execution (no subprocess at all); N >= 2
+        = N long-lived worker processes, nodes assigned round-robin in
+        insertion order.
+    start_method:
+        multiprocessing start method; default prefers ``fork`` (cheap,
+        and the workers rebuild their nodes from specs anyway) and falls
+        back to the platform default.
+    """
+
+    def __init__(self, shards: int = 1, *,
+                 start_method: str | None = None) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self._local: dict[int, NodeInstance] = {}
+        self._shard_of: dict[int, int] = {}
+        self._next_shard = 0
+        self._workers: list = []
+        self._pipes: list = []
+        self._closed = False
+        if shards > 1:
+            if start_method is None:
+                methods = mp.get_all_start_methods()
+                start_method = "fork" if "fork" in methods else methods[0]
+            ctx = mp.get_context(start_method)
+            for _ in range(shards):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(target=_worker_main, args=(child_conn,),
+                                   daemon=True)
+                proc.start()
+                child_conn.close()
+                self._workers.append(proc)
+                self._pipes.append(parent_conn)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._shard_of)
+
+    def add_nodes(self, items: Sequence[tuple[int, object]]) -> None:
+        """Build nodes from ``(node_id, StackSpec | checkpoint)`` pairs.
+
+        Specs are rebuilt fresh; checkpoint dicts (from
+        :meth:`NodeInstance.snapshot`) restore a node mid-run. Nodes are
+        assigned to shards round-robin in insertion order.
+        """
+        per_shard: dict[int, list] = {}
+        for node_id, item in items:
+            if node_id in self._shard_of:
+                raise ConfigurationError(f"node {node_id} already exists")
+            shard = self._next_shard % self.shards
+            self._next_shard += 1
+            self._shard_of[node_id] = shard
+            if self.shards == 1:
+                self._local[node_id] = _build_node(node_id, item)
+            else:
+                per_shard.setdefault(shard, []).append((node_id, item))
+        if self.shards > 1 and per_shard:
+            self._dispatch("build", per_shard)
+
+    def remove_nodes(self, node_ids: Sequence[int]) -> None:
+        """Drop finished nodes (frees worker memory)."""
+        per_shard: dict[int, list] = {}
+        for node_id in node_ids:
+            shard = self._shard_of.pop(node_id)
+            if self.shards == 1:
+                del self._local[node_id]
+            else:
+                per_shard.setdefault(shard, []).append(node_id)
+        if self.shards > 1 and per_shard:
+            self._dispatch("remove", per_shard)
+
+    def local_nodes(self) -> dict[int, NodeInstance]:
+        """The live node instances — serial mode only (with workers the
+        nodes live in other processes and cannot be touched directly)."""
+        if self.shards > 1:
+            raise ConfigurationError(
+                "live nodes are only addressable with shards=1; use "
+                "step()/rates()/telemetry() in sharded mode")
+        return self._local
+
+    # -- the per-epoch exchange --------------------------------------------
+
+    def step(self, requests: Sequence[StepRequest]) -> list[StepResult]:
+        """Advance every requested node one epoch; results come back in
+        request order. With workers, all shards advance concurrently —
+        this is the parallel section."""
+        if self.shards == 1:
+            return [step_node(self._local[req.node_id], req)
+                    for req in requests]
+        per_shard: dict[int, list[StepRequest]] = {}
+        for req in requests:
+            per_shard.setdefault(self._shard_of[req.node_id], []).append(req)
+        replies = self._dispatch("step", per_shard)
+        by_node = {res.node_id: res
+                   for results in replies.values() for res in results}
+        return [by_node[req.node_id] for req in requests]
+
+    def rates(self, pairs: Sequence[tuple[int, float]]) -> list[float]:
+        """Trailing rates for ``(node_id, window)`` pairs, in order."""
+        if self.shards == 1:
+            return [node_rate(self._local[node_id], window)
+                    for node_id, window in pairs]
+        per_shard: dict[int, list] = {}
+        order: dict[int, list[int]] = {}
+        for i, (node_id, window) in enumerate(pairs):
+            shard = self._shard_of[node_id]
+            per_shard.setdefault(shard, []).append((node_id, window))
+            order.setdefault(shard, []).append(i)
+        replies = self._dispatch("rates", per_shard)
+        out: list[float] = [0.0] * len(pairs)
+        for shard, values in replies.items():
+            for i, value in zip(order[shard], values):
+                out[i] = value
+        return out
+
+    def telemetry(self, node_ids: Sequence[int]) -> dict[int, NodeTelemetry]:
+        """Full telemetry for the given nodes (series copies included)."""
+        if self.shards == 1:
+            return {node_id: _node_telemetry(self._local[node_id])
+                    for node_id in node_ids}
+        per_shard: dict[int, list[int]] = {}
+        for node_id in node_ids:
+            per_shard.setdefault(self._shard_of[node_id], []).append(node_id)
+        replies = self._dispatch("telemetry", per_shard)
+        return {tel.node_id: tel
+                for tels in replies.values() for tel in tels}
+
+    def checkpoint(self, node_ids: Sequence[int]) -> dict[int, dict]:
+        """Mid-run checkpoints (see :meth:`NodeInstance.snapshot`) for
+        the given nodes — e.g. to migrate them between shard layouts."""
+        if self.shards == 1:
+            return {node_id: self._local[node_id].snapshot()
+                    for node_id in node_ids}
+        per_shard: dict[int, list[int]] = {}
+        for node_id in node_ids:
+            per_shard.setdefault(self._shard_of[node_id], []).append(node_id)
+        replies = self._dispatch("checkpoint", per_shard)
+        out: dict[int, dict] = {}
+        for shard, snaps in replies.items():
+            for node_id, snap in zip(per_shard[shard], snaps):
+                out[node_id] = snap
+        return out
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for pipe in self._pipes:
+            try:
+                pipe.send(("close", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for pipe in self._pipes:
+            try:
+                pipe.recv()
+            except (EOFError, OSError):
+                pass
+            pipe.close()
+        for proc in self._workers:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._workers = []
+        self._pipes = []
+
+    def __enter__(self) -> "ShardedLockstep":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- internals ---------------------------------------------------------
+
+    def _dispatch(self, cmd: str, per_shard: dict[int, list]) -> dict[int, object]:
+        """Send ``cmd`` to every involved shard, then collect replies.
+
+        Sends complete before any receive, so all shards compute
+        concurrently; errors ship back as formatted tracebacks and
+        re-raise here as :class:`SimulationError`.
+        """
+        if self._closed:
+            raise SimulationError("ShardedLockstep is closed")
+        for shard, payload in per_shard.items():
+            self._pipes[shard].send((cmd, payload))
+        replies: dict[int, object] = {}
+        for shard in per_shard:
+            status, value = self._pipes[shard].recv()
+            if status != "ok":
+                raise SimulationError(
+                    f"shard {shard} failed on {cmd!r}:\n{value}")
+            replies[shard] = value
+        return replies

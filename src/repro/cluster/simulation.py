@@ -5,6 +5,14 @@ cluster is simulated exactly by advancing each node's independent engine
 one epoch at a time and re-running the allocation between epochs — no
 cross-node event interleaving is needed.
 
+The epoch loop runs on :class:`~repro.cluster.sharding.ShardedLockstep`:
+with ``shards=1`` (the default) nodes live in-process exactly as before;
+with ``shards>=2`` they are partitioned over long-lived worker processes
+that advance concurrently, exchanging only budgets down and
+``(rates, epoch_energy)`` up. Both paths execute the same step function,
+so the produced series are bit-for-bit identical — ``tests/cluster``
+pins this.
+
 Job-level progress views follow the paper's discussion of combining
 job-wide and node-local metrics:
 
@@ -18,15 +26,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.lockstep import (
-    advance_lockstep,
-    collect_rates,
-    rebalance_nodes,
-)
 from repro.cluster.node_instance import NodeInstance
+from repro.cluster.sharding import ShardedLockstep, StepRequest
 from repro.cluster.variability import perturb_config
 from repro.exceptions import ConfigurationError
 from repro.hardware.config import NodeConfig, skylake_config
+from repro.stack import BUDGET, StackSpec
 from repro.telemetry.timeseries import TimeSeries
 
 __all__ = ["ClusterSimulation"]
@@ -52,18 +57,22 @@ class ClusterSimulation:
         for perfectly identical nodes.
     seed:
         Cluster seed (drives both variability and application noise).
+    shards:
+        Worker processes to shard the nodes over; 1 (default) runs
+        serially in-process. Results are identical either way.
     """
 
     def __init__(self, n_nodes: int, app_name: str, policy, *,
                  app_kwargs: dict | None = None,
                  cfg: NodeConfig | None = None,
                  variability: tuple[float, float] | None = (0.05, 0.08),
-                 seed: int = 0) -> None:
+                 seed: int = 0, shards: int = 1) -> None:
         if n_nodes < 1:
             raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
         base_cfg = cfg if cfg is not None else skylake_config()
         self.policy = policy
-        self.nodes: list[NodeInstance] = []
+        self._node_ids = list(range(n_nodes))
+        specs: list[tuple[int, StackSpec]] = []
         for i in range(n_nodes):
             node_cfg = base_cfg
             if variability is not None:
@@ -71,10 +80,20 @@ class ClusterSimulation:
                 node_cfg = perturb_config(base_cfg, rng,
                                           sigma_dynamic=variability[0],
                                           sigma_static=variability[1])
-            self.nodes.append(NodeInstance(
-                node_id=i, cfg=node_cfg, app_name=app_name,
-                app_kwargs=app_kwargs, seed=seed + 1000 * i,
-            ))
+            specs.append((i, StackSpec(
+                app_name=app_name,
+                cfg=node_cfg,
+                app_kwargs=app_kwargs,
+                seed=seed + 1000 * i,
+                controller=BUDGET,
+                name=f"node{i}",
+            )))
+        self._lockstep = ShardedLockstep(shards=shards)
+        self._lockstep.add_nodes(specs)
+        self._now = 0.0
+        # Rates the next allocation will use, keyed by window; seeded
+        # with the empty-monitor zeros collect_rates reports at t=0.
+        self._alloc_rates: dict[float, list[float]] = {}
         self.budget_history = TimeSeries("allocated-total")
         self.total_progress = TimeSeries("job-total-progress")
         self.critical_path = TimeSeries("job-critical-path")
@@ -84,7 +103,31 @@ class ClusterSimulation:
 
     @property
     def now(self) -> float:
-        return self.nodes[0].now
+        return self._now
+
+    @property
+    def nodes(self) -> list[NodeInstance]:
+        """The live node instances in node order (serial mode only)."""
+        local = self._lockstep.local_nodes()
+        return [local[i] for i in self._node_ids]
+
+    @property
+    def shards(self) -> int:
+        return self._lockstep.shards
+
+    def close(self) -> None:
+        """Shut down shard workers (no-op in serial mode)."""
+        self._lockstep.close()
+
+    def _rates_for(self, window: float) -> list[float]:
+        """Per-node trailing rates for the next allocation: cached from
+        the previous epoch's step results (node state has not changed
+        since), or pulled from the nodes when the window is new."""
+        if window in self._alloc_rates:
+            return self._alloc_rates[window]
+        if self._now == 0.0:
+            return [0.0] * len(self._node_ids)
+        return self._lockstep.rates([(i, window) for i in self._node_ids])
 
     def run(self, duration: float, epoch: float = 1.0) -> None:
         """Advance the whole cluster by ``duration`` seconds in
@@ -93,12 +136,31 @@ class ClusterSimulation:
         if duration <= 0 or epoch <= 0:
             raise ConfigurationError("duration and epoch must be positive")
         end = self.now + duration
+        alloc_window = 3 * epoch
         while self.now < end - 1e-9:
-            budgets = rebalance_nodes(self.nodes, self.policy,
-                                      window=3 * epoch)
+            rates = self._rates_for(alloc_window)
+            budgets = [float(b) for b in self.policy.allocate(rates)]
             target = min(self.now + epoch, end)
-            self.total_energy += advance_lockstep(self.nodes, target)
-            current = collect_rates(self.nodes, window=epoch)
+            requests = [
+                StepRequest(node_id=i, target=target, budget=b,
+                            set_budget=True, windows=(alloc_window, epoch))
+                for i, b in zip(self._node_ids, budgets)
+            ]
+            results = self._lockstep.step(requests)
+            epoch_energy = 0.0
+            for res in results:
+                epoch_energy += res.energy
+            self.total_energy += epoch_energy
+            # Track node 0's clock, not the computed target: the engine
+            # advances by deltas, so the node clock can differ from the
+            # target by an ULP — and the serial code's `now` was the
+            # node clock.
+            self._now = results[0].now
+            self._alloc_rates = {
+                alloc_window: [res.rates[alloc_window] for res in results],
+                epoch: [res.rates[epoch] for res in results],
+            }
+            current = self._alloc_rates[epoch]
             self.total_progress.append(target, float(np.sum(current)))
             self.critical_path.append(target, float(np.min(current)))
             self.budget_history.append(target, float(np.sum(budgets)))
@@ -107,11 +169,12 @@ class ClusterSimulation:
 
     def node_rates(self, window: float = 5.0) -> list[float]:
         """Latest per-node progress rates."""
-        return [n.recent_rate(window) for n in self.nodes]
+        return self._lockstep.rates([(i, window) for i in self._node_ids])
 
     def node_frequencies(self) -> list[float]:
         """Current per-node package frequencies (Hz)."""
-        return [n.node.frequency for n in self.nodes]
+        telemetry = self._lockstep.telemetry(self._node_ids)
+        return [telemetry[i].frequency for i in self._node_ids]
 
     def steady_critical_path(self, skip: float = 5.0) -> float:
         """Mean critical-path rate after the first ``skip`` seconds."""

@@ -21,6 +21,7 @@ __all__ = [
     "ModelError",
     "FittingError",
     "TelemetryError",
+    "CheckpointError",
 ]
 
 
@@ -71,3 +72,9 @@ class FittingError(ModelError):
 class TelemetryError(ReproError):
     """Progress-reporting infrastructure misuse (publishing on a closed
     socket, subscribing after close, ...)."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A node checkpoint could not be taken or reinstalled (unpicklable
+    task body, schema mismatch, rebuilt stack diverging from the
+    checkpointed one)."""

@@ -13,8 +13,11 @@ the defaults match the benchmark suite.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+
+from repro.runtime.executor import CACHE_ENV
 
 from repro.experiments import (
     extension_energy,
@@ -34,44 +37,46 @@ from repro.experiments import (
     table6,
 )
 
-#: name -> (run(seed, quick, workers) -> result, render).  ``workers``
-#: parallelizes experiments built from independent runs; the others
-#: ignore it (their runs share live state and stay serial).
+#: name -> (run(seed, quick, workers, shards) -> result, render).
+#: ``workers`` parallelizes experiments built from independent runs;
+#: ``shards`` parallelizes *within* a lockstep run by sharding its nodes
+#: over worker processes. Experiments that support neither ignore them.
 _EXPERIMENTS = {
-    "table1": (lambda seed, quick, workers: table1.run(seed=seed),
+    "table1": (lambda seed, quick, workers, shards: table1.run(seed=seed),
                table1.render),
-    "table2": (lambda seed, quick, workers: table2.run(), table2.render),
-    "table3": (lambda seed, quick, workers: table3.run(), table3.render),
-    "table4": (lambda seed, quick, workers: table4.run(), table4.render),
-    "table5": (lambda seed, quick, workers: table5.run(), table5.render),
-    "table6": (lambda seed, quick, workers: table6.run(
+    "table2": (lambda seed, quick, workers, shards: table2.run(), table2.render),
+    "table3": (lambda seed, quick, workers, shards: table3.run(), table3.render),
+    "table4": (lambda seed, quick, workers, shards: table4.run(), table4.render),
+    "table5": (lambda seed, quick, workers, shards: table5.run(), table5.render),
+    "table6": (lambda seed, quick, workers, shards: table6.run(
         seed=seed, scale=0.5 if quick else 1.0), table6.render),
-    "figure1": (lambda seed, quick, workers: figure1.run(
+    "figure1": (lambda seed, quick, workers, shards: figure1.run(
         duration=25.0 if quick else 40.0, seed=seed, workers=workers),
         figure1.render),
-    "figure2": (lambda seed, quick, workers: figure2.run(
+    "figure2": (lambda seed, quick, workers, shards: figure2.run(
         duration=6.0 if quick else 10.0, seed=seed), figure2.render),
-    "figure3": (lambda seed, quick, workers: figure3.run(
+    "figure3": (lambda seed, quick, workers, shards: figure3.run(
         duration=40.0 if quick else 60.0, seed=seed), figure3.render),
-    "figure4": (lambda seed, quick, workers: figure4.run(
+    "figure4": (lambda seed, quick, workers, shards: figure4.run(
         repeats=1 if quick else 5, seed=seed, workers=workers),
         figure4.render),
-    "figure5": (lambda seed, quick, workers: figure5.run(
+    "figure5": (lambda seed, quick, workers, shards: figure5.run(
         duration=6.0 if quick else 10.0,
         warmup=2.5 if quick else 4.0, seed=seed), figure5.render),
-    "ext-energy": (lambda seed, quick, workers: extension_energy.run(
+    "ext-energy": (lambda seed, quick, workers, shards: extension_energy.run(
         seed=seed), extension_energy.render),
     "ext-intrusiveness": (
-        lambda seed, quick, workers: extension_intrusiveness.run(
+        lambda seed, quick, workers, shards: extension_intrusiveness.run(
             duration=18.0 if quick else 30.0, seed=seed),
         extension_intrusiveness.render),
-    "ext-techniques": (lambda seed, quick, workers: extension_techniques.run(
+    "ext-techniques": (lambda seed, quick, workers, shards: extension_techniques.run(
         duration=6.0 if quick else 10.0,
         warmup=2.5 if quick else 4.0, seed=seed),
         extension_techniques.render),
     "extension_scheduler": (
-        lambda seed, quick, workers: extension_scheduler.run(
-            seed=seed, quick=quick), extension_scheduler.render),
+        lambda seed, quick, workers, shards: extension_scheduler.run(
+            seed=seed, quick=quick, shards=shards),
+        extension_scheduler.render),
 }
 
 
@@ -89,9 +94,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool size for experiments made of "
                              "independent runs (default: serial)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="shard lockstep nodes over this many worker "
+                             "processes (extension_scheduler; results are "
+                             "identical to serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="serve identical re-runs from a content-keyed "
+                             "on-disk result cache in this directory "
+                             f"(default: ${CACHE_ENV} if set)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache even if "
+                             f"${CACHE_ENV} is set")
     parser.add_argument("--list", action="store_true",
                         help="print the registered experiment names and exit")
     args = parser.parse_args(argv)
+
+    # Experiments build their own RunExecutors, so the cache choice is
+    # routed through the environment variable the executor consults.
+    if args.no_cache:
+        os.environ.pop(CACHE_ENV, None)
+    elif args.cache_dir is not None:
+        os.environ[CACHE_ENV] = args.cache_dir
 
     if args.list:
         print("\n".join(sorted(_EXPERIMENTS)))
@@ -103,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         run, render = _EXPERIMENTS[name]
         start = time.perf_counter()
-        result = run(args.seed, args.quick, args.workers)
+        result = run(args.seed, args.quick, args.workers, args.shards)
         elapsed = time.perf_counter() - start
         print(render(result))
         print(f"\n[{name} regenerated in {elapsed:.1f} s wall time]\n")

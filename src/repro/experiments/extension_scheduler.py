@@ -97,9 +97,14 @@ def _build_jobs(book: PowerBook, workload, *, eco: bool) -> list[Job]:
 
 
 def run(seed: int = 0, quick: bool = False,
-        book: PowerBook | None = None) -> SchedulerComparison:
+        book: PowerBook | None = None,
+        shards: int = 1) -> SchedulerComparison:
     """Characterize the apps, then run fcfs-uncapped vs eco-backfill
-    over the same workload, cluster, and power budget."""
+    over the same workload, cluster, and power budget.
+
+    ``shards`` spreads each scheduler's node execution over that many
+    worker processes (see :mod:`repro.cluster.sharding`); reports are
+    bit-for-bit identical to the serial default."""
     if book is None:
         book = PowerBook(n_workers=8, seed=seed,
                          duration=10.0 if quick else 14.0,
@@ -120,11 +125,15 @@ def run(seed: int = 0, quick: bool = False,
             eco_margin=0.8,
             n_workers=book.n_workers,
             seed=seed,
+            shards=shards,
         )
         scheduler = PowerAwareScheduler(config, book)
         for job in _build_jobs(book, workload, eco=eco):
             scheduler.submit(job)
-        reports[policy] = scheduler.run()
+        try:
+            reports[policy] = scheduler.run()
+        finally:
+            scheduler.close()
     return SchedulerComparison(baseline=reports["fcfs"],
                                eco=reports["backfill"])
 

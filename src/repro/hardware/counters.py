@@ -107,3 +107,17 @@ class CounterBank:
         self._ins[:] = 0.0
         self._cyc[:] = 0.0
         self._l3[:] = 0.0
+
+    # ``snapshot(time)`` above predates the checkpoint layer and returns
+    # a CounterSnapshot, so the checkpoint protocol uses dump/load names.
+
+    def dump_state(self) -> dict:
+        """Picklable counter values (plain lists)."""
+        return {"ins": self._ins.tolist(), "cyc": self._cyc.tolist(),
+                "l3": self._l3.tolist()}
+
+    def load_state(self, state: dict) -> None:
+        """Reinstall :meth:`dump_state` output."""
+        self._ins[:] = state["ins"]
+        self._cyc[:] = state["cyc"]
+        self._l3[:] = state["l3"]

@@ -214,6 +214,16 @@ class MSRDevice:
     def _energy_bits(self, joules: float) -> int:
         return int(joules / self.units.energy) & _U32
 
+    # -- checkpointing ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable register state (everything else derives from the
+        node/firmware, which checkpoint themselves)."""
+        return {"perf_ctl": self._perf_ctl}
+
+    def restore(self, state: dict) -> None:
+        self._perf_ctl = state["perf_ctl"]
+
     # -- public API --------------------------------------------------------
 
     def read(self, addr: int) -> int:

@@ -97,3 +97,16 @@ class MSRSafe:
     def allow(self, addr: int, write_mask: int = 0) -> None:
         """Add or update a whitelist entry (administrative operation)."""
         self.whitelist[addr] = write_mask & _U64
+
+    # -- checkpointing ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable gatekeeper state (whitelist edits + privilege)."""
+        return {"whitelist": dict(self.whitelist),
+                "privileged": self.privileged,
+                "device": self.device.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        self.whitelist = dict(state["whitelist"])
+        self.privileged = state["privileged"]
+        self.device.restore(state["device"])

@@ -193,6 +193,46 @@ class SimulatedNode:
             core.compute_frac = 0.0
             core.bytes_rate = 0.0
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable hardware state: clock, per-core state, counters,
+        energy accumulators, and the frequency/uncore/DRAM limits."""
+        return {
+            "now": self.clock.now,
+            "cores": [{
+                "freq": c.freq, "duty": c.duty, "mode": c.mode.value,
+                "compute_frac": c.compute_frac, "bytes_rate": c.bytes_rate,
+            } for c in self.cores],
+            "counters": self.counters.dump_state(),
+            "pkg_energy": self.pkg_energy,
+            "dram_energy": self.dram_energy,
+            "freq_limit": self._freq_limit,
+            "last_sample": self._last_sample,
+            "uncore_scale": self.uncore_scale,
+            "dram_bw_cap": self.dram_bw_cap,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot` (the clock advances to the
+        checkpointed time — it cannot rewind)."""
+        self.clock.advance_to(state["now"])
+        for core, core_state in zip(self.cores, state["cores"]):
+            core.freq = core_state["freq"]
+            core.duty = core_state["duty"]
+            core.mode = CoreMode(core_state["mode"])
+            core.compute_frac = core_state["compute_frac"]
+            core.bytes_rate = core_state["bytes_rate"]
+        self.counters.load_state(state["counters"])
+        self.pkg_energy = state["pkg_energy"]
+        self.dram_energy = state["dram_energy"]
+        self._freq_limit = state["freq_limit"]
+        self._last_sample = state["last_sample"]
+        self.uncore_scale = state["uncore_scale"]
+        self.dram_bw_cap = state["dram_bw_cap"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SimulatedNode(cores={self.cfg.n_cores}, "

@@ -278,3 +278,33 @@ class RaplFirmware:
         """Cancel the firmware's periodic tick (used when tearing down a
         testbed between experiment runs)."""
         self._timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable controller state (the node-side effects — frequency,
+        duty, uncore scale, DRAM throttle — live in the node snapshot)."""
+        return {
+            "limit": self.limit,
+            "limit2": self.limit2,
+            "enabled": self.enabled,
+            "ddcm_engaged": self._ddcm_engaged,
+            "dram_limit": self.dram_limit,
+            "window": self.window,
+            "avg_windowed": self._avg_windowed,
+            "last_energy": self._last_energy,
+            "last_time": self._last_time,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.limit = state["limit"]
+        self.limit2 = state["limit2"]
+        self.enabled = state["enabled"]
+        self._ddcm_engaged = state["ddcm_engaged"]
+        self.dram_limit = state["dram_limit"]
+        self.window = state["window"]
+        self._avg_windowed = state["avg_windowed"]
+        self._last_energy = state["last_energy"]
+        self._last_time = state["last_time"]

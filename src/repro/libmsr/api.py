@@ -134,3 +134,14 @@ class LibMSR:
             pkg_joules=d_pkg * self.units.energy,
             dram_joules=d_dram * self.units.energy,
         )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable API state: the poll baseline (the units cache is
+        deterministic and re-read on demand)."""
+        return {"last": self._last, "msr": self.msr.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        self._last = state["last"]
+        self.msr.restore(state["msr"])

@@ -86,3 +86,23 @@ class PowerPolicyDaemon:
     def stop(self) -> None:
         """Stop the daemon's periodic tick."""
         self._timer.cancel()
+
+    # -- checkpointing ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable daemon state (tri-state ``_applied``: the sentinel
+        does not survive pickling)."""
+        if self._applied is _UNSET:
+            applied = ("unset", None)
+        else:
+            applied = ("set", self._applied)
+        return {"start": self._start, "applied": applied,
+                "power_series": self.power_series.snapshot(),
+                "cap_series": self.cap_series.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        self._start = state["start"]
+        kind, value = state["applied"]
+        self._applied = _UNSET if kind == "unset" else value
+        self.power_series.restore(state["power_series"])
+        self.cap_series.restore(state["cap_series"])

@@ -68,6 +68,25 @@ class BudgetTrackingPolicy:
     def stop(self) -> None:
         self._timer.cancel()
 
+    # -- checkpointing ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable policy state. ``_applied`` is a module-level
+        sentinel when nothing has been applied yet, which would not
+        survive pickling — encode it as a tri-state."""
+        if self._applied is _UNSET:
+            applied = ("unset", None)
+        else:
+            applied = ("set", self._applied)
+        return {"budget": self._budget, "applied": applied,
+                "cap_series": self.cap_series.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        self._budget = state["budget"]
+        kind, value = state["applied"]
+        self._applied = _UNSET if kind == "unset" else value
+        self.cap_series.restore(state["cap_series"])
+
 
 class ProgressFloorPolicy:
     """Hold a progress floor with minimal power.

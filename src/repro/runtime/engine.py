@@ -32,13 +32,17 @@ which reproduces the paper's Eq. 1 exactly: iteration time is
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Generator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, SchedulingError, SimulationError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    SchedulingError,
+    SimulationError,
+)
 from repro.hardware.cpu import CoreMode
 from repro.hardware.memory import allocate_bandwidth
 
@@ -174,7 +178,7 @@ class TaskState:
     tid: int
     name: str
     core_id: int
-    gen: Generator
+    gen: Iterator[Any]
     status: str = _READY
     # current Work quantum
     work: Work | None = None
@@ -218,15 +222,16 @@ class Engine:
         self.clock = node.clock
         self._tasks: list[TaskState] = []
         self._timers: list[Timer] = []
-        self._tid_counter = itertools.count()
-        self._timer_seq = itertools.count()
+        # Plain ints (not itertools.count) so the engine can checkpoint.
+        self._next_tid = 0
+        self._next_timer_seq = 0
         self._ready: list[TaskState] = []
         self._publish_hooks: list[Callable[[float, str, float], None]] = []
         self._free_cores = list(range(node.cfg.n_cores - 1, -1, -1))
 
     # -- task management ------------------------------------------------
 
-    def spawn(self, gen: Generator, core_id: int | None = None,
+    def spawn(self, gen: Iterator[Any], core_id: int | None = None,
               name: str | None = None) -> TaskState:
         """Register a task generator, pinned to ``core_id`` (or the next
         free core). The task starts when :meth:`run` is next called."""
@@ -241,8 +246,10 @@ class Engine:
         else:
             if core_id in self._free_cores:
                 self._free_cores.remove(core_id)
+        tid = self._next_tid
+        self._next_tid += 1
         task = TaskState(
-            tid=next(self._tid_counter),
+            tid=tid,
             name=name or f"task{core_id}",
             core_id=core_id,
             gen=gen,
@@ -259,7 +266,9 @@ class Engine:
             raise SchedulingError(f"delay must be non-negative, got {delay}")
         if period is not None and period <= 0:
             raise SchedulingError(f"period must be positive, got {period}")
-        timer = Timer(self.clock.now + delay, next(self._timer_seq), callback, period)
+        seq = self._next_timer_seq
+        self._next_timer_seq += 1
+        timer = Timer(self.clock.now + delay, seq, callback, period)
         heapq.heappush(self._timers, timer)
         return timer
 
@@ -508,3 +517,114 @@ class Engine:
                 instructions=s * cfg.spin_ipc * dt,
                 cycles=s * dt,
             )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable engine state: counters, task records (with resumable
+        body snapshots), the ready queue and the timer wheel.
+
+        Requires every task body to expose ``snapshot()``/``restore()``
+        (see :class:`repro.apps.body.ResumableBody`); raw generators
+        cannot be checkpointed and raise :class:`CheckpointError`.
+        Per-segment rate caches are recomputed each segment and core
+        power-model state lives in the node snapshot, so neither is
+        captured here. ``_publish_hooks`` are wiring, re-created by the
+        stack on rebuild.
+        """
+        tasks = []
+        for t in self._tasks:
+            body = getattr(t.gen, "snapshot", None)
+            if body is None:
+                raise CheckpointError(
+                    f"task {t.name!r} body {type(t.gen).__name__} is not "
+                    "resumable (no snapshot()); cannot checkpoint the engine"
+                )
+            barrier_pos = None
+            if t.status == _SPINNING:
+                group = t.gen.barrier_group
+                barrier_pos = group._waiting.index(t)
+            tasks.append({
+                "tid": t.tid, "name": t.name, "core_id": t.core_id,
+                "status": t.status, "work": t.work,
+                "frac_done": t.frac_done, "wake_time": t.wake_time,
+                "body": body(), "barrier_pos": barrier_pos,
+            })
+        timers = [
+            {"seq": tm.seq, "time": tm.time, "period": tm.period,
+             "cancelled": tm.cancelled}
+            for tm in sorted(self._timers, key=lambda tm: tm.seq)
+        ]
+        return {
+            "next_tid": self._next_tid,
+            "next_timer_seq": self._next_timer_seq,
+            "free_cores": list(self._free_cores),
+            "tasks": tasks,
+            "ready": [t.tid for t in self._ready],
+            "timers": timers,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot` onto a freshly rebuilt engine.
+
+        The rebuild (re-running the stack assembly) must have registered
+        the same tasks and timers in the same order; restore overlays
+        mutable state onto them, matching tasks by tid and timers by seq.
+        Timers present in the rebuild but absent from the snapshot are
+        cancelled (they had fired/been cancelled before the snapshot);
+        timers in the snapshot but missing from the rebuild are an error.
+        """
+        recorded = state["tasks"]
+        if len(recorded) != len(self._tasks):
+            raise CheckpointError(
+                f"snapshot has {len(recorded)} tasks, rebuild has "
+                f"{len(self._tasks)}"
+            )
+        spinning: list[tuple[int, TaskState]] = []
+        for t, rec in zip(self._tasks, recorded):
+            if (t.tid, t.name, t.core_id) != (
+                    rec["tid"], rec["name"], rec["core_id"]):
+                raise CheckpointError(
+                    f"task mismatch: rebuilt ({t.tid}, {t.name!r}, "
+                    f"{t.core_id}) vs snapshot ({rec['tid']}, "
+                    f"{rec['name']!r}, {rec['core_id']})"
+                )
+            t.gen.restore(rec["body"])
+            t.status = rec["status"]
+            t.work = rec["work"]
+            t.frac_done = rec["frac_done"]
+            t.wake_time = rec["wake_time"]
+            if t.status == _SPINNING:
+                spinning.append((rec["barrier_pos"], t))
+        # Rebuild each barrier group's arrival list in recorded order.
+        groups: dict[int, BarrierGroup] = {}
+        by_group: dict[int, list[tuple[int, TaskState]]] = {}
+        for pos, t in spinning:
+            group = t.gen.barrier_group
+            groups[id(group)] = group
+            by_group.setdefault(id(group), []).append((pos, t))
+        for gid, members in by_group.items():
+            groups[gid]._waiting = [t for _pos, t in sorted(members)]
+        by_tid = {t.tid: t for t in self._tasks}
+        self._ready = [by_tid[tid] for tid in state["ready"]]
+
+        by_seq = {tm.seq: tm for tm in self._timers}
+        extra = [rec["seq"] for rec in state["timers"] if rec["seq"] not in by_seq]
+        if extra:
+            raise CheckpointError(
+                f"snapshot contains timers the rebuild did not register "
+                f"(seqs {extra}); the stack spec no longer matches"
+            )
+        snap_seqs = {rec["seq"] for rec in state["timers"]}
+        for tm in self._timers:
+            if tm.seq not in snap_seqs:
+                tm.cancelled = True
+        for rec in state["timers"]:
+            tm = by_seq[rec["seq"]]
+            tm.time = rec["time"]
+            tm.period = rec["period"]
+            tm.cancelled = rec["cancelled"]
+        heapq.heapify(self._timers)
+        self._next_tid = state["next_tid"]
+        self._next_timer_seq = state["next_timer_seq"]
+        self._free_cores = list(state["free_cores"])

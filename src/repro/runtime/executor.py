@@ -23,8 +23,10 @@ any pool.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -33,10 +35,22 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, SimulationError
 
-__all__ = ["RunExecutor", "derive_seed", "default_workers"]
+__all__ = ["RunExecutor", "derive_seed", "default_workers", "CACHE_ENV"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Environment variable that opts :class:`RunExecutor` into result
+#: caching when no explicit ``cache_dir`` is passed; its value is the
+#: cache directory. ``python -m repro.experiments --no-cache`` clears it.
+CACHE_ENV = "REPRO_RESULT_CACHE"
+
+#: Bump when the cached payload layout changes; part of every digest, so
+#: old entries simply stop matching instead of deserializing wrongly.
+_CACHE_SCHEMA = 1
+
+#: Marker distinguishing "not cached" from a legitimately-None result.
+_MISS = object()
 
 
 def derive_seed(base_seed: int, run_index: int) -> int:
@@ -74,6 +88,16 @@ class RunExecutor:
     start_method:
         Multiprocessing start method; default prefers ``fork`` (cheap,
         inherits the imported simulator) and falls back to ``spawn``.
+    cache_dir:
+        Directory for content-keyed on-disk result caching. ``None``
+        (default) consults the :data:`CACHE_ENV` environment variable;
+        when neither is set, caching is off. A cache entry is keyed by
+        the SHA-256 of the pickled ``(schema, fn module+qualname, item)``
+        triple — for the common sweep shape, the item *is* a
+        :class:`~repro.stack.spec.StackSpec` (or a ``(spec, seed)``
+        tuple), so identical re-runs of a deterministic simulation are
+        served from disk. Corrupt or unreadable entries fall back to
+        recomputation; unpicklable items/results bypass the cache.
 
     The executor is stateless between calls: each :meth:`map` opens and
     closes its own pool, so an instance can be shared freely across
@@ -81,7 +105,8 @@ class RunExecutor:
     """
 
     def __init__(self, workers: int | None = 1, *,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 cache_dir: str | os.PathLike | None = None) -> None:
         if workers is None:
             workers = default_workers()
         if workers < 1:
@@ -93,8 +118,12 @@ class RunExecutor:
         elif start_method not in multiprocessing.get_all_start_methods():
             raise ConfigurationError(
                 f"unknown start method {start_method!r}")
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_ENV) or None
         self.workers = workers
         self.start_method = start_method
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None \
+            else None
 
     # ------------------------------------------------------------------
 
@@ -109,8 +138,32 @@ class RunExecutor:
         :class:`~repro.exceptions.SimulationError`; ordinary exceptions
         raised *by* ``fn`` propagate unchanged, exactly as in the
         serial path.
+
+        With a cache directory configured, cached results are returned
+        without executing ``fn``; only the misses are dispatched (and
+        stored on the way back). Exceptions are never cached.
         """
         work: Sequence[_T] = list(items)
+        if self.cache_dir is None:
+            return self._execute(fn, work)
+        keys = [self._cache_key(fn, item) for item in work]
+        results: list = [_MISS] * len(work)
+        misses: list[int] = []
+        for i, key in enumerate(keys):
+            if key is not None:
+                results[i] = self._cache_load(key)
+            if results[i] is _MISS:
+                misses.append(i)
+        if misses:
+            computed = self._execute(fn, [work[i] for i in misses])
+            for i, value in zip(misses, computed):
+                results[i] = value
+                if keys[i] is not None:
+                    self._cache_store(keys[i], value)
+        return results
+
+    def _execute(self, fn: Callable[[_T], _R],
+                 work: Sequence[_T]) -> list[_R]:
         if self.workers == 1 or len(work) <= 1:
             return [fn(item) for item in work]
         ctx = multiprocessing.get_context(self.start_method)
@@ -127,6 +180,50 @@ class RunExecutor:
                 "in a dependency"
             ) from exc
 
+    # -- result cache ------------------------------------------------------
+
+    @staticmethod
+    def _cache_key(fn: Callable, item) -> str | None:
+        """Content digest of one run, or None when the item cannot be
+        keyed (unpicklable) and must bypass the cache."""
+        try:
+            payload = pickle.dumps(
+                (_CACHE_SCHEMA, fn.__module__, fn.__qualname__, item),
+                protocol=4)
+        except Exception:
+            return None
+        return hashlib.sha256(payload).hexdigest()
+
+    def _cache_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def _cache_load(self, key: str):
+        try:
+            with open(self._cache_path(key), "rb") as f:
+                return pickle.load(f)
+        except FileNotFoundError:
+            return _MISS
+        except Exception:
+            # corrupt/truncated entry: recompute (and overwrite)
+            return _MISS
+
+    def _cache_store(self, key: str, value) -> None:
+        """Best-effort atomic store: a failed write (unpicklable result,
+        full disk, racing process) must never fail the run itself."""
+        path = self._cache_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            with open(tmp, "wb") as f:
+                pickle.dump(value, f, protocol=4)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RunExecutor(workers={self.workers}, "
-                f"start_method={self.start_method!r})")
+                f"start_method={self.start_method!r}, "
+                f"cache_dir={self.cache_dir!r})")

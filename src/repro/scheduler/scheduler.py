@@ -28,6 +28,13 @@ the paper-enabled :class:`~repro.cluster.policies.ProgressAwareRebalancer`
 variability is handled by the same machinery the single-job cluster
 uses. The loop is deterministic: same seed, same workload -> identical
 event trace, placements, caps, and completion times.
+
+Node execution runs on :class:`~repro.cluster.sharding.ShardedLockstep`:
+``SchedulerConfig.shards = 1`` (default) keeps every node in-process;
+``shards >= 2`` spreads them over long-lived worker processes that
+advance concurrently, each epoch exchanging only budgets down and
+``(rates, energy, cumulative)`` up. Both paths run the same step
+function, so reports are bit-for-bit identical either way.
 """
 
 from __future__ import annotations
@@ -37,9 +44,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.lockstep import advance_lockstep, rebalance_nodes
-from repro.cluster.node_instance import NodeInstance
 from repro.cluster.policies import ProgressAwareRebalancer
+from repro.cluster.sharding import ShardedLockstep, StepRequest
 from repro.cluster.variability import perturb_config
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.hardware.config import NodeConfig, skylake_config
@@ -100,6 +106,9 @@ class SchedulerConfig:
     stall_epochs:
         Consecutive epochs a running job may show zero progress on
         every node before the scheduler declares it wedged.
+    shards:
+        Worker processes node execution is sharded over; 1 (default)
+        runs serially in-process. Reports are identical either way.
     """
 
     n_slots: int
@@ -114,6 +123,7 @@ class SchedulerConfig:
     seed: int = 0
     max_time: float = 100_000.0
     stall_epochs: int = 30
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.n_slots < 1:
@@ -134,29 +144,44 @@ class SchedulerConfig:
             raise ConfigurationError("n_workers must be >= 1")
         if self.max_time <= 0 or self.stall_epochs < 1:
             raise ConfigurationError("bad max_time/stall_epochs")
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}")
 
 
 class _RunningJob:
-    """Live state of a placed job (nodes advance on a local clock)."""
+    """Live state of a placed job (nodes advance on a local clock).
 
-    __slots__ = ("record", "nodes", "rebalancer", "start", "stalled",
-                 "last_cumulative")
+    The node stacks themselves live in the lockstep layer (possibly in
+    shard workers); this record keeps only the per-epoch exchange state:
+    the trailing rates the next rebalance allocates from, the budgets it
+    decided, and the last step results (for completion/stall checks).
+    """
 
-    def __init__(self, record: JobRecord, nodes: list[NodeInstance],
+    __slots__ = ("record", "node_ids", "rebalancer", "start", "stalled",
+                 "last_cumulative", "last_rates", "pending_budgets",
+                 "last_results")
+
+    def __init__(self, record: JobRecord, node_ids: tuple[int, ...],
                  rebalancer: ProgressAwareRebalancer | None,
                  start: float) -> None:
         self.record = record
-        self.nodes = nodes
+        self.node_ids = node_ids
         self.rebalancer = rebalancer
         self.start = start
         self.stalled = 0
         self.last_cumulative = 0.0
+        # Fresh monitors report rate 0.0 (collect_rates semantics).
+        self.last_rates = [0.0] * len(node_ids)
+        self.pending_budgets: dict[int, float] = {}
+        self.last_results: dict = {}
 
     def local_time(self, now: float) -> float:
         return now - self.start
 
     def min_cumulative(self) -> float:
-        return min(n.cumulative_progress() for n in self.nodes)
+        return min(self.last_results[nid].cumulative
+                   for nid in self.node_ids)
 
 
 class PowerAwareScheduler:
@@ -199,6 +224,7 @@ class PowerAwareScheduler:
         self.total_energy = 0.0
         self._running: dict[str, _RunningJob] = {}
         self._started = 0  # submission-independent placement counter
+        self._lockstep = ShardedLockstep(shards=config.shards)
 
     # ------------------------------------------------------------------
     # Submission
@@ -275,8 +301,7 @@ class PowerAwareScheduler:
                 time=self.now, job_id=job.job_id, cap=cap,
                 predicted_slowdown=predicted, tolerance=job.max_slowdown))
 
-        nodes = [NodeInstance.from_spec(slot, spec)
-                 for slot, spec in self._node_specs(job, slots, cap)]
+        self._lockstep.add_nodes(self._node_specs(job, slots, cap))
         self._started += 1
 
         rebalancer = None
@@ -296,7 +321,7 @@ class PowerAwareScheduler:
         record.predicted_slowdown = predicted
         record.start_time = self.now
         self._running[job.job_id] = _RunningJob(
-            record, nodes, rebalancer, self.now)
+            record, slots, rebalancer, self.now)
         self.events.append(JobStarted(
             time=self.now, job_id=job.job_id, slots=slots, cap=cap,
             demand=record.demand))
@@ -329,6 +354,11 @@ class PowerAwareScheduler:
             self._advance_epoch()
         return self._report()
 
+    def close(self) -> None:
+        """Shut down shard workers (no-op with ``shards=1``). Further
+        :meth:`submit`/:meth:`run` calls are invalid afterwards."""
+        self._lockstep.close()
+
     def _node_specs(self, job: Job, slots: tuple[int, ...],
                     cap: float | None) -> list[tuple[int, StackSpec]]:
         """Picklable stack specs for a job's placement, one per slot."""
@@ -348,19 +378,47 @@ class PowerAwareScheduler:
         return specs
 
     def _rebalance(self) -> None:
-        window = 3 * self.config.epoch
+        """Allocate each rebalanced job's fixed power from its trailing
+        rates (cached from the previous epoch's step results — node
+        state has not changed since). The budgets ride down with the
+        next epoch's step requests, which the budget-tracking policy
+        applies on its next tick, exactly as the serial delivery did."""
         for run in self._running.values():
             if run.rebalancer is None:
                 continue
-            rebalance_nodes(run.nodes, run.rebalancer, window)
+            budgets = [float(b)
+                       for b in run.rebalancer.allocate(run.last_rates)]
+            run.pending_budgets = dict(zip(run.node_ids, budgets))
 
     def _advance_epoch(self) -> None:
         epoch = self.config.epoch
+        window = 3 * epoch
         self.now += epoch
+        requests: list[StepRequest] = []
+        for run in self._running.values():
+            target = run.local_time(self.now)
+            windows = (window,) if run.rebalancer is not None else ()
+            for nid in run.node_ids:
+                requests.append(StepRequest(
+                    node_id=nid, target=target,
+                    budget=run.pending_budgets.get(nid),
+                    set_budget=nid in run.pending_budgets,
+                    windows=windows))
+        results = self._lockstep.step(requests)
+        by_node = {res.node_id: res for res in results}
+        # Sum energy per job first, then across jobs, replicating the
+        # serial code's float-summation nesting exactly.
         epoch_energy = 0.0
         for run in self._running.values():
-            epoch_energy += advance_lockstep(run.nodes,
-                                             run.local_time(self.now))
+            job_energy = 0.0
+            for nid in run.node_ids:
+                job_energy += by_node[nid].energy
+            epoch_energy += job_energy
+            run.last_results = {nid: by_node[nid] for nid in run.node_ids}
+            if run.rebalancer is not None:
+                run.last_rates = [by_node[nid].rates[window]
+                                  for nid in run.node_ids]
+            run.pending_budgets = {}
         self.total_energy += epoch_energy
         power = epoch_energy / epoch
         busy = self.config.n_slots - len(self._free_slots)
@@ -395,21 +453,25 @@ class PowerAwareScheduler:
     def _finish(self, job_id: str, run: _RunningJob) -> None:
         record = run.record
         job = record.job
+        telemetry = self._lockstep.telemetry(list(run.node_ids))
         # interpolate the actual crossing inside the last epoch, per
         # node; the *job* completes when its slowest node crosses
         crossing = max(
-            _crossing_time(n.monitor.series, job.work_units,
-                           n.monitor.interval)
-            for n in run.nodes
+            _crossing_time(telemetry[nid].progress, job.work_units,
+                           telemetry[nid].interval)
+            for nid in run.node_ids
         )
         record.end_time = run.start + crossing
         record.state = JobState.COMPLETED
-        record.energy += sum(n.node.pkg_energy for n in run.nodes)
+        record.energy += sum(telemetry[nid].pkg_energy
+                             for nid in run.node_ids)
         skip = min(2.0, 0.25 * crossing)
         record.measured_rate = _steady_rate(
-            [n.monitor.series for n in run.nodes], skip, crossing)
+            [telemetry[nid].progress for nid in run.node_ids],
+            skip, crossing)
         profile = self.book.profile(job.app_name)
         record.measured_slowdown = 1.0 - record.measured_rate / profile.r_max
+        self._lockstep.remove_nodes(list(run.node_ids))
         self._free_slots.extend(record.slots)
         self._free_slots.sort()
         del self._running[job_id]

@@ -9,17 +9,25 @@ the power-aware scheduler all run the *same* component graph:
   one stack (workers rebuild stacks from specs across process
   boundaries);
 * :class:`~repro.stack.builder.NodeStack` — assembles the component
-  graph from a spec, with lifecycle hooks for telemetry taps.
+  graph from a spec, with lifecycle hooks for telemetry taps;
+* :class:`~repro.stack.checkpoint.NodeCheckpoint` — a versioned,
+  picklable snapshot of a stack's full mutable state; restoring
+  rebuilds from the spec and overlays the state, continuing
+  bit-for-bit (``NodeStack.snapshot()`` / ``NodeStack.from_checkpoint``).
 """
 
 from repro.stack.builder import NodeStack, default_topics
-from repro.stack.spec import BUDGET, CONTROLLERS, DAEMON, StackSpec
+from repro.stack.checkpoint import CHECKPOINT_VERSION, NodeCheckpoint
+from repro.stack.spec import BUDGET, CONTROLLERS, DAEMON, NONE, StackSpec
 
 __all__ = [
     "StackSpec",
     "NodeStack",
+    "NodeCheckpoint",
+    "CHECKPOINT_VERSION",
     "default_topics",
     "DAEMON",
     "BUDGET",
+    "NONE",
     "CONTROLLERS",
 ]

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.apps import build as build_app
 from repro.apps.base import SyntheticApp
+from repro.exceptions import ConfigurationError
 from repro.hardware.config import NodeConfig, skylake_config
 from repro.hardware.ddcm import DDCMController
 from repro.hardware.dvfs import DVFSController
@@ -47,6 +48,7 @@ from repro.runtime.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import Timer
+    from repro.stack.checkpoint import NodeCheckpoint
 
 __all__ = ["NodeStack", "default_topics"]
 
@@ -176,6 +178,7 @@ class NodeStack:
             hook(self)
 
         self._launched = False
+        self._prebuilt = app is not None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -197,6 +200,33 @@ class NodeStack:
                 callback: Callable[[float], None]) -> "Timer":
         """Register a periodic telemetry tap ``callback(now)``."""
         return self.engine.add_timer(interval, callback, period=interval)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "NodeCheckpoint":
+        """Capture the stack's full mutable state as a picklable
+        :class:`~repro.stack.checkpoint.NodeCheckpoint`.
+
+        Raises :class:`~repro.exceptions.CheckpointError` for stacks
+        assembled around a prebuilt app instance — those cannot be
+        rebuilt from the spec alone.
+        """
+        from repro.stack.checkpoint import take_checkpoint
+
+        return take_checkpoint(self)
+
+    @classmethod
+    def from_checkpoint(cls, cp: "NodeCheckpoint",
+                        hooks: Iterable[StackHook] = ()) -> "NodeStack":
+        """Rebuild a stack from a checkpoint; it continues bit-for-bit
+        where the snapshotted stack left off. ``hooks`` must match the
+        hooks of the original assembly (timer registration order is
+        verified on restore)."""
+        from repro.stack.checkpoint import install_checkpoint
+
+        return install_checkpoint(cp, hooks=hooks)
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -226,7 +256,9 @@ class NodeStack:
         """The applied-cap series of whichever controller is installed."""
         if self.daemon is not None:
             return self.daemon.cap_series
-        assert self.policy is not None
+        if self.policy is None:
+            raise ConfigurationError(
+                "stack was assembled with controller='none'; no cap series")
         return self.policy.cap_series
 
     # ------------------------------------------------------------------

@@ -23,14 +23,16 @@ from repro.exceptions import ConfigurationError
 from repro.hardware.config import NodeConfig
 from repro.nrm.schemes import CapSchedule
 
-__all__ = ["StackSpec", "DAEMON", "BUDGET", "CONTROLLERS"]
+__all__ = ["StackSpec", "DAEMON", "BUDGET", "NONE", "CONTROLLERS"]
 
 #: Controller choices: the schedule-driven power-policy daemon of the
-#: single-node experiments, or the budget-tracking policy a cluster
-#: hierarchy feeds.
+#: single-node experiments, the budget-tracking policy a cluster
+#: hierarchy feeds, or no controller at all (stacks whose capping agent
+#: is installed by a lifecycle hook — see the NRM examples).
 DAEMON = "daemon"
 BUDGET = "budget"
-CONTROLLERS = (DAEMON, BUDGET)
+NONE = "none"
+CONTROLLERS = (DAEMON, BUDGET, NONE)
 
 
 @dataclass(frozen=True)
@@ -58,7 +60,8 @@ class StackSpec:
         ``"daemon"`` for the schedule-driven
         :class:`~repro.nrm.daemon.PowerPolicyDaemon`, ``"budget"`` for
         the hierarchy-fed
-        :class:`~repro.nrm.policies.BudgetTrackingPolicy`.
+        :class:`~repro.nrm.policies.BudgetTrackingPolicy`, ``"none"``
+        to assemble no controller (a lifecycle hook supplies one).
     initial_budget:
         Budget-controller only: a cap applied *before* the first cycle
         runs (admission-time capping; the tracking policy alone would

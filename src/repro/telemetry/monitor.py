@@ -57,3 +57,15 @@ class ProgressMonitor:
     def stop(self) -> None:
         """Stop collecting (the series remains available)."""
         self._timer.cancel()
+
+    # -- checkpointing ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable monitor state (the subscription queue is owned and
+        checkpointed by the bus)."""
+        return {"series": self.series.snapshot(),
+                "events_seen": self.events_seen}
+
+    def restore(self, state: dict) -> None:
+        self.series.restore(state["series"])
+        self.events_seen = state["events_seen"]

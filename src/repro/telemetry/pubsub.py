@@ -99,6 +99,48 @@ class MessageBus:
         if sub in self._subs:
             self._subs.remove(sub)
 
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable bus state: loss-process RNG, counters, and each
+        connected subscriber's queue (by connection order)."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "published": self.published,
+            "dropped": self.dropped,
+            "subs": [{
+                "topic": sub.topic,
+                "hwm": sub.hwm,
+                "closed": sub.closed,
+                "overflowed": sub.overflowed,
+                "queue": list(sub._queue),
+            } for sub in self._subs],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot` onto an identically wired bus
+        (same subscribers, in the same connection order)."""
+        from repro.exceptions import CheckpointError
+
+        if len(state["subs"]) != len(self._subs):
+            raise CheckpointError(
+                f"bus checkpoint has {len(state['subs'])} subscribers, "
+                f"rebuilt bus has {len(self._subs)}")
+        self._rng.bit_generator.state = state["rng"]
+        self.published = state["published"]
+        self.dropped = state["dropped"]
+        for sub, sub_state in zip(self._subs, state["subs"]):
+            if (sub.topic, sub.hwm) != (sub_state["topic"], sub_state["hwm"]):
+                raise CheckpointError(
+                    f"subscriber mismatch: checkpoint "
+                    f"({sub_state['topic']!r}, hwm={sub_state['hwm']}) vs "
+                    f"rebuilt ({sub.topic!r}, hwm={sub.hwm})")
+            sub.closed = sub_state["closed"]
+            sub.overflowed = sub_state["overflowed"]
+            sub._queue = deque(
+                (t, Message(*m) if not isinstance(m, Message) else m)
+                for t, m in sub_state["queue"])
+
 
 class PubSocket:
     """Publisher endpoint; fire-and-forget like a ZMQ PUB socket."""

@@ -69,6 +69,25 @@ class TimeSeries:
     def is_empty(self) -> bool:
         return not self._times
 
+    def copy(self) -> "TimeSeries":
+        """An independent copy (same name and samples)."""
+        out = TimeSeries(self.name)
+        out._times = list(self._times)
+        out._values = list(self._values)
+        return out
+
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable state (times/values as plain lists)."""
+        return {"name": self.name, "times": list(self._times),
+                "values": list(self._values)}
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot` (replaces all samples)."""
+        self._times = list(state["times"])
+        self._values = list(state["values"])
+
     # -- statistics -----------------------------------------------------------
 
     def _require_samples(self) -> None:

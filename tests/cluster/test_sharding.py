@@ -1,0 +1,173 @@
+"""Sharded-lockstep tests: golden parity against the pre-refactor serial
+cluster output, serial == sharded equivalence, and the worker protocol.
+
+``fixtures/golden_cluster.json`` was recorded by the serial
+pre-refactor ``ClusterSimulation`` (before the epoch loop moved onto
+:class:`ShardedLockstep`); the parity tests require every shard count to
+reproduce it *exactly* — same floats, not approximately.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.cluster import (
+    ClusterSimulation,
+    NodeInstance,
+    ProgressAwareRebalancer,
+    ShardedLockstep,
+    StepRequest,
+    UniformPowerPolicy,
+)
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.stack import BUDGET, StackSpec
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "golden_cluster.json"
+
+APP_KW = {"n_workers": 4}
+
+
+def _golden():
+    with open(FIXTURE) as f:
+        return json.load(f)
+
+
+def _policy(name):
+    if name == "uniform":
+        return UniformPowerPolicy(360.0)
+    return ProgressAwareRebalancer(360.0, min_node=60.0, max_node=130.0)
+
+
+def _run_cluster(policy_name, shards):
+    sim = ClusterSimulation(3, "lammps", _policy(policy_name),
+                            app_kwargs=APP_KW, variability=(0.05, 0.08),
+                            seed=11, shards=shards)
+    try:
+        sim.run(10.0, epoch=1.0)
+        return {
+            "times": list(sim.total_progress.times),
+            "total_progress": list(sim.total_progress.values),
+            "critical_path": list(sim.critical_path.values),
+            "budget_history": list(sim.budget_history.values),
+            "total_energy": sim.total_energy,
+            "now": sim.now,
+            "node_rates": sim.node_rates(window=5.0),
+            "node_frequencies": sim.node_frequencies(),
+        }
+    finally:
+        sim.close()
+
+
+class TestGoldenParity:
+    """Serial and sharded runs must both reproduce the pre-refactor
+    output bit-for-bit (values compared with ==, not approx)."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("policy_name", ["uniform", "progress"])
+    def test_matches_pre_refactor_fixture(self, policy_name, shards):
+        golden = _golden()[policy_name]
+        got = _run_cluster(policy_name, shards)
+        for key, expected in golden.items():
+            assert got[key] == expected, f"{key} diverged at shards={shards}"
+
+
+def _spec(node_id, seed=0):
+    return StackSpec(app_name="lammps", app_kwargs=dict(APP_KW),
+                     seed=seed, controller=BUDGET, name=f"node{node_id}")
+
+
+class TestShardedLockstep:
+    def test_rejects_bad_shards(self):
+        with pytest.raises(ConfigurationError):
+            ShardedLockstep(shards=0)
+
+    def test_serial_exposes_local_nodes(self):
+        ls = ShardedLockstep(shards=1)
+        ls.add_nodes([(0, _spec(0))])
+        assert isinstance(ls.local_nodes()[0], NodeInstance)
+        ls.close()
+
+    def test_sharded_hides_local_nodes(self):
+        with ShardedLockstep(shards=2) as ls:
+            ls.add_nodes([(0, _spec(0)), (1, _spec(1, seed=1))])
+            with pytest.raises(ConfigurationError):
+                ls.local_nodes()
+
+    def test_duplicate_node_id_rejected(self):
+        ls = ShardedLockstep(shards=1)
+        ls.add_nodes([(0, _spec(0))])
+        with pytest.raises(ConfigurationError):
+            ls.add_nodes([(0, _spec(0))])
+        ls.close()
+
+    def test_step_results_in_request_order(self):
+        with ShardedLockstep(shards=2) as ls:
+            ls.add_nodes([(i, _spec(i, seed=i)) for i in range(3)])
+            reqs = [StepRequest(node_id=i, target=2.0, windows=(1.0,))
+                    for i in (2, 0, 1)]
+            results = ls.step(reqs)
+            assert [r.node_id for r in results] == [2, 0, 1]
+            assert all(r.now == pytest.approx(2.0) for r in results)
+            assert all(r.energy > 0 for r in results)
+
+    def test_worker_error_propagates(self):
+        with ShardedLockstep(shards=2) as ls:
+            ls.add_nodes([(0, _spec(0))])
+            with pytest.raises(SimulationError, match="shard"):
+                # rewinding a node raises inside the worker
+                ls.step([StepRequest(node_id=0, target=1.0)])
+                ls.step([StepRequest(node_id=0, target=0.5)])
+
+    def test_checkpoint_migrates_between_layouts(self):
+        """A node checkpointed out of one lockstep and rebuilt in
+        another continues bit-for-bit."""
+        ref = ShardedLockstep(shards=1)
+        ref.add_nodes([(0, _spec(0))])
+        ref.step([StepRequest(node_id=0, target=3.0)])
+        snap = ref.checkpoint([0])[0]
+        [ref_res] = ref.step([StepRequest(node_id=0, target=6.0,
+                                          windows=(2.0,))])
+        ref.close()
+
+        with ShardedLockstep(shards=2) as ls:
+            ls.add_nodes([(0, snap)])
+            [res] = ls.step([StepRequest(node_id=0, target=6.0,
+                                         windows=(2.0,))])
+        assert res.now == ref_res.now
+        assert res.energy == ref_res.energy
+        assert res.cumulative == ref_res.cumulative
+        assert res.rates == ref_res.rates
+
+    def test_remove_then_reuse_node_id(self):
+        with ShardedLockstep(shards=2) as ls:
+            ls.add_nodes([(0, _spec(0)), (1, _spec(1, seed=1))])
+            ls.step([StepRequest(node_id=0, target=1.0),
+                     StepRequest(node_id=1, target=1.0)])
+            ls.remove_nodes([0, 1])
+            assert ls.n_nodes == 0
+            ls.add_nodes([(0, _spec(0, seed=5))])
+            [res] = ls.step([StepRequest(node_id=0, target=1.0)])
+            assert res.now == pytest.approx(1.0)
+
+    def test_close_is_idempotent(self):
+        ls = ShardedLockstep(shards=2)
+        ls.add_nodes([(0, _spec(0))])
+        ls.close()
+        ls.close()
+        with pytest.raises(SimulationError):
+            ls.step([StepRequest(node_id=0, target=1.0)])
+
+    def test_telemetry_carries_series_copy(self):
+        with ShardedLockstep(shards=1) as ls:
+            ls.add_nodes([(0, _spec(0))])
+            ls.step([StepRequest(node_id=0, target=3.0)])
+            tel = ls.telemetry([0])[0]
+            assert tel.pkg_energy > 0
+            assert len(tel.progress) >= 1
+            assert tel.interval == pytest.approx(1.0)
+            # mutating the copy must not corrupt the live monitor
+            tel.progress.append(99.0, 1.0)
+            assert ls.telemetry([0])[0].progress.times[-1] != 99.0

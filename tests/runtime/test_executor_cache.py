@@ -1,0 +1,118 @@
+"""Tests for the RunExecutor content-keyed on-disk result cache."""
+
+import os
+import pickle
+
+from repro.runtime.executor import CACHE_ENV, RunExecutor
+from repro.stack import StackSpec
+
+CALLS_FILE = None  # set per-test via _counting_fn's closure-free protocol
+
+
+def counted(x):
+    """Module-level worker that records each invocation on disk (so the
+    count survives process pools) and returns a deterministic value."""
+    with open(os.environ["_EXECUTOR_TEST_CALLS"], "a") as f:
+        f.write(f"{x}\n")
+    return x * 10
+
+
+def spec_run(item):
+    spec, seed = item
+    return (spec.app_name, seed, 3.5)
+
+
+def _calls(path):
+    try:
+        with open(path) as f:
+            return len(f.readlines())
+    except FileNotFoundError:
+        return 0
+
+
+class TestResultCache:
+    def test_disabled_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert RunExecutor(1).cache_dir is None
+
+    def test_env_var_enables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        assert RunExecutor(1).cache_dir == str(tmp_path)
+
+    def test_explicit_dir_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, "/nope")
+        ex = RunExecutor(1, cache_dir=tmp_path / "c")
+        assert ex.cache_dir == str(tmp_path / "c")
+
+    def test_hit_skips_execution(self, tmp_path, monkeypatch):
+        calls = tmp_path / "calls.txt"
+        monkeypatch.setenv("_EXECUTOR_TEST_CALLS", str(calls))
+        ex = RunExecutor(1, cache_dir=tmp_path / "cache")
+        first = ex.map(counted, [1, 2, 3])
+        assert first == [10, 20, 30]
+        assert _calls(calls) == 3
+        second = ex.map(counted, [1, 2, 3])
+        assert second == first
+        assert _calls(calls) == 3  # all served from disk
+        # partial overlap: only the new item executes
+        third = ex.map(counted, [2, 4])
+        assert third == [20, 40]
+        assert _calls(calls) == 4
+
+    def test_key_includes_function_identity(self, tmp_path, monkeypatch):
+        calls = tmp_path / "calls.txt"
+        monkeypatch.setenv("_EXECUTOR_TEST_CALLS", str(calls))
+        ex = RunExecutor(1, cache_dir=tmp_path / "cache")
+        assert ex.map(counted, [5]) == [50]
+        # same item, different fn -> different key, executes normally
+        assert ex.map(spec_run, [(StackSpec(app_name="lammps"), 5)]) \
+            == [("lammps", 5, 3.5)]
+        assert _calls(calls) == 1
+
+    def test_stack_spec_items_are_cacheable(self, tmp_path):
+        ex = RunExecutor(1, cache_dir=tmp_path / "cache")
+        item = (StackSpec(app_name="lammps", seed=7), 7)
+        assert ex.map(spec_run, [item]) == [("lammps", 7, 3.5)]
+        entries = list((tmp_path / "cache").glob("*.pkl"))
+        assert len(entries) == 1
+        assert ex.map(spec_run, [item]) == [("lammps", 7, 3.5)]
+        assert list((tmp_path / "cache").glob("*.pkl")) == entries
+
+    def test_corrupt_entry_recomputes(self, tmp_path, monkeypatch):
+        calls = tmp_path / "calls.txt"
+        monkeypatch.setenv("_EXECUTOR_TEST_CALLS", str(calls))
+        ex = RunExecutor(1, cache_dir=tmp_path / "cache")
+        ex.map(counted, [8])
+        [entry] = (tmp_path / "cache").glob("*.pkl")
+        entry.write_bytes(b"not a pickle")
+        assert ex.map(counted, [8]) == [80]
+        assert _calls(calls) == 2
+        # the recomputation repaired the entry
+        with open(entry, "rb") as f:
+            assert pickle.load(f) == 80
+
+    def test_unpicklable_item_bypasses_cache(self, tmp_path, monkeypatch):
+        calls = tmp_path / "calls.txt"
+        monkeypatch.setenv("_EXECUTOR_TEST_CALLS", str(calls))
+        ex = RunExecutor(1, cache_dir=tmp_path / "cache")
+
+        class Opaque:
+            def __reduce__(self):
+                raise TypeError("cannot pickle")
+
+            def __mul__(self, other):
+                return 99
+
+        assert ex.map(counted, [Opaque()]) == [99]
+        assert not list((tmp_path / "cache").glob("*.pkl"))
+
+    def test_pooled_map_uses_cache(self, tmp_path, monkeypatch):
+        calls = tmp_path / "calls.txt"
+        monkeypatch.setenv("_EXECUTOR_TEST_CALLS", str(calls))
+        ex = RunExecutor(2, cache_dir=tmp_path / "cache")
+        items = list(range(6))
+        assert ex.map(counted, items) == [10 * i for i in items]
+        n_first = _calls(calls)
+        assert n_first == 6
+        assert ex.map(counted, items) == [10 * i for i in items]
+        assert _calls(calls) == n_first

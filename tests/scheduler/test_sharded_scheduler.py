@@ -1,0 +1,85 @@
+"""Golden parity for the sharded scheduler.
+
+``fixtures/golden_scheduler.json`` was recorded by the serial
+pre-refactor ``PowerAwareScheduler`` (before node execution moved onto
+:class:`~repro.cluster.sharding.ShardedLockstep`). Every shard count
+must reproduce the full report — power series, per-job records, event
+trace — with exactly equal floats.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.core.model import PowerCapModel
+from repro.scheduler import (
+    AppPowerProfile,
+    Job,
+    PowerAwareScheduler,
+    PowerBook,
+    SchedulerConfig,
+)
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "golden_scheduler.json"
+
+RATE, POWER = 8.96e5, 65.0
+
+
+def _book():
+    book = PowerBook(n_workers=4)
+    book.preload(AppPowerProfile(
+        app_name="lammps", beta=1.0, mpo=3e-4, r_max=RATE,
+        p_uncapped=POWER,
+        model=PowerCapModel(beta=1.0, r_max=RATE, p_coremax=POWER,
+                            alpha=2.0),
+        fit_residual_rms=0.0, probe_caps=(50.0,)))
+    return book
+
+
+def _run(shards):
+    cfg = SchedulerConfig(n_slots=4, power_budget=260.0, policy="backfill",
+                          min_cap=45.0, cap_step=5.0, eco_margin=0.8,
+                          n_workers=4, variability=(0.04, 0.06), seed=3,
+                          shards=shards)
+    sched = PowerAwareScheduler(cfg, _book())
+    kw = {"n_steps": 1_000_000}
+    sched.submit(Job("rigid", "lammps", n_nodes=2, work_units=6.5 * RATE,
+                     submit_time=0.0, app_kwargs=kw))
+    sched.submit(Job("eco", "lammps", n_nodes=2, work_units=5.0 * RATE,
+                     submit_time=1.0, max_slowdown=0.3, app_kwargs=kw))
+    sched.submit(Job("late", "lammps", n_nodes=3, work_units=4.0 * RATE,
+                     submit_time=4.0, app_kwargs=kw))
+    try:
+        sched.run()
+        return {
+            "total_energy": sched.total_energy,
+            "violations": sched.violations,
+            "power_times": list(sched.power_series.times),
+            "power_values": list(sched.power_series.values),
+            "committed": list(sched.committed_series.values),
+            "utilisation": list(sched.utilisation.values),
+            "records": {jid: [r.start_time, r.end_time, r.energy,
+                              r.measured_rate, r.cap, list(r.slots)]
+                        for jid, r in sched.records.items()},
+            "events": [repr(e) for e in sched.events],
+        }
+    finally:
+        sched.close()
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_matches_pre_refactor_fixture(shards):
+    with open(FIXTURE) as f:
+        golden = json.load(f)
+    got = _run(shards)
+    for key, expected in golden.items():
+        assert got[key] == expected, f"{key} diverged at shards={shards}"
+
+
+def test_rejects_bad_shards():
+    from repro.exceptions import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        SchedulerConfig(n_slots=1, power_budget=100.0, shards=0)
