@@ -20,7 +20,11 @@ from typing import TYPE_CHECKING, Iterator
 import numpy as np
 
 from repro.core.categories import Category, OnlineMetric
-from repro.exceptions import CheckpointError, ConfigurationError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    check_snapshot_version,
+)
 from repro.apps.body import SpmdBody
 from repro.apps.kernels import PhaseSpec
 from repro.runtime.engine import TaskState
@@ -170,6 +174,7 @@ class SyntheticApp:
         """Picklable run-level state (the post-construction knobs; the
         per-task loop state lives in each body's snapshot)."""
         return {
+            "version": 1,
             "name": self.name,
             "per_rank_progress": self.per_rank_progress,
             "rank_work_scale": None if self.rank_work_scale is None
@@ -179,6 +184,7 @@ class SyntheticApp:
         }
 
     def restore(self, state: dict) -> None:
+        check_snapshot_version(state, 1, "SyntheticApp")
         if state["name"] != self.name:
             raise CheckpointError(
                 f"app checkpoint is for {state['name']!r}, "

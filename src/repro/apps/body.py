@@ -31,7 +31,11 @@ from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
-from repro.exceptions import CheckpointError, ConfigurationError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    check_snapshot_version,
+)
 from repro.runtime.engine import Publish, Sleep, Work
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -104,6 +108,7 @@ class ResumableBody:
     def snapshot(self) -> dict:
         """Picklable body state (directive queue + subclass loop state)."""
         return {
+            "version": 1,
             "kind": type(self).__name__,
             "queue": list(self._queue),
             "exhausted": self._exhausted,
@@ -111,6 +116,7 @@ class ResumableBody:
         }
 
     def restore(self, state: dict) -> None:
+        check_snapshot_version(state, 1, type(self).__name__)
         if state["kind"] != type(self).__name__:
             raise CheckpointError(
                 f"body checkpoint is for {state['kind']!r}, "

@@ -9,7 +9,7 @@ power policy (see :mod:`repro.cluster.lockstep`).
 
 from __future__ import annotations
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, check_snapshot_version
 from repro.hardware.config import NodeConfig
 from repro.stack import BUDGET, NodeStack, StackSpec
 
@@ -67,6 +67,7 @@ class NodeInstance:
     @classmethod
     def from_checkpoint(cls, state: dict) -> "NodeInstance":
         """Rebuild a node mid-run from a :meth:`snapshot` dict."""
+        check_snapshot_version(state, 1, "NodeInstance")
         inst = cls.__new__(cls)
         inst.node_id = state["node_id"]
         inst.stack = NodeStack.from_checkpoint(state["stack"])

@@ -31,7 +31,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import traceback
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.cluster.node_instance import NodeInstance
 from repro.exceptions import ConfigurationError, SimulationError
@@ -397,7 +397,7 @@ class ShardedLockstep:
 
     # -- internals ---------------------------------------------------------
 
-    def _dispatch(self, cmd: str, per_shard: dict[int, list]) -> dict[int, object]:
+    def _dispatch(self, cmd: str, per_shard: dict[int, list]) -> dict[int, Any]:
         """Send ``cmd`` to every involved shard, then collect replies.
 
         Sends complete before any receive, so all shards compute
@@ -408,7 +408,7 @@ class ShardedLockstep:
             raise SimulationError("ShardedLockstep is closed")
         for shard, payload in per_shard.items():
             self._pipes[shard].send((cmd, payload))
-        replies: dict[int, object] = {}
+        replies: dict[int, Any] = {}
         for shard in per_shard:
             status, value = self._pipes[shard].recv()
             if status != "ok":

@@ -22,6 +22,7 @@ __all__ = [
     "FittingError",
     "TelemetryError",
     "CheckpointError",
+    "check_snapshot_version",
 ]
 
 
@@ -78,3 +79,19 @@ class CheckpointError(ReproError, RuntimeError):
     """A node checkpoint could not be taken or reinstalled (unpicklable
     task body, schema mismatch, rebuilt stack diverging from the
     checkpointed one)."""
+
+
+def check_snapshot_version(state: dict, expected: int, owner: str) -> None:
+    """Reject a component snapshot written under a different schema.
+
+    Every ``snapshot()`` dict carries a ``version`` key (enforced by
+    ``repro.lint``'s ``ckpt-missing-version`` rule); every ``restore()``
+    calls this first so a schema change fails loudly instead of
+    mis-restoring old state. Snapshots predating the version field are
+    treated as version 1 — the schemas are otherwise identical.
+    """
+    found = state.get("version", 1)
+    if found != expected:
+        raise CheckpointError(
+            f"{owner} snapshot has schema version {found}; this build "
+            f"reads version {expected}")

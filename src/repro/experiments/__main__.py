@@ -112,7 +112,9 @@ def main(argv: list[str] | None = None) -> int:
     # Experiments build their own RunExecutors, so the cache choice is
     # routed through the environment variable the executor consults.
     if args.no_cache:
-        os.environ.pop(CACHE_ENV, None)
+        # CLI plumbing, not simulation state: the variable only routes
+        # the cache directory to executors built deeper in the run.
+        os.environ.pop(CACHE_ENV, None)  # repro-lint: disable=det-environ
     elif args.cache_dir is not None:
         os.environ[CACHE_ENV] = args.cache_dir
 
@@ -125,9 +127,11 @@ def main(argv: list[str] | None = None) -> int:
     names = sorted(_EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
         run, render = _EXPERIMENTS[name]
-        start = time.perf_counter()
+        # Host wall time for the operator's progress line only; no
+        # simulated quantity derives from it.
+        start = time.perf_counter()  # repro-lint: disable=det-wallclock
         result = run(args.seed, args.quick, args.workers, args.shards)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro-lint: disable=det-wallclock
         print(render(result))
         print(f"\n[{name} regenerated in {elapsed:.1f} s wall time]\n")
     return 0

@@ -60,7 +60,7 @@ def allocate_bandwidth(demands, capacity: float):
     grants = np.empty_like(d)
     remaining = capacity
     n_left = len(d)
-    for pos, idx in enumerate(order):
+    for idx in order:
         fair = remaining / n_left
         g = min(d[idx], fair)
         grants[idx] = g

@@ -26,7 +26,11 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.exceptions import MSRAccessError, MSRError
+from repro.exceptions import (
+    MSRAccessError,
+    MSRError,
+    check_snapshot_version,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.node import SimulatedNode
@@ -219,9 +223,10 @@ class MSRDevice:
     def snapshot(self) -> dict:
         """Picklable register state (everything else derives from the
         node/firmware, which checkpoint themselves)."""
-        return {"perf_ctl": self._perf_ctl}
+        return {"version": 1, "perf_ctl": self._perf_ctl}
 
     def restore(self, state: dict) -> None:
+        check_snapshot_version(state, 1, "MSRDevice")
         self._perf_ctl = state["perf_ctl"]
 
     # -- public API --------------------------------------------------------

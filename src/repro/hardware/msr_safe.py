@@ -10,7 +10,7 @@ mask is zero.
 
 from __future__ import annotations
 
-from repro.exceptions import MSRPermissionError
+from repro.exceptions import MSRPermissionError, check_snapshot_version
 from repro.hardware.msr import (
     IA32_CLOCK_MODULATION,
     IA32_PERF_CTL,
@@ -102,11 +102,12 @@ class MSRSafe:
 
     def snapshot(self) -> dict:
         """Picklable gatekeeper state (whitelist edits + privilege)."""
-        return {"whitelist": dict(self.whitelist),
+        return {"version": 1, "whitelist": dict(self.whitelist),
                 "privileged": self.privileged,
                 "device": self.device.snapshot()}
 
     def restore(self, state: dict) -> None:
+        check_snapshot_version(state, 1, "MSRSafe")
         self.whitelist = dict(state["whitelist"])
         self.privileged = state["privileged"]
         self.device.restore(state["device"])

@@ -9,7 +9,7 @@ energy over each constant-rate segment.
 
 from __future__ import annotations
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, check_snapshot_version
 from repro.hardware.config import NodeConfig
 from repro.hardware.counters import CounterBank
 from repro.hardware.cpu import CoreMode, CoreState
@@ -201,6 +201,7 @@ class SimulatedNode:
         """Picklable hardware state: clock, per-core state, counters,
         energy accumulators, and the frequency/uncore/DRAM limits."""
         return {
+            "version": 1,
             "now": self.clock.now,
             "cores": [{
                 "freq": c.freq, "duty": c.duty, "mode": c.mode.value,
@@ -218,6 +219,7 @@ class SimulatedNode:
     def restore(self, state: dict) -> None:
         """Reinstall a :meth:`snapshot` (the clock advances to the
         checkpointed time — it cannot rewind)."""
+        check_snapshot_version(state, 1, "SimulatedNode")
         self.clock.advance_to(state["now"])
         for core, core_state in zip(self.cores, state["cores"]):
             core.freq = core_state["freq"]

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, check_snapshot_version
 from repro.hardware.cpu import CoreMode
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -287,6 +287,7 @@ class RaplFirmware:
         """Picklable controller state (the node-side effects — frequency,
         duty, uncore scale, DRAM throttle — live in the node snapshot)."""
         return {
+            "version": 1,
             "limit": self.limit,
             "limit2": self.limit2,
             "enabled": self.enabled,
@@ -299,6 +300,7 @@ class RaplFirmware:
         }
 
     def restore(self, state: dict) -> None:
+        check_snapshot_version(state, 1, "RaplFirmware")
         self.limit = state["limit"]
         self.limit2 = state["limit2"]
         self.enabled = state["enabled"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.exceptions import MSRError
+from repro.exceptions import MSRError, check_snapshot_version
 from repro.hardware.msr import (
     MSR_DRAM_ENERGY_STATUS,
     MSR_PKG_ENERGY_STATUS,
@@ -76,7 +76,9 @@ class LibMSR:
     def units(self) -> RaplUnits:
         """RAPL units, read once from ``MSR_RAPL_POWER_UNIT`` and cached."""
         if self._units is None:
-            self._units = decode_units(self.msr.read(MSR_RAPL_POWER_UNIT))
+            # Deterministic derived cache: re-read from the MSR on
+            # demand after a restore, never snapshotted.
+            self._units = decode_units(self.msr.read(MSR_RAPL_POWER_UNIT))  # repro-lint: disable=ckpt-attr-coverage
         return self._units
 
     # -- power limits ------------------------------------------------------
@@ -140,8 +142,10 @@ class LibMSR:
     def snapshot(self) -> dict:
         """Picklable API state: the poll baseline (the units cache is
         deterministic and re-read on demand)."""
-        return {"last": self._last, "msr": self.msr.snapshot()}
+        return {"version": 1, "last": self._last,
+                "msr": self.msr.snapshot()}
 
     def restore(self, state: dict) -> None:
+        check_snapshot_version(state, 1, "LibMSR")
         self._last = state["last"]
         self.msr.restore(state["msr"])

@@ -1,0 +1,180 @@
+"""Physical-unit discipline rules.
+
+The paper's model (Eqs. 1-7) mixes instantaneous power (watts), energy
+over a window (joules), clock rates (hertz) and durations (seconds);
+the simulator's RAPL path converts between all four. A watts-vs-joules
+slip type-checks fine and produces plausible-looking numbers, so the
+only static handle is naming: quantities carry their unit in the name
+(``pkg_joules``, ``control_interval``, ``_last_time``, the ``_w`` /
+``_j`` / ``_hz`` / ``_s`` suffixes).
+
+Two rules ride on that vocabulary:
+
+* ``units-suffix`` — a single name must not claim two different units
+  (``energy_w``, ``power_j``);
+* ``units-mix`` — additive arithmetic (``+``, ``-``, comparisons) must
+  not combine names of different units; multiplying or dividing is the
+  conversion path and stays legal (``watts * dt`` is joules).
+
+Names the vocabulary cannot classify are left alone — the rules only
+fire when *both* sides of an operation identify their unit and the
+units disagree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, Module, Rule
+
+__all__ = ["UnitSuffixRule", "UnitMixRule", "classify_name"]
+
+FAMILY = "units"
+
+#: Exact-token unit suffixes (only meaningful with a qualifying prefix:
+#: a bare ``w`` or ``s`` is a loop variable, not a quantity).
+_SUFFIXES = {
+    "w": "watts", "watts": "watts",
+    "j": "joules", "joules": "joules",
+    "hz": "hertz",
+    "s": "seconds", "sec": "seconds", "secs": "seconds",
+    "seconds": "seconds",
+}
+
+#: Whole-word unit vocabulary (matched against any ``_``-token).
+_WORDS = {
+    "power": "watts", "watts": "watts", "wattage": "watts", "tdp": "watts",
+    "energy": "joules", "joules": "joules",
+    "freq": "hertz", "frequency": "hertz", "hz": "hertz",
+    "seconds": "seconds", "interval": "seconds", "duration": "seconds",
+    "elapsed": "seconds", "dt": "seconds", "now": "seconds",
+    "time": "seconds", "timeout": "seconds", "period": "seconds",
+}
+
+
+def units_of(name: str) -> set[str]:
+    """Every unit a name's tokens claim (normally zero or one)."""
+    tokens = [t for t in name.lower().split("_") if t]
+    units = {_WORDS[t] for t in tokens if t in _WORDS}
+    if len(tokens) > 1 and tokens[-1] in _SUFFIXES:
+        units.add(_SUFFIXES[tokens[-1]])
+    return units
+
+
+def classify_name(name: str) -> str | None:
+    """The unit a name unambiguously carries, or None."""
+    units = units_of(name)
+    return next(iter(units)) if len(units) == 1 else None
+
+
+def _expr_unit(node: ast.AST) -> str | None:
+    """Infer the unit of an expression, or None when unknown/mixed.
+
+    Only name-shaped leaves carry units; multiplication and division
+    are unit conversions and deliberately return None.
+    """
+    if isinstance(node, ast.Name):
+        return classify_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return classify_name(node.attr)
+    if isinstance(node, ast.UnaryOp):
+        return _expr_unit(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left, right = _expr_unit(node.left), _expr_unit(node.right)
+        return left if left == right else None
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "abs" and len(node.args) == 1:
+            return _expr_unit(node.args[0])
+        if node.func.id in ("min", "max") and node.args and not node.keywords:
+            arg_units = {_expr_unit(a) for a in node.args}
+            if len(arg_units) == 1:
+                return arg_units.pop()
+    return None
+
+
+def _describe(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ast.unparse(node)
+
+
+class UnitSuffixRule(Rule):
+    id = "units-suffix"
+    family = FAMILY
+    description = ("a name must not claim two different physical units "
+                   "(e.g. energy_w)")
+
+    def _targets(self, module: Module) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._names(target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                yield from self._names(node.target)
+            elif isinstance(node, ast.FunctionDef):
+                for arg in (node.args.posonlyargs + node.args.args +
+                            node.args.kwonlyargs):
+                    yield arg, arg.arg
+
+    @staticmethod
+    def _names(target: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+        if isinstance(target, ast.Name):
+            yield target, target.id
+        elif isinstance(target, ast.Attribute):
+            yield target, target.attr
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from UnitSuffixRule._names(elt)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        seen: set[tuple[int, str]] = set()
+        for node, name in self._targets(module):
+            units = units_of(name)
+            if len(units) > 1:
+                key = (getattr(node, "lineno", 0), name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    module, node,
+                    f"{name!r} claims conflicting units "
+                    f"({', '.join(sorted(units))}); rename it so the "
+                    "quantity's unit is unambiguous")
+
+
+class UnitMixRule(Rule):
+    id = "units-mix"
+    family = FAMILY
+    description = ("additive arithmetic and comparisons must not mix "
+                   "watts/joules/hertz/seconds-named quantities")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and \
+                    isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._pair(module, node, node.left, node.right,
+                                      "+" if isinstance(node.op, ast.Add)
+                                      else "-")
+            elif isinstance(node, ast.AugAssign) and \
+                    isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._pair(module, node, node.target, node.value,
+                                      "+=" if isinstance(node.op, ast.Add)
+                                      else "-=")
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._pair(module, node, left, right,
+                                          "compared with")
+
+    def _pair(self, module: Module, node: ast.AST, left: ast.AST,
+              right: ast.AST, op: str) -> Iterator[Finding]:
+        lu, ru = _expr_unit(left), _expr_unit(right)
+        if lu is not None and ru is not None and lu != ru:
+            yield self.finding(
+                module, node,
+                f"{_describe(left)} ({lu}) {op} {_describe(right)} ({ru}) "
+                "mixes units; convert explicitly (e.g. watts * seconds -> "
+                "joules) before combining")

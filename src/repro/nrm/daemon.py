@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, check_snapshot_version
 from repro.libmsr import LibMSR
 from repro.nrm.schemes import CapSchedule
 from repro.telemetry.timeseries import TimeSeries
@@ -96,11 +96,12 @@ class PowerPolicyDaemon:
             applied = ("unset", None)
         else:
             applied = ("set", self._applied)
-        return {"start": self._start, "applied": applied,
+        return {"version": 1, "start": self._start, "applied": applied,
                 "power_series": self.power_series.snapshot(),
                 "cap_series": self.cap_series.snapshot()}
 
     def restore(self, state: dict) -> None:
+        check_snapshot_version(state, 1, "PowerPolicyDaemon")
         self._start = state["start"]
         kind, value = state["applied"]
         self._applied = _UNSET if kind == "unset" else value

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.model import PowerCapModel
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, check_snapshot_version
 from repro.libmsr import LibMSR
 from repro.telemetry.monitor import ProgressMonitor
 from repro.telemetry.timeseries import TimeSeries
@@ -78,10 +78,11 @@ class BudgetTrackingPolicy:
             applied = ("unset", None)
         else:
             applied = ("set", self._applied)
-        return {"budget": self._budget, "applied": applied,
+        return {"version": 1, "budget": self._budget, "applied": applied,
                 "cap_series": self.cap_series.snapshot()}
 
     def restore(self, state: dict) -> None:
+        check_snapshot_version(state, 1, "BudgetTrackingPolicy")
         self._budget = state["budget"]
         kind, value = state["applied"]
         self._applied = _UNSET if kind == "unset" else value

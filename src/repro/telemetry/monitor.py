@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, check_snapshot_version
 from repro.telemetry.pubsub import SubSocket
 from repro.telemetry.timeseries import TimeSeries
 
@@ -63,9 +63,10 @@ class ProgressMonitor:
     def snapshot(self) -> dict:
         """Picklable monitor state (the subscription queue is owned and
         checkpointed by the bus)."""
-        return {"series": self.series.snapshot(),
+        return {"version": 1, "series": self.series.snapshot(),
                 "events_seen": self.events_seen}
 
     def restore(self, state: dict) -> None:
+        check_snapshot_version(state, 1, "ProgressMonitor")
         self.series.restore(state["series"])
         self.events_seen = state["events_seen"]

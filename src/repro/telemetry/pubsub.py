@@ -24,7 +24,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, TelemetryError
+from repro.exceptions import (
+    ConfigurationError,
+    TelemetryError,
+    check_snapshot_version,
+)
 from repro.runtime.clock import SimClock
 
 __all__ = ["Message", "MessageBus", "PubSocket", "SubSocket"]
@@ -105,6 +109,7 @@ class MessageBus:
         """Picklable bus state: loss-process RNG, counters, and each
         connected subscriber's queue (by connection order)."""
         return {
+            "version": 1,
             "rng": self._rng.bit_generator.state,
             "published": self.published,
             "dropped": self.dropped,
@@ -122,6 +127,7 @@ class MessageBus:
         (same subscribers, in the same connection order)."""
         from repro.exceptions import CheckpointError
 
+        check_snapshot_version(state, 1, "MessageBus")
         if len(state["subs"]) != len(self._subs):
             raise CheckpointError(
                 f"bus checkpoint has {len(state['subs'])} subscribers, "

@@ -12,7 +12,11 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    check_snapshot_version,
+)
 
 __all__ = ["TimeSeries"]
 
@@ -80,11 +84,18 @@ class TimeSeries:
 
     def snapshot(self) -> dict:
         """Picklable state (times/values as plain lists)."""
-        return {"name": self.name, "times": list(self._times),
+        return {"version": 1, "name": self.name, "times": list(self._times),
                 "values": list(self._values)}
 
     def restore(self, state: dict) -> None:
-        """Reinstall a :meth:`snapshot` (replaces all samples)."""
+        """Reinstall a :meth:`snapshot` (replaces all samples). The
+        snapshot must belong to a series of the same name — restoring
+        across series was historically silent and always a wiring bug."""
+        check_snapshot_version(state, 1, "TimeSeries")
+        if state["name"] != self.name:
+            raise CheckpointError(
+                f"series snapshot is for {state['name']!r}, "
+                f"restoring into {self.name!r}")
         self._times = list(state["times"])
         self._values = list(state["values"])
 

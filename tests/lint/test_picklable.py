@@ -1,0 +1,128 @@
+"""Shard-boundary picklability rule: boundary dataclasses must declare
+only picklable fields."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def _ids(source: str) -> list[str]:
+    return [f.rule for f in lint_source(textwrap.dedent(source))]
+
+
+class TestFires:
+    def test_callable_field_fires(self):
+        assert "pickle-boundary-field" in _ids("""
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass(frozen=True)
+            class StepRequest:
+                node_id: int
+                on_done: Callable[[int], None]
+        """)
+
+    def test_generator_field_fires(self):
+        assert "pickle-boundary-field" in _ids("""
+            from dataclasses import dataclass
+            import numpy as np
+
+            @dataclass
+            class RunResult:
+                node_id: int
+                rng: np.random.Generator
+        """)
+
+    def test_lock_field_fires(self):
+        assert "pickle-boundary-field" in _ids("""
+            from dataclasses import dataclass
+            import threading
+
+            @dataclass
+            class NodeTelemetry:
+                guard: threading.Lock
+        """)
+
+    def test_open_file_field_fires(self):
+        assert "pickle-boundary-field" in _ids("""
+            from dataclasses import dataclass
+            from typing import TextIO
+
+            @dataclass
+            class ReportSpec:
+                out: TextIO
+        """)
+
+    def test_string_annotation_fires(self):
+        assert "pickle-boundary-field" in _ids("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class StepRequest:
+                callback: "Callable[[float], None]"
+        """)
+
+    def test_lambda_default_fires(self):
+        assert "pickle-boundary-field" in _ids("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class StackSpec:
+                key: object = lambda x: x
+        """)
+
+    def test_optional_callable_fires(self):
+        assert "pickle-boundary-field" in _ids("""
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class JobResult:
+                hook: Callable[[], None] | None = None
+        """)
+
+
+class TestStaysQuiet:
+    def test_plain_wire_type_is_quiet(self):
+        # The shape of the real StepResult: ints, floats, dicts.
+        assert _ids("""
+            from dataclasses import dataclass, field
+
+            @dataclass(frozen=True)
+            class StepResult:
+                node_id: int
+                now: float
+                energy: float
+                rates: dict = field(default_factory=dict)
+        """) == []
+
+    def test_non_boundary_class_may_hold_callables(self):
+        # Timer lives inside one engine and never crosses a process
+        # boundary; its callback field is legitimate.
+        assert _ids("""
+            from dataclasses import dataclass, field
+            from typing import Callable
+
+            @dataclass(order=True)
+            class Timer:
+                seq: int
+                callback: Callable[[float], None] = field(compare=False)
+        """) == []
+
+    def test_non_dataclass_is_ignored(self):
+        assert _ids("""
+            from typing import Callable
+
+            class FakeRequest:
+                handler: Callable[[], None]
+        """) == []
+
+    def test_suppression_silences_the_field(self):
+        assert _ids("""
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class DebugRequest:
+                probe: Callable[[], None]  # repro-lint: disable=pickle-boundary-field
+        """) == []

@@ -1,0 +1,127 @@
+"""Physical-unit rules: watts/joules/hertz/seconds naming discipline."""
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.rules.units import classify_name, units_of
+
+
+def _ids(source: str) -> list[str]:
+    return [f.rule for f in lint_source(textwrap.dedent(source))]
+
+
+class TestVocabulary:
+    def test_suffixes(self):
+        assert classify_name("cap_w") == "watts"
+        assert classify_name("pkg_j") == "joules"
+        assert classify_name("uncore_hz") == "hertz"
+        assert classify_name("window_s") == "seconds"
+
+    def test_words(self):
+        assert classify_name("power") == "watts"
+        assert classify_name("pkg_energy") == "joules"
+        assert classify_name("frequency") == "hertz"
+        assert classify_name("control_interval") == "seconds"
+
+    def test_bare_single_letters_are_loop_variables(self):
+        # `for w in req.windows` / `j` as an index must not classify.
+        assert classify_name("w") is None
+        assert classify_name("j") is None
+        assert classify_name("s") is None
+
+    def test_conflicting_name(self):
+        assert units_of("energy_w") == {"joules", "watts"}
+
+
+class TestMixFires:
+    def test_watts_plus_joules_fires(self):
+        assert "units-mix" in _ids("""
+            def total(power, pkg_energy):
+                return power + pkg_energy
+        """)
+
+    def test_seconds_minus_hertz_fires(self):
+        assert "units-mix" in _ids("""
+            def drift(elapsed, frequency):
+                return elapsed - frequency
+        """)
+
+    def test_comparison_fires(self):
+        assert "units-mix" in _ids("""
+            def over(limit_w, pkg_joules):
+                return pkg_joules > limit_w
+        """)
+
+    def test_augmented_assignment_fires(self):
+        assert "units-mix" in _ids("""
+            def accrue(self, sample_watts):
+                self.pkg_energy += sample_watts
+        """)
+
+    def test_attribute_operands_fire(self):
+        assert "units-mix" in _ids("""
+            def headroom(node, firmware):
+                return node.frequency - firmware.limit_w
+        """)
+
+
+class TestMixStaysQuiet:
+    def test_conversion_by_multiplication_is_legal(self):
+        # watts * seconds -> joules: the accrual path in SimulatedNode.
+        assert _ids("""
+            def accrue(self, watts, dt):
+                self.pkg_energy += watts * dt
+        """) == []
+
+    def test_same_unit_arithmetic_is_legal(self):
+        assert _ids("""
+            def total(pkg_energy, dram_energy):
+                return pkg_energy + dram_energy
+        """) == []
+
+    def test_unclassified_names_are_left_alone(self):
+        assert _ids("""
+            def mix(a, b):
+                return a + b
+        """) == []
+
+    def test_unclassified_side_is_left_alone(self):
+        assert _ids("""
+            def step(power, x):
+                return power - x
+        """) == []
+
+    def test_min_max_propagate_units(self):
+        assert _ids("""
+            def clamp(power, tdp):
+                return min(power, tdp)
+        """) == []
+
+    def test_suppression_silences_the_line(self):
+        assert _ids("""
+            def total(power, pkg_energy):
+                return power + pkg_energy  # repro-lint: disable=units-mix
+        """) == []
+
+
+class TestSuffixRule:
+    def test_conflicting_suffix_fires(self):
+        assert "units-suffix" in _ids("""
+            def f(cfg):
+                energy_w = cfg.tdp
+                return energy_w
+        """)
+
+    def test_conflicting_parameter_fires(self):
+        assert "units-suffix" in _ids("""
+            def f(power_j):
+                return power_j
+        """)
+
+    def test_single_unit_names_are_quiet(self):
+        assert _ids("""
+            def f(cfg):
+                cap_w = cfg.tdp
+                pkg_j = 0.0
+                return cap_w, pkg_j
+        """) == []

@@ -71,7 +71,7 @@ class TestOmpTeam:
         order = []
 
         def body(tm, tid):
-            for it in range(2):
+            for _it in range(2):
                 yield Work(cycles=(tid + 1) * F_NOM / 10)
                 yield tm.region_barrier()
                 if tid == 0:
