@@ -32,6 +32,7 @@ from repro.cluster.node_instance import NodeInstance
 from repro.cluster.policies import ProgressAwareRebalancer, UniformPowerPolicy
 from repro.cluster.sharding import (
     NodeTelemetry,
+    PayloadStats,
     ShardedLockstep,
     StepRequest,
     StepResult,
@@ -49,6 +50,7 @@ __all__ = [
     "advance_lockstep",
     "collect_rates",
     "rebalance_nodes",
+    "PayloadStats",
     "ShardedLockstep",
     "StepRequest",
     "StepResult",

@@ -29,10 +29,12 @@ serial code delivering it between epochs.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro import obs
 from repro.cluster.node_instance import NodeInstance
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.stack.spec import StackSpec
@@ -42,6 +44,7 @@ __all__ = [
     "StepRequest",
     "StepResult",
     "NodeTelemetry",
+    "PayloadStats",
     "step_node",
     "node_rate",
     "ShardedLockstep",
@@ -89,6 +92,44 @@ class StepResult:
     energy: float         #: package joules since the previous epoch mark
     cumulative: float     #: total progress units published so far
     rates: dict[float, float] = field(default_factory=dict)
+
+
+@dataclass
+class PayloadStats:
+    """Pickled IPC payload accounting for one :class:`ShardedLockstep`.
+
+    The lockstep's per-epoch exchange is the traffic the ROADMAP's
+    delta-shipping item wants to shrink; these numbers are its baseline.
+    ``epoch_payloads`` records one ``(bytes_down, bytes_up)`` pair per
+    ``step`` dispatch (i.e. per epoch, summed over the involved shards);
+    the totals cover every command. Sizes are measured by re-pickling
+    the exact ``(command, payload)`` tuples that cross the pipe, so they
+    track what :mod:`multiprocessing` actually ships.
+    """
+
+    bytes_down: int = 0          #: total pickled request bytes, all commands
+    bytes_up: int = 0            #: total pickled reply bytes, all commands
+    dispatches: int = 0          #: dispatch rounds measured (all commands)
+    epoch_payloads: list[tuple[int, int]] = field(default_factory=list)
+
+    def record(self, cmd: str, down: int, up: int) -> None:
+        self.bytes_down += down
+        self.bytes_up += up
+        self.dispatches += 1
+        if cmd == "step":
+            self.epoch_payloads.append((down, up))
+
+    @property
+    def epochs(self) -> int:
+        return len(self.epoch_payloads)
+
+    def mean_epoch_bytes(self) -> tuple[float, float]:
+        """Mean per-epoch ``(bytes_down, bytes_up)`` of step traffic."""
+        if not self.epoch_payloads:
+            return 0.0, 0.0
+        n = len(self.epoch_payloads)
+        return (sum(d for d, _ in self.epoch_payloads) / n,
+                sum(u for _, u in self.epoch_payloads) / n)
 
 
 @dataclass(frozen=True)
@@ -220,13 +261,23 @@ class ShardedLockstep:
         multiprocessing start method; default prefers ``fork`` (cheap,
         and the workers rebuild their nodes from specs anyway) and falls
         back to the platform default.
+    measure_payloads:
+        Measure the pickled size of every dispatched payload into
+        :attr:`payload_stats` (the delta-shipping baseline). Off by
+        default — sizing re-pickles each payload — and forced on while
+        :mod:`repro.obs` tracing is enabled, which additionally emits
+        one ``shard.payload`` instant per involved shard per dispatch.
+        Payload sizes never influence execution.
     """
 
     def __init__(self, shards: int = 1, *,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 measure_payloads: bool = False) -> None:
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         self.shards = shards
+        self.measure_payloads = measure_payloads
+        self.payload_stats = PayloadStats()
         self._local: dict[int, NodeInstance] = {}
         self._shard_of: dict[int, int] = {}
         self._next_shard = 0
@@ -402,17 +453,43 @@ class ShardedLockstep:
 
         Sends complete before any receive, so all shards compute
         concurrently; errors ship back as formatted tracebacks and
-        re-raise here as :class:`SimulationError`.
+        re-raise here as :class:`SimulationError`. With payload
+        measurement on (explicitly or via tracing), each direction's
+        pickled size is recorded — observation only, the bytes on the
+        pipe are untouched.
         """
         if self._closed:
             raise SimulationError("ShardedLockstep is closed")
-        for shard, payload in per_shard.items():
-            self._pipes[shard].send((cmd, payload))
-        replies: dict[int, Any] = {}
-        for shard in per_shard:
-            status, value = self._pipes[shard].recv()
-            if status != "ok":
-                raise SimulationError(
-                    f"shard {shard} failed on {cmd!r}:\n{value}")
-            replies[shard] = value
+        tracer = obs.tracer()
+        measure = self.measure_payloads or tracer.enabled
+        sizes_down: dict[int, int] = {}
+        with tracer.span("shard.dispatch", cmd=cmd,
+                         shards=len(per_shard)) as span:
+            for shard, payload in per_shard.items():
+                if measure:
+                    sizes_down[shard] = len(pickle.dumps((cmd, payload)))
+                self._pipes[shard].send((cmd, payload))
+            replies: dict[int, Any] = {}
+            total_down = total_up = 0
+            for shard in per_shard:
+                status, value = self._pipes[shard].recv()
+                if status != "ok":
+                    raise SimulationError(
+                        f"shard {shard} failed on {cmd!r}:\n{value}")
+                replies[shard] = value
+                if measure:
+                    up = len(pickle.dumps((status, value)))
+                    down = sizes_down[shard]
+                    total_down += down
+                    total_up += up
+                    tracer.instant("shard.payload", cmd=cmd, shard=shard,
+                                   bytes_down=down, bytes_up=up)
+            if measure:
+                self.payload_stats.record(cmd, total_down, total_up)
+                span.set(bytes_down=total_down, bytes_up=total_up)
+                registry = obs.metrics()
+                registry.counter("shard.pickle_bytes",
+                                 direction="down").inc(total_down)
+                registry.counter("shard.pickle_bytes",
+                                 direction="up").inc(total_up)
         return replies

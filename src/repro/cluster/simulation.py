@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.node_instance import NodeInstance
 from repro.cluster.sharding import ShardedLockstep, StepRequest
 from repro.cluster.variability import perturb_config
@@ -137,33 +138,42 @@ class ClusterSimulation:
             raise ConfigurationError("duration and epoch must be positive")
         end = self.now + duration
         alloc_window = 3 * epoch
-        while self.now < end - 1e-9:
-            rates = self._rates_for(alloc_window)
-            budgets = [float(b) for b in self.policy.allocate(rates)]
-            target = min(self.now + epoch, end)
-            requests = [
-                StepRequest(node_id=i, target=target, budget=b,
-                            set_budget=True, windows=(alloc_window, epoch))
-                for i, b in zip(self._node_ids, budgets)
-            ]
-            results = self._lockstep.step(requests)
-            epoch_energy = 0.0
-            for res in results:
-                epoch_energy += res.energy
-            self.total_energy += epoch_energy
-            # Track node 0's clock, not the computed target: the engine
-            # advances by deltas, so the node clock can differ from the
-            # target by an ULP — and the serial code's `now` was the
-            # node clock.
-            self._now = results[0].now
-            self._alloc_rates = {
-                alloc_window: [res.rates[alloc_window] for res in results],
-                epoch: [res.rates[epoch] for res in results],
-            }
-            current = self._alloc_rates[epoch]
-            self.total_progress.append(target, float(np.sum(current)))
-            self.critical_path.append(target, float(np.min(current)))
-            self.budget_history.append(target, float(np.sum(budgets)))
+        tracer = obs.tracer()
+        epochs = obs.metrics().counter("cluster.epochs")
+        with tracer.span("cluster.run", n_nodes=len(self._node_ids),
+                         duration=duration, epoch=epoch,
+                         shards=self.shards):
+            while self.now < end - 1e-9:
+                with tracer.span("cluster.epoch", now=self.now):
+                    rates = self._rates_for(alloc_window)
+                    budgets = [float(b) for b in self.policy.allocate(rates)]
+                    target = min(self.now + epoch, end)
+                    requests = [
+                        StepRequest(node_id=i, target=target, budget=b,
+                                    set_budget=True,
+                                    windows=(alloc_window, epoch))
+                        for i, b in zip(self._node_ids, budgets)
+                    ]
+                    results = self._lockstep.step(requests)
+                    epoch_energy = 0.0
+                    for res in results:
+                        epoch_energy += res.energy
+                    self.total_energy += epoch_energy
+                    # Track node 0's clock, not the computed target: the
+                    # engine advances by deltas, so the node clock can
+                    # differ from the target by an ULP — and the serial
+                    # code's `now` was the node clock.
+                    self._now = results[0].now
+                    self._alloc_rates = {
+                        alloc_window: [res.rates[alloc_window]
+                                       for res in results],
+                        epoch: [res.rates[epoch] for res in results],
+                    }
+                    current = self._alloc_rates[epoch]
+                    self.total_progress.append(target, float(np.sum(current)))
+                    self.critical_path.append(target, float(np.min(current)))
+                    self.budget_history.append(target, float(np.sum(budgets)))
+                epochs.inc()
 
     # -- summaries ------------------------------------------------------------
 

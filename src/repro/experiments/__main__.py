@@ -15,9 +15,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 
-from repro.runtime.executor import CACHE_ENV
+from repro import obs
+from repro.obs import hostclock
+from repro.runtime.executor import CACHE_ENV, cache_stats, reset_cache_stats
 
 from repro.experiments import (
     extension_energy,
@@ -105,6 +106,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache even if "
                              f"${CACHE_ENV} is set")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="enable tracing and write the trace here on "
+                             "exit: Chrome trace-event JSON (open in "
+                             "Perfetto), or JSONL if PATH ends in .jsonl")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="enable metrics and write the registry here "
+                             "on exit (JSON if PATH ends in .json, else "
+                             "prometheus-style text)")
+    parser.add_argument("--manifest-out", default=None, metavar="PATH",
+                        help="write a run-provenance manifest (config, "
+                             "seeds, package versions, timings, cache "
+                             "stats) here on exit")
     parser.add_argument("--list", action="store_true",
                         help="print the registered experiment names and exit")
     args = parser.parse_args(argv)
@@ -117,6 +130,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ.pop(CACHE_ENV, None)  # repro-lint: disable=det-environ
     elif args.cache_dir is not None:
         os.environ[CACHE_ENV] = args.cache_dir
+    # Resolved once here for the provenance manifest; same plumbing.
+    cache_dir = os.environ.get(CACHE_ENV)  # repro-lint: disable=det-environ
 
     if args.list:
         print("\n".join(sorted(_EXPERIMENTS)))
@@ -125,16 +140,68 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("an experiment name is required (or use --list)")
 
     names = sorted(_EXPERIMENTS) if args.name == "all" else [args.name]
-    for name in names:
-        run, render = _EXPERIMENTS[name]
-        # Host wall time for the operator's progress line only; no
-        # simulated quantity derives from it.
-        start = time.perf_counter()  # repro-lint: disable=det-wallclock
-        result = run(args.seed, args.quick, args.workers, args.shards)
-        elapsed = time.perf_counter() - start  # repro-lint: disable=det-wallclock
-        print(render(result))
-        print(f"\n[{name} regenerated in {elapsed:.1f} s wall time]\n")
+    if args.trace or args.metrics_out:
+        obs.enable()
+    total_wall = 0.0
+    totals = {"hits": 0, "misses": 0}
+    try:
+        for name in names:
+            run, render = _EXPERIMENTS[name]
+            reset_cache_stats()
+            # Host wall time for the operator's progress line only; no
+            # simulated quantity derives from it.
+            start = hostclock.perf_ns()
+            with obs.tracer().span(f"experiment.{name}", seed=args.seed,
+                                   quick=args.quick):
+                result = run(args.seed, args.quick, args.workers,
+                             args.shards)
+            elapsed = (hostclock.perf_ns() - start) / 1e9
+            total_wall += elapsed
+            print(render(result))
+            stats = cache_stats()
+            totals["hits"] += stats["hits"]
+            totals["misses"] += stats["misses"]
+            if stats["hits"] or stats["misses"]:
+                print(f"\n[executor cache: {stats['hits']} hits / "
+                      f"{stats['misses']} misses "
+                      f"({stats['hit_rate'] * 100.0:.0f}% hit rate)]")
+            print(f"\n[{name} regenerated in {elapsed:.1f} s wall time]\n")
+        _write_outputs(args, names, total_wall, totals, cache_dir)
+    finally:
+        obs.disable()
     return 0
+
+
+def _write_outputs(args: argparse.Namespace, names: list[str],
+                   total_wall: float, cache: dict,
+                   cache_dir: str | None) -> None:
+    """Persist the trace / metrics / manifest the flags asked for."""
+    session = obs.session()
+    trace_info = None
+    if session is not None and args.trace:
+        trace_info = session.write_trace(args.trace)
+        print(f"[trace: {trace_info['events']} events -> "
+              f"{trace_info['path']} ({trace_info['format']})]")
+    if session is not None and args.metrics_out:
+        session.write_metrics(args.metrics_out)
+        print(f"[metrics -> {args.metrics_out}]")
+    if args.manifest_out:
+        manifest = obs.build_manifest(
+            experiment=",".join(names),
+            config={
+                "seed": args.seed,
+                "quick": args.quick,
+                "workers": args.workers,
+                "shards": args.shards,
+                "cache_dir": cache_dir,
+            },
+            wall_time_s=round(total_wall, 3),
+            cache=cache,
+            trace=trace_info,
+            metrics=args.metrics_out,
+        )
+        obs.write_manifest(args.manifest_out, manifest)
+        print(f"[manifest -> {args.manifest_out}]")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.scheduler.job import Job
 from repro.scheduler.powerbook import PowerBook, steady_sizing
 from repro.scheduler.report import SchedulerReport
@@ -116,24 +117,25 @@ def run(seed: int = 0, quick: bool = False,
 
     reports = {}
     for policy, eco in (("fcfs", False), ("backfill", True)):
-        config = SchedulerConfig(
-            n_slots=n_slots,
-            power_budget=budget,
-            policy=policy,
-            min_cap=55.0,
-            cap_step=5.0,
-            eco_margin=0.8,
-            n_workers=book.n_workers,
-            seed=seed,
-            shards=shards,
-        )
-        scheduler = PowerAwareScheduler(config, book)
-        for job in _build_jobs(book, workload, eco=eco):
-            scheduler.submit(job)
-        try:
-            reports[policy] = scheduler.run()
-        finally:
-            scheduler.close()
+        with obs.tracer().span("extension.policy", policy=policy, eco=eco):
+            config = SchedulerConfig(
+                n_slots=n_slots,
+                power_budget=budget,
+                policy=policy,
+                min_cap=55.0,
+                cap_step=5.0,
+                eco_margin=0.8,
+                n_workers=book.n_workers,
+                seed=seed,
+                shards=shards,
+            )
+            scheduler = PowerAwareScheduler(config, book)
+            for job in _build_jobs(book, workload, eco=eco):
+                scheduler.submit(job)
+            try:
+                reports[policy] = scheduler.run()
+            finally:
+                scheduler.close()
     return SchedulerComparison(baseline=reports["fcfs"],
                                eco=reports["backfill"])
 

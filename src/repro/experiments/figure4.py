@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.errors import ErrorSummary, percentage_error, summarize_errors
 from repro.core.model import PowerCapModel
 from repro.exceptions import ConfigurationError
@@ -111,6 +112,18 @@ def run_panel(app: str, *, caps: tuple[float, ...] | None = None,
     ``executor`` fans the per-cap repeats out over a process pool; the
     numbers are identical to the serial sweep.
     """
+    with obs.tracer().span("figure4.panel", app=app, repeats=repeats):
+        return _run_panel(
+            app, caps=caps, repeats=repeats, seed=seed, alpha=alpha,
+            baseline_window=baseline_window,
+            uncapped_window=uncapped_window, capped_window=capped_window,
+            warmup=warmup, firmware_kwargs=firmware_kwargs,
+            testbed=testbed, executor=executor)
+
+
+def _run_panel(app, *, caps, repeats, seed, alpha, baseline_window,
+               uncapped_window, capped_window, warmup, firmware_kwargs,
+               testbed, executor) -> Figure4Panel:
     tb = testbed or Testbed(seed=seed)
     beta = TABLE6[app][0]
     sizing = APP_SIZING[app]

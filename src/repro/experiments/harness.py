@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.analysis import mean_confidence_interval
 from repro.apps.base import SyntheticApp
 from repro.core.beta import beta_from_times, mpo_from_delta
@@ -163,8 +164,18 @@ class Testbed:
         """
         seed = self.seed if seed is None else seed
         prebuilt = None if isinstance(app, str) else app
+        app_name = app if prebuilt is None else prebuilt.name
+        with obs.tracer().span("harness.run", app=app_name,
+                               duration=duration, seed=seed):
+            return self._run(app_name, prebuilt, duration, schedule,
+                             dvfs_freq, duty, topics, monitor_interval,
+                             seed, app_kwargs, firmware_kwargs)
+
+    def _run(self, app_name, prebuilt, duration, schedule, dvfs_freq,
+             duty, topics, monitor_interval, seed, app_kwargs,
+             firmware_kwargs) -> RunResult:
         spec = StackSpec(
-            app_name=app if prebuilt is None else prebuilt.name,
+            app_name=app_name,
             cfg=self.cfg,
             app_kwargs=app_kwargs,
             seed=seed,
@@ -245,6 +256,8 @@ class Testbed:
         if repeats < 1:
             raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
         total = uncapped_window + capped_window
+        span = obs.tracer().span("harness.delta", app=app_name,
+                                 p_cap=p_cap, repeats=repeats)
         tasks = [
             _DeltaRepeatTask(
                 cfg=self.cfg,
@@ -259,7 +272,8 @@ class Testbed:
             )
             for rep in range(repeats)
         ]
-        pairs = (executor or RunExecutor(1)).map(_delta_repeat, tasks)
+        with span:
+            pairs = (executor or RunExecutor(1)).map(_delta_repeat, tasks)
         uncapped_rates = [r_un for r_un, _ in pairs]
         deltas = [r_un - r_cap for r_un, r_cap in pairs]
         ci_low, ci_high = mean_confidence_interval(deltas)

@@ -14,11 +14,14 @@ decision, not an accident.
 from __future__ import annotations
 
 import ast
+import os
 from typing import Iterator
 
 from repro.lint.core import Finding, Module, Rule, qualified_name
 
 __all__ = [
+    "OBS_CLOCK_MODULES",
+    "is_obs_clock_module",
     "WallClockRule",
     "DatetimeRule",
     "StdlibRandomRule",
@@ -28,6 +31,22 @@ __all__ = [
 ]
 
 FAMILY = "determinism"
+
+#: The audited observability clock modules — the only places allowed to
+#: read host clocks. Observability must measure wall time by nature; the
+#: allowance confines those reads to a module reviewed as description-
+#: only (trace timestamps and manifest stamps never feed a simulated
+#: quantity), so the clock rules keep protecting everything else without
+#: blanket per-line suppressions. Matched by path suffix so the rules
+#: work from any checkout root. Clock reads only: entropy, environment
+#: and RNG rules still apply inside these modules.
+OBS_CLOCK_MODULES: tuple[str, ...] = ("repro/obs/hostclock.py",)
+
+
+def is_obs_clock_module(path: str) -> bool:
+    """True when ``path`` is an audited obs clock module."""
+    normalized = path.replace(os.sep, "/")
+    return normalized.endswith(OBS_CLOCK_MODULES)
 
 #: ``time`` module calls that read the host clock.
 _WALL_CLOCK = {
@@ -70,8 +89,11 @@ class WallClockRule(Rule):
                    "simulation code; use the engine clock instead")
 
     def check(self, module: Module) -> Iterator[Finding]:
+        clock_allowed = is_obs_clock_module(module.path)
         for node, name in _called_names(module):
             if name in _WALL_CLOCK:
+                if clock_allowed:
+                    continue  # the audited obs clock module
                 yield self.finding(
                     module, node,
                     f"{name}() reads the host clock; simulated time comes "
@@ -89,6 +111,8 @@ class DatetimeRule(Rule):
     description = "datetime.now()/today() reads inside simulation code"
 
     def check(self, module: Module) -> Iterator[Finding]:
+        if is_obs_clock_module(module.path):
+            return  # the audited obs clock module (clock reads only)
         for node, name in _called_names(module):
             if name in _DATETIME_NOW or (
                     name.split(".")[-1] in ("now", "utcnow")

@@ -1,0 +1,117 @@
+"""Trace serialization: JSONL spans and Chrome trace-event JSON.
+
+Two interchangeable on-disk forms of the same event stream:
+
+* **JSONL** (``.jsonl``) — one event object per line, timestamps in
+  nanoseconds exactly as the tracer recorded them. Greppable, streams,
+  concatenates.
+* **Chrome trace-event JSON** (``.json``) — the
+  ``{"traceEvents": [...]}`` array format with microsecond ``ts`` /
+  ``dur`` that ``chrome://tracing`` and https://ui.perfetto.dev load
+  directly.
+
+:func:`load_trace` sniffs either format (by content, not extension) and
+returns events normalized back to the internal nanosecond form, so the
+``summarize`` CLI works on both.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable
+
+__all__ = ["to_chrome", "write_chrome", "write_jsonl", "write_trace",
+           "load_trace"]
+
+_NS_PER_US = 1000.0
+
+
+def to_chrome(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """The Chrome trace-event document for ``events`` (ns -> µs)."""
+    out = []
+    for ev in events:
+        chrome = dict(ev)
+        chrome["ts"] = ev["ts"] / _NS_PER_US
+        if "dur" in ev:
+            chrome["dur"] = ev["dur"] / _NS_PER_US
+        out.append(chrome)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome(path: str | os.PathLike,
+                 events: Iterable[dict[str, Any]]) -> None:
+    """Write Chrome trace-event JSON (loads in Perfetto)."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(to_chrome(events), f)
+
+
+def write_jsonl(path: str | os.PathLike,
+                events: Iterable[dict[str, Any]]) -> None:
+    """Write one event per line, nanosecond timestamps."""
+    with open(path, "w", encoding="utf-8") as f:
+        for ev in events:
+            f.write(json.dumps(ev))
+            f.write("\n")
+
+
+def write_trace(path: str | os.PathLike,
+                events: Iterable[dict[str, Any]]) -> str:
+    """Write ``events`` in the format the extension selects.
+
+    ``.jsonl`` writes JSONL; anything else writes Chrome trace-event
+    JSON. Returns the format written (``"jsonl"`` or ``"chrome"``).
+    """
+    if os.fspath(path).endswith(".jsonl"):
+        write_jsonl(path, events)
+        return "jsonl"
+    write_chrome(path, events)
+    return "chrome"
+
+
+def _from_chrome(doc: dict[str, Any]) -> list[dict[str, Any]]:
+    events = []
+    for chrome in doc.get("traceEvents", []):
+        ev = dict(chrome)
+        if "ts" in ev:
+            ev["ts"] = int(round(ev["ts"] * _NS_PER_US))
+        if "dur" in ev:
+            ev["dur"] = int(round(ev["dur"] * _NS_PER_US))
+        events.append(ev)
+    return events
+
+
+def load_trace(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Load a trace written by :func:`write_trace`, either format.
+
+    The format is sniffed from the content: a document whose top level
+    is an object (or array) parses as Chrome trace-event JSON; anything
+    else is treated as JSONL. Timestamps come back in nanoseconds.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return _from_chrome(doc)
+    if isinstance(doc, list):  # bare traceEvents array is also legal
+        return _from_chrome({"traceEvents": doc})
+    # Anything else — including a one-line JSONL file, which *is* valid
+    # JSON — parses line by line in the nanosecond JSONL form.
+    events = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{os.fspath(path)}:{i}: not a JSONL trace line: {exc}"
+            ) from exc
+    return events

@@ -1,0 +1,38 @@
+"""The observability layer's *only* host-clock source.
+
+Everything in the simulator runs on simulated time
+(:class:`repro.runtime.clock.SimClock`), and the determinism lint
+(:mod:`repro.lint.rules.determinism`) bans host-clock reads precisely so
+simulation results stay a pure function of the seed. Observability is
+the one legitimate exception: a trace of *where wall time goes* is by
+definition a host-clock measurement.
+
+Rather than scattering per-line lint suppressions, every host-clock read
+the observability layer performs is confined to this module, which the
+determinism rules recognize by path as the single audited allowance
+(see ``OBS_CLOCK_MODULES`` in :mod:`repro.lint.rules.determinism`).
+The audit contract:
+
+* readings from this module may only ever *describe* a run (trace
+  timestamps, span durations, manifest wall-time), never *steer* one —
+  no simulated quantity, seed, schedule, or control decision may derive
+  from them;
+* no other host state (environment, entropy, PIDs of semantic import)
+  is read here — the allowance covers clocks only.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["perf_ns", "wall_s"]
+
+
+def perf_ns() -> int:
+    """Monotonic high-resolution timestamp (ns) for span durations."""
+    return time.perf_counter_ns()
+
+
+def wall_s() -> float:
+    """Wall-clock seconds since the epoch, for manifest timestamps."""
+    return time.time()

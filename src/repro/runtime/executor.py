@@ -33,9 +33,11 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ConfigurationError, SimulationError
 
-__all__ = ["RunExecutor", "derive_seed", "default_workers", "CACHE_ENV"]
+__all__ = ["RunExecutor", "derive_seed", "default_workers", "CACHE_ENV",
+           "cache_stats", "reset_cache_stats"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -51,6 +53,32 @@ _CACHE_SCHEMA = 1
 
 #: Marker distinguishing "not cached" from a legitimately-None result.
 _MISS = object()
+
+#: Process-wide result-cache tallies, accumulated by every
+#: :class:`RunExecutor` regardless of whether tracing is enabled — the
+#: figure harnesses print the hit rate from here (an explicit ROADMAP
+#: ask). Plain deterministic counters: they describe the run, nothing
+#: reads them back into a simulation.
+_CACHE_TALLY = {"hits": 0, "misses": 0}
+
+
+def cache_stats() -> dict[str, float]:
+    """Process-wide result-cache statistics since the last reset.
+
+    Returns ``{"hits", "misses", "hit_rate"}``; ``hit_rate`` is 0.0
+    when there was no cached-executor activity at all.
+    """
+    hits = _CACHE_TALLY["hits"]
+    misses = _CACHE_TALLY["misses"]
+    total = hits + misses
+    return {"hits": hits, "misses": misses,
+            "hit_rate": hits / total if total else 0.0}
+
+
+def reset_cache_stats() -> None:
+    """Zero the process-wide cache tallies (start of a CLI invocation)."""
+    _CACHE_TALLY["hits"] = 0
+    _CACHE_TALLY["misses"] = 0
 
 
 def derive_seed(base_seed: int, run_index: int) -> int:
@@ -127,6 +155,10 @@ class RunExecutor:
         self.start_method = start_method
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None \
             else None
+        #: Result-cache tallies for this executor instance (the
+        #: process-wide view is :func:`cache_stats`).
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
 
@@ -147,32 +179,68 @@ class RunExecutor:
         stored on the way back). Exceptions are never cached.
         """
         work: Sequence[_T] = list(items)
+        tracer = obs.tracer()
         if self.cache_dir is None:
-            return self._execute(fn, work)
-        keys = [self._cache_key(fn, item) for item in work]
-        results: list = [_MISS] * len(work)
-        misses: list[int] = []
-        for i, key in enumerate(keys):
-            if key is not None:
-                results[i] = self._cache_load(key)
-            if results[i] is _MISS:
-                misses.append(i)
-        if misses:
-            computed = self._execute(fn, [work[i] for i in misses])
-            for i, value in zip(misses, computed):
-                results[i] = value
-                if keys[i] is not None:
-                    self._cache_store(keys[i], value)
-        return results
+            with tracer.span("executor.map",
+                             fn=getattr(fn, "__qualname__", str(fn)),
+                             items=len(work), workers=self.workers,
+                             cached=False):
+                return self._execute(fn, work)
+        with tracer.span("executor.map",
+                         fn=getattr(fn, "__qualname__", str(fn)),
+                         items=len(work), workers=self.workers,
+                         cached=True) as span:
+            keys = [self._cache_key(fn, item) for item in work]
+            results: list = [_MISS] * len(work)
+            misses: list[int] = []
+            for i, key in enumerate(keys):
+                if key is not None:
+                    results[i] = self._cache_load(key)
+                if results[i] is _MISS:
+                    misses.append(i)
+                else:
+                    tracer.instant("executor.cache_hit", index=i)
+            hits = len(work) - len(misses)
+            self.cache_hits += hits
+            self.cache_misses += len(misses)
+            _CACHE_TALLY["hits"] += hits
+            _CACHE_TALLY["misses"] += len(misses)
+            metrics = obs.metrics()
+            metrics.counter("executor.runs", outcome="cached").inc(hits)
+            metrics.counter("executor.runs",
+                            outcome="computed").inc(len(misses))
+            span.set(cache_hits=hits, cache_misses=len(misses))
+            if misses:
+                for i in misses:
+                    tracer.instant("executor.cache_miss", index=i)
+                computed = self._execute(fn, [work[i] for i in misses])
+                for i, value in zip(misses, computed):
+                    results[i] = value
+                    if keys[i] is not None:
+                        self._cache_store(keys[i], value)
+            return results
 
     def _execute(self, fn: Callable[[_T], _R],
                  work: Sequence[_T]) -> list[_R]:
+        tracer = obs.tracer()
         if self.workers == 1 or len(work) <= 1:
-            return [fn(item) for item in work]
+            if not tracer.enabled:
+                return [fn(item) for item in work]
+            # Serial fan-out: per-run spans, with the time each run
+            # spent queued behind its predecessors as an attribute.
+            start = tracer.now_ns()
+            out = []
+            for i, item in enumerate(work):
+                wait_ns = tracer.now_ns() - start
+                with tracer.span("executor.run", index=i,
+                                 queue_wait_ms=wait_ns / 1e6):
+                    out.append(fn(item))
+            return out
         ctx = multiprocessing.get_context(self.start_method)
         n = min(self.workers, len(work))
         try:
-            with ProcessPoolExecutor(max_workers=n, mp_context=ctx) as pool:
+            with ProcessPoolExecutor(max_workers=n, mp_context=ctx) as pool, \
+                    tracer.span("executor.pool", items=len(work), workers=n):
                 return list(pool.map(fn, work))
         except BrokenProcessPool as exc:
             raise SimulationError(

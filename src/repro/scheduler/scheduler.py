@@ -44,6 +44,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.policies import ProgressAwareRebalancer
 from repro.cluster.sharding import ShardedLockstep, StepRequest
 from repro.cluster.variability import perturb_config
@@ -248,6 +249,8 @@ class PowerAwareScheduler:
         self.events.append(JobSubmitted(
             time=self.now, job_id=job.job_id, app_name=job.app_name,
             n_nodes=job.n_nodes, max_slowdown=job.max_slowdown))
+        obs.tracer().instant("scheduler.job_submitted", job_id=job.job_id,
+                             app=job.app_name, n_nodes=job.n_nodes)
 
     # ------------------------------------------------------------------
     # Admission planning
@@ -280,26 +283,34 @@ class PowerAwareScheduler:
             <= self.config.power_budget + 1e-9
 
     def _try_start_jobs(self) -> None:
+        blocked = False
         for job in self.queue.visible(self.now):
             cap, node_power, predicted = self._plan(job)
             if self._fits(job, node_power):
-                self._start(job, cap, node_power, predicted)
+                # a start past a blocked earlier job is a backfill
+                self._start(job, cap, node_power, predicted,
+                            backfilled=blocked)
             elif self.config.policy == "fcfs":
                 # strict queue order: nobody overtakes a blocked head
                 break
-            # backfill: leave the blocked job queued and keep walking —
-            # later jobs may fit the current node/power holes
+            else:
+                # backfill: leave the blocked job queued and keep
+                # walking — later jobs may fit the node/power holes
+                blocked = True
 
     def _start(self, job: Job, cap: float | None, node_power: float,
-               predicted: float) -> None:
+               predicted: float, *, backfilled: bool = False) -> None:
         record = self.records[job.job_id]
         self.queue.remove(job.job_id)
         slots = tuple(self._free_slots[:job.n_nodes])
         del self._free_slots[:job.n_nodes]
+        tracer = obs.tracer()
         if cap is not None:
             self.events.append(CapSelected(
                 time=self.now, job_id=job.job_id, cap=cap,
                 predicted_slowdown=predicted, tolerance=job.max_slowdown))
+            tracer.instant("scheduler.cap_selected", job_id=job.job_id,
+                           cap=cap, predicted_slowdown=predicted)
 
         self._lockstep.add_nodes(self._node_specs(job, slots, cap))
         self._started += 1
@@ -325,6 +336,9 @@ class PowerAwareScheduler:
         self.events.append(JobStarted(
             time=self.now, job_id=job.job_id, slots=slots, cap=cap,
             demand=record.demand))
+        tracer.instant("scheduler.job_started", job_id=job.job_id,
+                       n_nodes=job.n_nodes, cap=cap, demand=record.demand,
+                       backfilled=backfilled)
 
     # ------------------------------------------------------------------
     # Epoch loop
@@ -333,25 +347,38 @@ class PowerAwareScheduler:
     def run(self) -> SchedulerReport:
         """Drive the cluster until every submitted job has completed."""
         epoch = self.config.epoch
-        while self.queue or self._running:
-            if self.now > self.config.max_time:
-                raise SimulationError(
-                    f"scheduler exceeded max_time={self.config.max_time}: "
-                    f"queued={[j.job_id for j in self.queue]} "
-                    f"running={sorted(self._running)}")
-            self._try_start_jobs()
-            if not self._running:
-                # nothing runnable: idle-hop to the next arrival
-                nxt = self.queue.next_arrival(self.now)
-                if nxt is None:
+        tracer = obs.tracer()
+        epochs = obs.metrics().counter("scheduler.epochs",
+                                       policy=self.config.policy)
+        with tracer.span("scheduler.run", policy=self.config.policy,
+                         n_slots=self.config.n_slots,
+                         power_budget=self.config.power_budget,
+                         shards=self.config.shards) as span:
+            while self.queue or self._running:
+                if self.now > self.config.max_time:
                     raise SimulationError(
-                        "queued jobs can never start: "
-                        f"{[j.job_id for j in self.queue]}")
-                hops = max(1, math.ceil((nxt - self.now) / epoch - 1e-9))
-                self.now += hops * epoch
-                continue
-            self._rebalance()
-            self._advance_epoch()
+                        f"scheduler exceeded max_time="
+                        f"{self.config.max_time}: "
+                        f"queued={[j.job_id for j in self.queue]} "
+                        f"running={sorted(self._running)}")
+                self._try_start_jobs()
+                if not self._running:
+                    # nothing runnable: idle-hop to the next arrival
+                    nxt = self.queue.next_arrival(self.now)
+                    if nxt is None:
+                        raise SimulationError(
+                            "queued jobs can never start: "
+                            f"{[j.job_id for j in self.queue]}")
+                    hops = max(1, math.ceil((nxt - self.now) / epoch - 1e-9))
+                    self.now += hops * epoch
+                    continue
+                with tracer.span("scheduler.epoch", now=self.now,
+                                 running=len(self._running),
+                                 queued=len(self.queue)):
+                    self._rebalance()
+                    self._advance_epoch()
+                epochs.inc()
+            span.set(makespan=self.now, violations=self.violations)
         return self._report()
 
     def close(self) -> None:
@@ -383,12 +410,18 @@ class PowerAwareScheduler:
         state has not changed since). The budgets ride down with the
         next epoch's step requests, which the budget-tracking policy
         applies on its next tick, exactly as the serial delivery did."""
+        tracer = obs.tracer()
         for run in self._running.values():
             if run.rebalancer is None:
                 continue
             budgets = [float(b)
                        for b in run.rebalancer.allocate(run.last_rates)]
             run.pending_budgets = dict(zip(run.node_ids, budgets))
+            if tracer.enabled:
+                tracer.instant("scheduler.rebalance",
+                               job_id=run.record.job.job_id,
+                               total_w=sum(budgets),
+                               min_w=min(budgets), max_w=max(budgets))
 
     def _advance_epoch(self) -> None:
         epoch = self.config.epoch
@@ -429,6 +462,8 @@ class PowerAwareScheduler:
             self.violations += 1
             self.events.append(BudgetViolation(
                 time=self.now, power=power, budget=self.config.power_budget))
+            obs.tracer().instant("scheduler.budget_violation", power=power,
+                                 budget=self.config.power_budget)
         self._complete_finished()
 
     def _complete_finished(self) -> None:
@@ -478,6 +513,9 @@ class PowerAwareScheduler:
         self.events.append(JobCompleted(
             time=self.now, job_id=job_id, run_time=record.run_time,
             measured_slowdown=record.measured_slowdown))
+        obs.tracer().instant("scheduler.job_completed", job_id=job_id,
+                             run_time=record.run_time,
+                             measured_slowdown=record.measured_slowdown)
 
     # ------------------------------------------------------------------
 

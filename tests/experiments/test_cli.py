@@ -39,3 +39,59 @@ class TestCli:
     def test_missing_name_without_list_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestObservabilityFlags:
+    def test_trace_metrics_and_manifest_written(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        trace = tmp_path / "run.json"
+        metrics = tmp_path / "metrics.json"
+        manifest = tmp_path / "manifest.json"
+        assert main(["table3", "--seed", "2",
+                     "--trace", str(trace),
+                     "--metrics-out", str(metrics),
+                     "--manifest-out", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert f"-> {trace} (chrome)" in out
+
+        doc = json.loads(trace.read_text())
+        names = [ev["name"] for ev in doc["traceEvents"]]
+        assert "experiment.table3" in names
+        assert json.loads(metrics.read_text())["metrics"] is not None
+
+        m = json.loads(manifest.read_text())
+        assert m["experiment"] == "table3"
+        assert m["config"]["seed"] == 2
+        assert m["trace"]["path"] == str(trace)
+        assert m["wall_time_s"] >= 0
+        # the CLI turns observability off again on the way out
+        assert obs.enabled() is False
+
+    def test_jsonl_trace_extension_selects_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        assert main(["table3", "--trace", str(trace)]) == 0
+        assert f"-> {trace} (jsonl)" in capsys.readouterr().out
+        first = trace.read_text().splitlines()[0]
+        assert json.loads(first)["ph"] in ("X", "i")
+
+    def test_rendered_output_identical_with_tracing(self, tmp_path,
+                                                    capsys):
+        assert main(["table3"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["table3", "--trace", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+
+        def render_block(out):
+            return out[:out.index("regenerated in")]
+
+        assert render_block(traced) == render_block(plain)
+
+    def test_no_cache_activity_prints_no_cache_line(self, capsys):
+        assert main(["table3"]) == 0
+        assert "executor cache:" not in capsys.readouterr().out

@@ -190,3 +190,69 @@ class TestEnviron:
             def cache_dir():
                 return os.environ.get("X")  # repro-lint: disable=determinism
         """) == []
+
+
+class TestObsClockModule:
+    """The audited obs host-clock module is recognized by path, so it
+    needs no per-line suppressions — and nothing else gets the pass."""
+
+    def _ids_at(self, source, path):
+        return [f.rule for f in
+                lint_source(textwrap.dedent(source), path=path)]
+
+    CLOCK_SOURCE = """
+        import time
+
+        def perf_ns():
+            return time.perf_counter_ns()
+
+        def wall_s():
+            return time.time()
+    """
+
+    def test_clock_reads_quiet_in_the_audited_module(self):
+        assert self._ids_at(
+            self.CLOCK_SOURCE, "src/repro/obs/hostclock.py") == []
+
+    def test_path_match_is_a_suffix_match(self):
+        assert self._ids_at(
+            self.CLOCK_SOURCE,
+            "/root/repo/src/repro/obs/hostclock.py") == []
+
+    def test_other_obs_modules_get_no_pass(self):
+        ids = self._ids_at(self.CLOCK_SOURCE, "src/repro/obs/trace.py")
+        assert ids.count("det-wallclock") == 2
+
+    def test_lookalike_path_gets_no_pass(self):
+        ids = self._ids_at(self.CLOCK_SOURCE,
+                           "src/repro/obs/not_hostclock.py")
+        assert ids.count("det-wallclock") == 2
+
+    def test_entropy_still_fires_in_the_audited_module(self):
+        # The audit covers clocks only; host entropy stays forbidden.
+        assert "det-wallclock" in self._ids_at("""
+            import os
+
+            def token():
+                return os.urandom(8)
+        """, "src/repro/obs/hostclock.py")
+
+    def test_datetime_quiet_in_the_audited_module_only(self):
+        source = """
+            from datetime import datetime, timezone
+
+            def stamp(wall):
+                return datetime.fromtimestamp(wall, tz=timezone.utc)
+
+            def now():
+                return datetime.now()
+        """
+        assert self._ids_at(source, "src/repro/obs/hostclock.py") == []
+        assert "det-datetime" in self._ids_at(
+            source, "src/repro/obs/provenance.py")
+
+    def test_shipped_clock_module_needs_no_suppressions(self):
+        import pathlib
+        module = pathlib.Path(__file__).parents[2] / "src" / "repro" \
+            / "obs" / "hostclock.py"
+        assert "repro-lint: disable" not in module.read_text()

@@ -1,0 +1,95 @@
+"""Export tests: Chrome trace-event conversion and format round trips."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    load_trace,
+    to_chrome,
+    write_chrome,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.trace import Tracer
+
+
+def recorded_events():
+    ticks = iter([1000, 4000, 2_000_000])
+    tracer = Tracer(clock=lambda: next(ticks))
+    with tracer.span("work", n=2):
+        pass
+    tracer.instant("hit", index=0)
+    return tracer.events
+
+
+class TestChromeFormat:
+    def test_to_chrome_converts_ns_to_us(self):
+        doc = to_chrome(recorded_events())
+        span, instant = doc["traceEvents"]
+        assert span["ts"] == 1.0 and span["dur"] == 3.0
+        assert instant["ts"] == 2000.0
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_to_chrome_does_not_mutate_the_input(self):
+        events = recorded_events()
+        to_chrome(events)
+        assert events[0]["ts"] == 1000  # still nanoseconds
+
+    def test_written_file_is_valid_trace_event_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome(path, recorded_events())
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        phases = {ev["ph"] for ev in doc["traceEvents"]}
+        assert phases == {"X", "i"}
+        for ev in doc["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(ev)
+
+
+class TestRoundTrips:
+    def test_chrome_round_trip_restores_nanoseconds(self, tmp_path):
+        events = recorded_events()
+        path = tmp_path / "trace.json"
+        assert write_trace(path, events) == "chrome"
+        loaded = load_trace(path)
+        assert [ev["ts"] for ev in loaded] == [ev["ts"] for ev in events]
+        assert loaded[0]["dur"] == events[0]["dur"]
+
+    def test_jsonl_round_trip_is_exact(self, tmp_path):
+        events = recorded_events()
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(path, events) == "jsonl"
+        assert load_trace(path) == events
+
+    def test_single_event_jsonl_is_not_mistaken_for_chrome(self, tmp_path):
+        # A one-line JSONL file is itself valid JSON; the sniffer must
+        # still treat it as JSONL because it has no "traceEvents" key.
+        path = tmp_path / "one.jsonl"
+        write_jsonl(path, recorded_events()[:1])
+        [ev] = load_trace(path)
+        assert ev["ts"] == 1000
+
+    def test_bare_event_array_loads_as_chrome(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(to_chrome(recorded_events())
+                                   ["traceEvents"]))
+        loaded = load_trace(path)
+        assert loaded[0]["ts"] == 1000
+
+    def test_empty_file_loads_as_no_events(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_trace(path) == []
+
+    def test_blank_jsonl_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"ph": "i", "name": "a", "ts": 1}\n\n'
+                        '{"ph": "i", "name": "b", "ts": 2}\n')
+        assert [ev["name"] for ev in load_trace(path)] == ["a", "b"]
+
+    def test_corrupt_line_reports_its_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ph": "i", "name": "a", "ts": 1}\nnot json{\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            load_trace(path)

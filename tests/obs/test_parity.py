@@ -1,0 +1,141 @@
+"""Golden parity: enabling observability never changes a simulated number.
+
+The acceptance bar for the whole layer — traced runs must be
+bit-identical (``==`` on floats, not approx) to untraced runs for the
+cluster lockstep loop, the scheduler, and a figure-4 measurement, in
+both serial and sharded execution.
+"""
+
+import pytest
+
+from repro import obs
+from repro.cluster import ClusterSimulation, UniformPowerPolicy
+from repro.core.model import PowerCapModel
+from repro.experiments import figure4
+from repro.scheduler import (
+    AppPowerProfile,
+    Job,
+    PowerAwareScheduler,
+    PowerBook,
+    SchedulerConfig,
+)
+
+pytestmark = pytest.mark.slow
+
+LAMMPS_RATE = 8.96e5
+LAMMPS_POWER = 65.0
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def run_cluster(shards):
+    sim = ClusterSimulation(2, "lammps", UniformPowerPolicy(180.0),
+                            app_kwargs={"n_workers": 4},
+                            variability=(0.05, 0.08), seed=7,
+                            shards=shards)
+    try:
+        sim.run(4.0, epoch=1.0)
+        return {
+            "times": list(sim.total_progress.times),
+            "total_progress": list(sim.total_progress.values),
+            "critical_path": list(sim.critical_path.values),
+            "budget_history": list(sim.budget_history.values),
+            "total_energy": sim.total_energy,
+            "now": sim.now,
+        }
+    finally:
+        sim.close()
+
+
+def run_scheduler():
+    book = PowerBook(n_workers=4)
+    book.preload(AppPowerProfile(
+        app_name="lammps", beta=1.0, mpo=3e-4, r_max=LAMMPS_RATE,
+        p_uncapped=LAMMPS_POWER,
+        model=PowerCapModel(beta=1.0, r_max=LAMMPS_RATE,
+                            p_coremax=LAMMPS_POWER, alpha=2.0),
+        fit_residual_rms=0.0, probe_caps=(50.0,),
+    ))
+    config = SchedulerConfig(n_slots=2, power_budget=120.0,
+                             policy="backfill", min_cap=45.0,
+                             cap_step=5.0, eco_margin=0.8, n_workers=4,
+                             seed=1)
+    scheduler = PowerAwareScheduler(config, book)
+    for i, tol in enumerate((None, 0.2, 0.25)):
+        scheduler.submit(Job(
+            job_id=f"j{i}", app_name="lammps", n_nodes=1,
+            work_units=2.0 * LAMMPS_RATE, max_slowdown=tol,
+            app_kwargs={"n_steps": 1_000_000}))
+    try:
+        report = scheduler.run()
+    finally:
+        scheduler.close()
+    return {
+        "makespan": report.makespan,
+        "total_energy": report.total_energy,
+        "violations": report.violations,
+        "power": list(report.power.values),
+        "records": [(r.job.job_id, r.start_time, r.end_time, r.cap,
+                     r.measured_slowdown) for r in report.records],
+    }
+
+
+def run_figure4_panel():
+    panel = figure4.run_panel("stream", caps=(110.0, 70.0), repeats=1,
+                              seed=2)
+    return {
+        "r_max": panel.r_max,
+        "p_coremax": panel.p_coremax,
+        "measured": [(m.p_cap, m.delta_mean, m.r_uncapped)
+                     for m in panel.measurements],
+        "predictions": list(panel.predictions),
+        "mape": panel.errors.mape,
+    }
+
+
+def traced(fn, *args):
+    obs.enable()
+    try:
+        result = fn(*args)
+        events = len(obs.tracer())
+    finally:
+        obs.disable()
+    return result, events
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_cluster_traced_equals_untraced(self, shards):
+        untraced = run_cluster(shards)
+        with_trace, events = traced(run_cluster, shards)
+        assert events > 0  # the instrumentation did fire
+        assert with_trace == untraced
+
+    def test_scheduler_traced_equals_untraced(self):
+        untraced = run_scheduler()
+        with_trace, events = traced(run_scheduler)
+        assert events > 0
+        assert with_trace == untraced
+
+    def test_figure4_traced_equals_untraced(self):
+        untraced = run_figure4_panel()
+        with_trace, events = traced(run_figure4_panel)
+        assert events > 0
+        assert with_trace == untraced
+
+    def test_traced_sharded_run_emits_payload_instants(self):
+        obs.enable()
+        try:
+            run_cluster(2)
+            payloads = [ev for ev in obs.tracer().events
+                        if ev["name"] == "shard.payload"]
+            assert payloads, "sharded dispatch must record payload sizes"
+            args = payloads[0]["args"]
+            assert args["bytes_down"] > 0 and args["bytes_up"] > 0
+        finally:
+            obs.disable()

@@ -1,0 +1,89 @@
+"""Session tests: the enable/disable switch and the accessor contract."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with observability disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestSwitch:
+    def test_disabled_by_default_accessors_return_nulls(self):
+        assert obs.enabled() is False
+        assert obs.session() is None
+        assert obs.tracer() is NULL_TRACER
+        assert obs.metrics() is NULL_METRICS
+
+    def test_enable_installs_live_objects(self):
+        session = obs.enable()
+        assert obs.enabled() is True
+        assert obs.session() is session
+        assert isinstance(obs.tracer(), Tracer)
+        assert isinstance(obs.metrics(), MetricsRegistry)
+        assert obs.tracer() is session.tracer
+
+    def test_enable_is_idempotent(self):
+        first = obs.enable()
+        with obs.tracer().span("kept"):
+            pass
+        assert obs.enable() is first  # does not discard recorded events
+        assert len(first.tracer) == 1
+
+    def test_enable_accepts_a_custom_session(self):
+        custom = obs.ObsSession(tracer=Tracer(category="bench"))
+        assert obs.enable(custom) is custom
+        assert obs.tracer().category == "bench"
+
+    def test_disable_reverts_to_nulls(self):
+        obs.enable()
+        obs.disable()
+        assert obs.tracer() is NULL_TRACER
+        assert obs.metrics() is NULL_METRICS
+
+
+class TestSessionOutputs:
+    def test_write_trace_reports_path_format_and_count(self, tmp_path):
+        session = obs.enable()
+        with obs.tracer().span("a"):
+            pass
+        path = tmp_path / "run.json"
+        info = session.write_trace(path)
+        assert info == {"path": str(path), "format": "chrome", "events": 1}
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 1
+
+    def test_write_metrics_json_and_text(self, tmp_path):
+        session = obs.enable()
+        obs.metrics().counter("epochs").inc(4)
+        jpath = tmp_path / "m.json"
+        tpath = tmp_path / "m.txt"
+        session.write_metrics(jpath)
+        session.write_metrics(tpath)
+        assert json.loads(jpath.read_text())["metrics"][0]["value"] == 4
+        assert "epochs 4" in tpath.read_text()
+
+
+class TestDisabledOverhead:
+    def test_disabled_instrumentation_allocates_no_events(self):
+        # The smoke check for the "zero-cost when off" contract: a hot
+        # loop over the disabled accessors touches only the two shared
+        # singletons and records nothing.
+        tracer = obs.tracer()
+        metrics = obs.metrics()
+        for i in range(10_000):
+            with tracer.span("epoch", i=i):
+                tracer.instant("tick", i=i)
+                metrics.counter("epochs").inc()
+        assert tracer is NULL_TRACER
+        assert len(tracer) == 0
+        assert obs.metrics().snapshot() == []

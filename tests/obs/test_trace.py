@@ -1,0 +1,111 @@
+"""Tracer unit tests: span lifecycle, nesting, instants, null objects."""
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Tracer,
+    _NULL_SPAN,
+)
+
+
+def fake_clock(ticks):
+    it = iter(ticks)
+    return lambda: next(it)
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tracer = Tracer(clock=fake_clock([100, 350]))
+        with tracer.span("work", kind="unit"):
+            pass
+        [ev] = tracer.events
+        assert ev["ph"] == "X"
+        assert ev["name"] == "work"
+        assert ev["cat"] == "repro"
+        assert ev["ts"] == 100
+        assert ev["dur"] == 250
+        assert ev["pid"] == 0 and ev["tid"] == 0
+        assert ev["args"] == {"kind": "unit"}
+
+    def test_set_merges_args_mid_span(self):
+        tracer = Tracer(clock=fake_clock([0, 1]))
+        with tracer.span("work", a=1) as span:
+            span.set(b=2)
+        assert tracer.events[0]["args"] == {"a": 1, "b": 2}
+
+    def test_nested_spans_close_inner_first(self):
+        tracer = Tracer(clock=fake_clock([0, 10, 20, 30]))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [ev["name"] for ev in tracer.events]
+        assert names == ["inner", "outer"]
+        inner, outer = tracer.events
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_span_records_even_when_body_raises(self):
+        tracer = Tracer(clock=fake_clock([0, 5]))
+        try:
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(tracer) == 1
+        assert tracer.events[0]["name"] == "fails"
+
+    def test_instant_event_shape(self):
+        tracer = Tracer(clock=fake_clock([42]))
+        tracer.instant("hit", index=3)
+        [ev] = tracer.events
+        assert ev["ph"] == "i"
+        assert ev["ts"] == 42
+        assert ev["s"] == "p"
+        assert ev["args"] == {"index": 3}
+
+    def test_now_ns_reads_the_clock(self):
+        tracer = Tracer(clock=fake_clock([7]))
+        assert tracer.now_ns() == 7
+
+    def test_clear_and_len(self):
+        tracer = Tracer(clock=fake_clock([0, 1, 2]))
+        with tracer.span("a"):
+            pass
+        tracer.instant("b")
+        assert len(tracer) == 2
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.events == []
+
+    def test_category_and_pid_are_configurable(self):
+        tracer = Tracer(category="bench", pid=7, clock=fake_clock([0, 1]))
+        with tracer.span("a"):
+            pass
+        assert tracer.events[0]["cat"] == "bench"
+        assert tracer.events[0]["pid"] == 7
+
+
+class TestNullObjects:
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer(clock=fake_clock([])).enabled is True
+
+    def test_null_span_is_one_shared_instance(self):
+        # The zero-cost contract: the disabled path allocates nothing.
+        a = NULL_TRACER.span("a", x=1)
+        b = NULL_TRACER.span("b")
+        assert a is b is _NULL_SPAN
+        assert isinstance(a, NullSpan)
+
+    def test_null_span_supports_the_span_protocol(self):
+        with NULL_TRACER.span("a") as span:
+            assert span.set(x=1) is span
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("a"):
+            tracer.instant("b")
+        assert len(tracer) == 0
+        assert tracer.events == []
+        assert tracer.now_ns() == 0
+        tracer.clear()  # no-op, must not raise
