@@ -1,0 +1,67 @@
+"""repro.daemon — the simulation as a long-running service.
+
+The paper's Node Resource Manager is not a batch library: it is a
+long-lived daemon that applications connect to over ZeroMQ, submitting
+work and streaming progress reports the power-capping logic consumes
+asynchronously (Ramesh et al., IPDPS 2019). This package is that
+batch-to-service transition for the reproduction: a :class:`Daemon`
+event loop owns one shared simulated cluster
+(:class:`~repro.scheduler.scheduler.PowerAwareScheduler` over
+:mod:`repro.cluster`), admits and queues submissions from many
+concurrent clients, and fans progress telemetry out to subscribers.
+
+Layering — each module owns one concern:
+
+* :mod:`repro.daemon.protocol` — the versioned, line-delimited JSON
+  wire format: ``*Request`` / ``*Reply`` / ``*Telemetry`` dataclasses
+  and their codec;
+* :mod:`repro.daemon.service` — the :class:`Daemon` core: thread-safe
+  admission (bounded, FIFO per priority), the deterministic tick loop,
+  telemetry fan-out over :mod:`repro.telemetry.pubsub` (HWM drops,
+  slow-joiner loss, modelled latency — the paper's ZeroMQ transport
+  semantics), and periodic checkpoints;
+* :mod:`repro.daemon.server` — real sockets (Unix-domain or TCP): one
+  reader thread per client, a driver loop pacing simulated epochs
+  against wall time;
+* :mod:`repro.daemon.client` — the ``upctl``-style client library and
+  CLI (``python -m repro.daemon.client run/status/list/kill/watch``);
+* :mod:`repro.daemon.checkpointing` — crash-resumable persistence
+  (``--resume`` picks a run up from the last periodic checkpoint);
+* :mod:`repro.daemon.hostio` — the package's *only* wall-clock reads,
+  audited by the determinism lint;
+* :mod:`repro.daemon.profiles` — the offline-measured demo power book
+  for socket smoke tests that cannot afford live characterization.
+
+Determinism: everything under :class:`Daemon` is keyed off the
+simulation clock and the seeds — replaying the same sequence of
+admitted commands per tick reproduces the identical event trace and
+telemetry stream, bit for bit. Wall time exists only *outside* the
+core: the server decides when ticks happen, never what they compute.
+
+Start a daemon with ``python -m repro.daemon --socket /tmp/repro.sock``
+and talk to it with ``python -m repro.daemon.client --socket
+/tmp/repro.sock run lammps --nodes 2 --seconds 3``.
+"""
+
+from repro.daemon.checkpointing import (
+    DaemonCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.daemon.client import DaemonClient
+from repro.daemon.protocol import PROTOCOL_VERSION, decode, encode
+from repro.daemon.server import DaemonServer
+from repro.daemon.service import Daemon, DaemonConfig
+
+__all__ = [
+    "Daemon",
+    "DaemonConfig",
+    "DaemonServer",
+    "DaemonClient",
+    "DaemonCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "PROTOCOL_VERSION",
+    "encode",
+    "decode",
+]

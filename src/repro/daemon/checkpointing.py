@@ -1,0 +1,153 @@
+"""Crash-resumable persistence for the daemon.
+
+A long-running service must survive its host: the daemon periodically
+(every ``checkpoint_every`` epochs, and on clean shutdown) pickles a
+:class:`DaemonCheckpoint` — its config, admission bookkeeping, the
+power book's measured profiles, and a full mid-run
+:meth:`~repro.scheduler.scheduler.PowerAwareScheduler.snapshot`
+(which itself carries a :class:`~repro.stack.checkpoint.NodeCheckpoint`
+for every running node). :func:`resume_daemon` rebuilds the whole
+service from that file and continues *bit-for-bit*: same placements,
+same caps, same telemetry values.
+
+What is deliberately **not** persisted:
+
+* watch subscriptions — they are connection-scoped; clients reconnect
+  and re-enter as slow joiners, exactly as after any disconnect;
+* the telemetry bus's loss-process state — a resumed daemon restarts
+  the drop RNG from its seed. Simulation results never depend on the
+  bus (it is observe-only), so this cannot affect parity.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-write
+leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+
+from repro.daemon import protocol as proto
+from repro.exceptions import CheckpointError
+from repro.hardware.config import NodeConfig
+from repro.scheduler.powerbook import AppPowerProfile, PowerBook
+
+__all__ = ["DaemonCheckpoint", "save_checkpoint", "load_checkpoint",
+           "resume_daemon"]
+
+#: Schema version of :class:`DaemonCheckpoint`; bump on layout change.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DaemonCheckpoint:
+    """Everything needed to rebuild a daemon mid-run.
+
+    ``meta`` holds one entry per submission the daemon ever accepted:
+    ``{"seq", "priority", "request": RunRequest, "buffered",
+    "killed"}`` — submissions still buffered at checkpoint time are
+    re-admitted on the resumed daemon's first tick.
+    """
+
+    version: int
+    protocol: int
+    config: object                 #: the DaemonConfig (picklable frozen dc)
+    epochs: int
+    ticks: int
+    seq: int
+    meta: list = field(default_factory=list)
+    progress: dict = field(default_factory=dict)
+    book_profiles: dict = field(default_factory=dict)
+    book_n_workers: int = 8
+    book_seed: int = 0
+    scheduler: dict = field(default_factory=dict)
+
+
+def save_checkpoint(daemon, path: str) -> str:
+    """Atomically write ``daemon``'s state to ``path``; returns it."""
+    meta = [{
+        "seq": m.seq,
+        "priority": m.priority,
+        "request": m.request,
+        "buffered": m.buffered,
+        "killed": m.killed,
+    } for m in sorted(daemon._meta.values(), key=lambda m: m.seq)]
+    checkpoint = DaemonCheckpoint(
+        version=CHECKPOINT_VERSION,
+        protocol=proto.PROTOCOL_VERSION,
+        config=daemon.config,
+        epochs=daemon.epochs,
+        ticks=daemon.ticks,
+        seq=daemon._seq,
+        meta=meta,
+        progress=dict(daemon._progress),
+        book_profiles=dict(daemon.book._profiles),
+        book_n_workers=daemon.book.n_workers,
+        book_seed=daemon.book.seed,
+        scheduler=daemon.scheduler.snapshot(),
+    )
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(checkpoint, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path: str) -> DaemonCheckpoint:
+    """Read and validate a checkpoint file."""
+    try:
+        with open(path, "rb") as fh:
+            checkpoint = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise CheckpointError(
+            f"cannot read daemon checkpoint {path!r}: {exc}") from exc
+    if not isinstance(checkpoint, DaemonCheckpoint):
+        raise CheckpointError(
+            f"{path!r} does not hold a DaemonCheckpoint "
+            f"(got {type(checkpoint).__name__})")
+    if checkpoint.version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"daemon checkpoint {path!r} has schema version "
+            f"{checkpoint.version}; this build reads "
+            f"{CHECKPOINT_VERSION}")
+    return checkpoint
+
+
+def resume_daemon(source, cfg: NodeConfig | None = None):
+    """Rebuild a live :class:`~repro.daemon.service.Daemon` from a
+    checkpoint (a path or a loaded :class:`DaemonCheckpoint`).
+
+    The resumed daemon continues exactly where the checkpointed one
+    stopped: running nodes are reinstalled from their node checkpoints,
+    queued and still-buffered jobs keep their admission order, and the
+    power book keeps its measured profiles (no re-characterization).
+    """
+    from repro.daemon.service import Daemon, _Admitted
+
+    checkpoint = source if isinstance(source, DaemonCheckpoint) \
+        else load_checkpoint(source)
+    book = PowerBook(cfg, n_workers=checkpoint.book_n_workers,
+                     seed=checkpoint.book_seed)
+    for profile in checkpoint.book_profiles.values():
+        if not isinstance(profile, AppPowerProfile):
+            raise CheckpointError(
+                f"checkpoint power book holds a "
+                f"{type(profile).__name__}, not an AppPowerProfile")
+        book.preload(profile)
+    daemon = Daemon(checkpoint.config, book, cfg)
+    daemon.scheduler.restore(checkpoint.scheduler)
+    daemon.clock.advance_to(daemon.scheduler.now)
+    daemon.epochs = checkpoint.epochs
+    daemon.ticks = checkpoint.ticks
+    daemon._seq = checkpoint.seq
+    daemon._progress.update(checkpoint.progress)
+    for entry in checkpoint.meta:
+        meta = _Admitted(entry["seq"], entry["priority"],
+                         entry["request"])
+        meta.buffered = entry["buffered"]
+        meta.killed = entry["killed"]
+        daemon._meta[entry["request"].job_id] = meta
+        if meta.buffered:
+            daemon._buffer.append(meta)
+    return daemon

@@ -1,0 +1,47 @@
+"""Offline-measured demo power book for daemon smoke runs.
+
+A live :class:`~repro.scheduler.powerbook.PowerBook` characterizes each
+application on first submission — two DVFS-pinned runs plus capped
+probe runs, tens of simulated minutes of cluster time. That is the
+right default for experiments, but a socket smoke test (CI's
+daemon-smoke job, the README quick start) only wants the service
+plumbing exercised, not the measurement protocol.
+
+:func:`demo_book` returns a book preloaded with the lammps profile
+those runs produce on the exact engine with the calibrated Skylake
+node — the same constants the scheduler test fixtures pin
+(``r_max = 8.96e5`` units/s, ``p_uncapped = 65.0`` W) — so a demo
+daemon admits ``lammps`` jobs instantly and every cap decision still
+goes through the real model. Submitting any *other* application falls
+through to live characterization as usual.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import PowerCapModel
+from repro.scheduler.powerbook import AppPowerProfile, PowerBook
+
+__all__ = ["DEMO_LAMMPS_RATE", "DEMO_LAMMPS_POWER", "demo_book"]
+
+#: Steady uncapped lammps progress rate on the calibrated Skylake node
+#: (units/s), as measured by the characterization protocol.
+DEMO_LAMMPS_RATE = 8.96e5
+#: Steady uncapped lammps package power on the same node (W).
+DEMO_LAMMPS_POWER = 65.0
+
+
+def demo_book(*, n_workers: int = 4, seed: int = 0) -> PowerBook:
+    """A power book with lammps preloaded from offline measurements."""
+    book = PowerBook(n_workers=n_workers, seed=seed)
+    book.preload(AppPowerProfile(
+        app_name="lammps",
+        beta=1.0,
+        mpo=3e-4,
+        r_max=DEMO_LAMMPS_RATE,
+        p_uncapped=DEMO_LAMMPS_POWER,
+        model=PowerCapModel(beta=1.0, r_max=DEMO_LAMMPS_RATE,
+                            p_coremax=DEMO_LAMMPS_POWER, alpha=2.0),
+        fit_residual_rms=0.0,
+        probe_caps=(50.0,),
+    ))
+    return book

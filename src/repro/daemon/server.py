@@ -1,0 +1,279 @@
+"""Socket front-end: the daemon on a Unix-domain or TCP endpoint.
+
+:class:`DaemonServer` puts a :class:`~repro.daemon.service.Daemon` on
+a real socket. One acceptor thread hands each client to its own reader
+thread; requests are decoded off the line-delimited JSON wire
+(:mod:`repro.daemon.protocol`), served through :meth:`Daemon.handle`
+(which serializes them under the daemon lock), and answered on the
+same connection. ``watch`` subscriptions additionally receive pushed
+telemetry frames after every tick.
+
+Two driving modes:
+
+* **paced** — the server thread owns an
+  :class:`~repro.runtime.pacing.EpochPacer` and converts elapsed wall
+  time (read through the audited :mod:`repro.daemon.hostio` module)
+  into simulated epochs, so the simulation advances in real time while
+  clients come and go;
+* **manual** (``pacer=None``) — simulated time moves only when a
+  client sends ``tick``. This is the deterministic mode the e2e tests
+  replay command logs under.
+
+Either way, *what* an epoch computes never depends on wall time — the
+pacer only decides how many epochs to run (see
+:mod:`repro.runtime.pacing`).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+from repro import obs
+from repro.daemon import hostio
+from repro.daemon import protocol as proto
+from repro.daemon.service import Daemon
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.runtime.pacing import EpochPacer
+
+__all__ = ["DaemonServer"]
+
+
+class _ClientConn:
+    """One accepted connection: its socket, a write lock (replies and
+    pushed telemetry frames interleave from different threads), and the
+    watch subscriptions it owns."""
+
+    __slots__ = ("name", "sock", "wlock", "watch_ids")
+
+    def __init__(self, name: str, sock: socket.socket) -> None:
+        self.name = name
+        self.sock = sock
+        self.wlock = threading.Lock()
+        self.watch_ids: set[str] = set()
+
+
+class DaemonServer:
+    """Serve one :class:`Daemon` over a socket until shutdown.
+
+    Parameters
+    ----------
+    daemon:
+        The service core to expose.
+    socket_path:
+        Unix-domain socket path; mutually exclusive with ``tcp``.
+    tcp:
+        ``(host, port)``; port 0 binds an ephemeral port (read the
+        result from :attr:`address`).
+    pacer:
+        Wall-clock pacing, or None for manual (tick-by-request) mode.
+    tick_wall:
+        Paced mode's driver-loop sleep between pacer polls (wall
+        seconds).
+    """
+
+    def __init__(self, daemon: Daemon, *, socket_path: str | None = None,
+                 tcp: tuple[str, int] | None = None,
+                 pacer: EpochPacer | None = None,
+                 tick_wall: float = 0.05) -> None:
+        if (socket_path is None) == (tcp is None):
+            raise ConfigurationError(
+                "exactly one of socket_path/tcp must be given")
+        if tick_wall <= 0:
+            raise ConfigurationError(
+                f"tick_wall must be positive, got {tick_wall}")
+        self.daemon = daemon
+        self.socket_path = socket_path
+        self.tcp = tcp
+        self.pacer = pacer
+        self.tick_wall = tick_wall
+        self.address: str = ""
+        self._listener: socket.socket | None = None
+        self._conns: dict[int, _ClientConn] = {}
+        self._conns_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._next_client = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def bind(self) -> str:
+        """Create and bind the listening socket; returns the address."""
+        if self.socket_path is not None:
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                listener.bind(self.socket_path)
+            except OSError:
+                # a previous daemon's stale socket file: claim the path
+                # if nobody is listening, else re-raise
+                if self._path_is_live():
+                    listener.close()
+                    raise
+                os.unlink(self.socket_path)
+                listener.bind(self.socket_path)
+            self.address = self.socket_path
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(self.tcp)
+            host, port = listener.getsockname()[:2]
+            self.address = f"{host}:{port}"
+        listener.listen()
+        listener.settimeout(0.1)  # so the acceptor notices shutdown
+        self._listener = listener
+        return self.address
+
+    def _path_is_live(self) -> bool:
+        """Is some daemon actually listening on ``socket_path``?"""
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.connect(self.socket_path)
+        except OSError:
+            return False
+        finally:
+            probe.close()
+        return True
+
+    def serve_forever(self) -> None:
+        """Bind (if needed), accept clients, and drive ticks until a
+        ``shutdown`` request arrives. Blocks the calling thread."""
+        if self._listener is None:
+            self.bind()
+        acceptor = threading.Thread(target=self._accept_loop,
+                                    name="daemon-accept", daemon=True)
+        acceptor.start()
+        try:
+            self._drive()
+        finally:
+            self._stop.set()
+            acceptor.join(timeout=2.0)
+            self._teardown()
+
+    def shutdown(self) -> None:
+        """Stop the server from another thread."""
+        self._stop.set()
+
+    def _drive(self) -> None:
+        """Paced mode: convert wall time to epochs; manual mode: just
+        flush telemetry produced by client-driven ticks."""
+        last = hostio.monotonic_s()
+        while not self._stop.is_set():
+            hostio.sleep(self.tick_wall)
+            if self.pacer is not None:
+                now = hostio.monotonic_s()
+                due = self.pacer.epochs_due(now - last)
+                last = now
+                if due:
+                    self.daemon.tick(due)
+            self._flush_watchers()
+
+    def _teardown(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        with self._conns_lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.sock.close()
+
+    # ------------------------------------------------------------------
+    # Client handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._conns_lock:
+                cid = self._next_client
+                self._next_client += 1
+                conn = _ClientConn(f"client-{cid}", sock)
+                self._conns[cid] = conn
+            threading.Thread(target=self._client_loop, args=(cid, conn),
+                             name=f"daemon-{conn.name}",
+                             daemon=True).start()
+
+    def _client_loop(self, cid: int, conn: _ClientConn) -> None:
+        try:
+            with conn.sock.makefile("rb") as reader:
+                for line in reader:
+                    if not line.strip():
+                        continue
+                    if not self._serve_line(conn, line):
+                        break
+        except OSError:
+            pass
+        finally:
+            self._drop_client(cid, conn)
+
+    def _serve_line(self, conn: _ClientConn, line: bytes) -> bool:
+        """Serve one request line; False ends the connection's loop
+        (after a shutdown request took the whole server down)."""
+        try:
+            request = proto.decode(line)
+        except ProtocolError as exc:
+            self._send(conn, proto.ErrorReply(code="protocol",
+                                              message=str(exc)))
+            return True
+        reply = self.daemon.handle(request)
+        if isinstance(request, proto.WatchRequest) and \
+                isinstance(reply, proto.WatchReply):
+            conn.watch_ids.add(reply.watch_id)
+        self._send(conn, reply)
+        if isinstance(request, proto.TickRequest):
+            # a manual tick produced telemetry; push it out now rather
+            # than waiting for the driver loop's next pass
+            self._flush_watchers()
+        if isinstance(request, proto.ShutdownRequest):
+            self._stop.set()
+            return False
+        return True
+
+    def _drop_client(self, cid: int, conn: _ClientConn) -> None:
+        for watch_id in conn.watch_ids:
+            self.daemon.detach_watch(watch_id)
+        with self._conns_lock:
+            self._conns.pop(cid, None)
+        conn.sock.close()
+
+    # ------------------------------------------------------------------
+    # Telemetry push
+    # ------------------------------------------------------------------
+
+    def _flush_watchers(self) -> None:
+        with self._conns_lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            for watch_id in list(conn.watch_ids):
+                for frame in self.daemon.drain_watch(watch_id):
+                    self._send(conn, frame)
+
+    def _send(self, conn: _ClientConn, message: object) -> None:
+        try:
+            data = proto.encode(message)
+        except ProtocolError as exc:
+            data = proto.encode(proto.ErrorReply(code="internal",
+                                                 message=str(exc)))
+        try:
+            with conn.wlock:
+                conn.sock.sendall(data)
+        except OSError:
+            return  # reader thread will observe the close and clean up
+        obs.metrics().counter("daemon.client_bytes_out",
+                              client=conn.name).inc(len(data))

@@ -1,0 +1,561 @@
+"""The daemon core: one shared cluster behind a request interface.
+
+:class:`Daemon` is the transport-free heart of the service. It owns a
+:class:`~repro.scheduler.scheduler.PowerAwareScheduler`, a bounded
+thread-safe admission buffer in front of it, and a
+:class:`~repro.telemetry.pubsub.MessageBus` that progress telemetry
+fans out over. The socket layer (:mod:`repro.daemon.server`) and the
+tests drive it the same way:
+
+* :meth:`handle` — serve one protocol request, return exactly one
+  reply. Safe to call from many client threads at once; every request
+  runs under the daemon lock.
+* :meth:`tick` — drain the admission buffer into the scheduler and
+  advance up to ``max_epochs`` simulated epochs. *Only* tick moves
+  simulated time; requests between ticks see a frozen simulation.
+* :meth:`drain_watch` — collect the telemetry frames owed to one
+  ``watch`` subscription (bus messages whose modelled delivery time
+  has arrived, plus the reliable lifecycle-event side channel).
+
+Determinism: the daemon's observable behaviour is a pure function of
+its config, the power book, and the *sequence* of admitted commands
+between ticks. Wall time never enters — the server decides when ticks
+happen, never what they compute — so a manual-tick replay of the same
+command log reproduces the identical event trace and telemetry stream,
+bit for bit (the e2e suite holds a daemon run to byte-equality with
+the equivalent batch :meth:`PowerAwareScheduler.run`).
+
+Admission is FIFO per priority: the buffer drains in
+``(-priority, seq)`` order, where ``seq`` is assigned under the lock
+at admission, so equal-priority jobs enter the scheduler queue exactly
+in arrival order no matter how many client threads race.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro import obs
+from repro.daemon import protocol as proto
+from repro.exceptions import ConfigurationError, ReproError
+from repro.hardware.config import NodeConfig
+from repro.scheduler.events import SchedulerEvent
+from repro.scheduler.job import Job, JobState
+from repro.scheduler.powerbook import PowerBook
+from repro.scheduler.scheduler import PowerAwareScheduler, SchedulerConfig
+from repro.runtime.clock import SimClock
+from repro.telemetry.pubsub import MessageBus
+
+__all__ = ["DaemonConfig", "Daemon"]
+
+#: Reliable event outboxes are bounded too (a detached watcher must not
+#: grow without limit); beyond this the oldest events are discarded.
+_EVENT_OUTBOX_CAP = 10_000
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Static parameters of one daemon instance.
+
+    Attributes
+    ----------
+    scheduler:
+        The shared cluster's :class:`SchedulerConfig`.
+    queue_capacity:
+        Jobs that may wait (admission buffer + scheduler queue) before
+        new submissions are rejected with a ``queue-full`` error.
+    checkpoint_every:
+        Simulated epochs between periodic checkpoints; 0 disables.
+    checkpoint_path:
+        Where periodic (and shutdown) checkpoints are written.
+    telemetry_delay:
+        Modelled bus delivery latency in *simulated* seconds — frames
+        published at epoch *t* become receivable at ``t + delay``.
+    telemetry_drop:
+        Seeded per-message loss probability on the bus.
+    telemetry_seed:
+        Seed of the loss process.
+    default_hwm:
+        Subscriber queue bound when a ``watch`` does not choose one.
+    """
+
+    scheduler: SchedulerConfig
+    queue_capacity: int = 64
+    checkpoint_every: int = 0
+    checkpoint_path: str | None = None
+    telemetry_delay: float = 0.0
+    telemetry_drop: float = 0.0
+    telemetry_seed: int = 0
+    default_hwm: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got "
+                f"{self.checkpoint_every}")
+        if self.checkpoint_every and not self.checkpoint_path:
+            raise ConfigurationError(
+                "checkpoint_every > 0 requires a checkpoint_path")
+        if self.default_hwm < 1:
+            raise ConfigurationError(
+                f"default_hwm must be >= 1, got {self.default_hwm}")
+
+
+class _Admitted:
+    """Daemon-side lifetime record of one submission."""
+
+    __slots__ = ("seq", "priority", "request", "buffered", "killed")
+
+    def __init__(self, seq: int, priority: int,
+                 request: proto.RunRequest) -> None:
+        self.seq = seq
+        self.priority = priority
+        self.request = request
+        self.buffered = True   #: still in the admission buffer
+        self.killed = False    #: killed *while* buffered (no record)
+
+
+class _Watcher:
+    """One named ``watch`` subscription (outlives its connection)."""
+
+    __slots__ = ("watch_id", "sub", "want_events", "events",
+                 "events_lost", "attached")
+
+    def __init__(self, watch_id: str, sub, want_events: bool) -> None:
+        self.watch_id = watch_id
+        self.sub = sub
+        self.want_events = want_events
+        self.events: deque = deque()
+        self.events_lost = 0
+        self.attached = True
+
+
+class Daemon:
+    """Thread-safe service front of one power-aware simulated cluster.
+
+    Parameters
+    ----------
+    config:
+        Daemon parameters (wrapping the scheduler's).
+    powerbook:
+        Shared application profiles; preload
+        (:func:`repro.daemon.profiles.demo_book`) to skip live
+        characterization on first submission.
+    cfg:
+        Baseline slot hardware configuration.
+    """
+
+    def __init__(self, config: DaemonConfig, powerbook: PowerBook,
+                 cfg: NodeConfig | None = None) -> None:
+        self.config = config
+        self.book = powerbook
+        self.scheduler = PowerAwareScheduler(config.scheduler, powerbook,
+                                             cfg)
+        # The bus lives in simulated time: this clock mirrors the
+        # scheduler's `now` so stamps, delays, and drops stay inside
+        # the deterministic core.
+        self.clock = SimClock()
+        self.bus = MessageBus(self.clock, delay=config.telemetry_delay,
+                              drop_prob=config.telemetry_drop,
+                              seed=config.telemetry_seed)
+        self._pub = self.bus.pub_socket()
+        self._lock = threading.RLock()
+        self._buffer: list[_Admitted] = []
+        self._meta: dict[str, _Admitted] = {}
+        self._progress: dict[str, float] = {}
+        self._watchers: dict[str, _Watcher] = {}
+        self._seq = 0
+        self.epochs = 0          #: scheduler steps taken over the lifetime
+        self.ticks = 0
+        self._shutdown = False
+        self.scheduler.add_listener(self._on_event)
+        self.scheduler.add_epoch_listener(self._on_epoch)
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, request: object) -> object:
+        """Serve one protocol request; always returns one reply
+        (failures become typed :class:`~repro.daemon.protocol.
+        ErrorReply`\\ s, never exceptions — the transport must stay
+        up)."""
+        with self._lock:
+            try:
+                if isinstance(request, proto.RunRequest):
+                    return self._handle_run(request)
+                if isinstance(request, proto.StatusRequest):
+                    return self._handle_status(request)
+                if isinstance(request, proto.ListRequest):
+                    return self._handle_list()
+                if isinstance(request, proto.KillRequest):
+                    return self._handle_kill(request)
+                if isinstance(request, proto.WatchRequest):
+                    return self._handle_watch(request)
+                if isinstance(request, proto.TickRequest):
+                    return self._handle_tick(request)
+                if isinstance(request, proto.InfoRequest):
+                    return self._handle_info()
+                if isinstance(request, proto.ShutdownRequest):
+                    return self._handle_shutdown()
+                return proto.ErrorReply(
+                    code="bad-request",
+                    message=f"{type(request).__name__} is not a request")
+            except ReproError as exc:
+                return proto.ErrorReply(code="internal", message=str(exc))
+
+    def _reject(self, code: str, message: str) -> proto.ErrorReply:
+        obs.metrics().counter("daemon.rejected", code=code).inc()
+        return proto.ErrorReply(code=code, message=message)
+
+    def _handle_run(self, req: proto.RunRequest) -> object:
+        if self._shutdown:
+            return self._reject("bad-request", "daemon is shutting down")
+        if req.job_id in self._meta:
+            return self._reject(
+                "duplicate-job", f"job {req.job_id!r} was already "
+                "submitted to this daemon")
+        waiting = len(self._buffer) + len(self.scheduler.queue)
+        if waiting >= self.config.queue_capacity:
+            return self._reject(
+                "queue-full",
+                f"{waiting} jobs already waiting "
+                f"(capacity {self.config.queue_capacity})")
+        try:
+            job = self._job_from(req, submit_time=self.scheduler.now)
+        except (ConfigurationError, TypeError) as exc:
+            return self._reject("bad-request", str(exc))
+        try:
+            ok, reason = self.scheduler.admissible(job)
+        except ReproError as exc:
+            return self._reject(
+                "unknown-app",
+                f"cannot characterize {req.app_name!r}: {exc}")
+        if not ok:
+            return self._reject("inadmissible", reason)
+        entry = _Admitted(self._seq, req.priority, req)
+        self._seq += 1
+        self._buffer.append(entry)
+        self._meta[req.job_id] = entry
+        metrics = obs.metrics()
+        metrics.counter("daemon.admitted").inc()
+        metrics.gauge("daemon.queue_depth").set(len(self._buffer))
+        obs.tracer().instant("daemon.admit", job_id=req.job_id,
+                             seq=entry.seq, priority=req.priority)
+        return proto.RunReply(job_id=req.job_id, seq=entry.seq,
+                              state=JobState.PENDING.value)
+
+    def _job_from(self, req: proto.RunRequest,
+                  submit_time: float) -> Job:
+        return Job(
+            job_id=req.job_id,
+            app_name=req.app_name,
+            n_nodes=req.n_nodes,
+            work_units=req.work_units,
+            submit_time=submit_time,
+            max_slowdown=req.max_slowdown,
+            app_kwargs=dict(req.app_kwargs) if req.app_kwargs else None,
+        )
+
+    def _handle_status(self, req: proto.StatusRequest) -> object:
+        meta = self._meta.get(req.job_id)
+        if meta is None:
+            return self._reject("unknown-job",
+                                f"unknown job {req.job_id!r}")
+        r = meta.request
+        if meta.buffered or meta.killed:
+            state = (JobState.KILLED if meta.killed
+                     else JobState.PENDING).value
+            return proto.StatusReply(
+                job_id=r.job_id, state=state, n_nodes=r.n_nodes,
+                work_units=r.work_units, progress=0.0, submit_time=None,
+                start_time=None, end_time=None, cap=None,
+                measured_slowdown=None)
+        record = self.scheduler.records[req.job_id]
+        if record.state is JobState.COMPLETED:
+            progress = record.job.work_units
+        else:
+            progress = self._progress.get(req.job_id, 0.0)
+        return proto.StatusReply(
+            job_id=r.job_id, state=record.state.value,
+            n_nodes=r.n_nodes, work_units=record.job.work_units,
+            progress=progress, submit_time=record.job.submit_time,
+            start_time=_finite(record.start_time),
+            end_time=_finite(record.end_time),
+            cap=record.cap,
+            measured_slowdown=_finite(record.measured_slowdown))
+
+    def _handle_list(self) -> proto.ListReply:
+        jobs = []
+        for meta in sorted(self._meta.values(), key=lambda m: m.seq):
+            if meta.buffered or meta.killed:
+                state = (JobState.KILLED if meta.killed
+                         else JobState.PENDING).value
+            else:
+                state = self.scheduler.records[
+                    meta.request.job_id].state.value
+            jobs.append({
+                "job_id": meta.request.job_id,
+                "state": state,
+                "app_name": meta.request.app_name,
+                "n_nodes": meta.request.n_nodes,
+                "priority": meta.priority,
+                "seq": meta.seq,
+            })
+        return proto.ListReply(now=self.scheduler.now, jobs=jobs)
+
+    def _handle_kill(self, req: proto.KillRequest) -> object:
+        meta = self._meta.get(req.job_id)
+        if meta is None:
+            return self._reject("unknown-job",
+                                f"unknown job {req.job_id!r}")
+        if meta.buffered:
+            self._buffer.remove(meta)
+            meta.buffered = False
+            meta.killed = True
+            obs.metrics().gauge("daemon.queue_depth").set(
+                len(self._buffer))
+            return proto.KillReply(job_id=req.job_id, was_running=False)
+        if meta.killed:
+            return self._reject("not-active",
+                                f"job {req.job_id!r} is already killed")
+        record = self.scheduler.records[req.job_id]
+        if record.state in (JobState.COMPLETED, JobState.KILLED):
+            return self._reject(
+                "not-active",
+                f"job {req.job_id!r} is already {record.state.value}")
+        was_running = record.state is JobState.RUNNING
+        self.scheduler.cancel(req.job_id)
+        return proto.KillReply(job_id=req.job_id, was_running=was_running)
+
+    def _handle_watch(self, req: proto.WatchRequest) -> object:
+        watcher = self._watchers.get(req.watch_id)
+        if watcher is not None:
+            if watcher.attached:
+                return self._reject(
+                    "bad-request",
+                    f"watch id {req.watch_id!r} is already attached")
+            # Reconnect: ZeroMQ slow-joiner semantics — the stream
+            # restarts fresh, only the reliable event backlog survives.
+            watcher.sub.resubscribe()
+            watcher.attached = True
+            return proto.WatchReply(watch_id=req.watch_id, resumed=True)
+        try:
+            sub = self.bus.sub_socket(
+                req.topic, hwm=req.hwm or self.config.default_hwm)
+        except ConfigurationError as exc:
+            return self._reject("bad-request", str(exc))
+        self._watchers[req.watch_id] = _Watcher(req.watch_id, sub,
+                                                req.events)
+        return proto.WatchReply(watch_id=req.watch_id, resumed=False)
+
+    def _handle_tick(self, req: proto.TickRequest) -> object:
+        if req.epochs < 1:
+            return self._reject("bad-request",
+                                f"epochs must be >= 1, got {req.epochs}")
+        epochs = self.tick(req.epochs)
+        return proto.TickReply(
+            now=self.scheduler.now, epochs=epochs,
+            running=self.scheduler.n_running,
+            queued=len(self._buffer) + len(self.scheduler.queue))
+
+    def _handle_info(self) -> proto.InfoReply:
+        states = [JobState.COMPLETED, JobState.KILLED]
+        counts = {state: 0 for state in states}
+        for record in self.scheduler.records.values():
+            if record.state in counts:
+                counts[record.state] += 1
+        killed_buffered = sum(1 for m in self._meta.values() if m.killed)
+        return proto.InfoReply(
+            protocol=proto.PROTOCOL_VERSION,
+            now=self.scheduler.now,
+            epochs=self.epochs,
+            n_slots=self.config.scheduler.n_slots,
+            power_budget=self.config.scheduler.power_budget,
+            policy=self.config.scheduler.policy,
+            queued=len(self._buffer) + len(self.scheduler.queue),
+            running=self.scheduler.n_running,
+            completed=counts[JobState.COMPLETED],
+            killed=counts[JobState.KILLED] + killed_buffered)
+
+    def _handle_shutdown(self) -> proto.ShutdownReply:
+        self._shutdown = True
+        checkpointed = False
+        if self.config.checkpoint_path:
+            self.checkpoint()
+            checkpointed = True
+        return proto.ShutdownReply(checkpointed=checkpointed)
+
+    # ------------------------------------------------------------------
+    # The tick loop
+    # ------------------------------------------------------------------
+
+    def tick(self, max_epochs: int = 1) -> int:
+        """Admit buffered jobs, then advance up to ``max_epochs``
+        scheduler steps. Returns the steps actually taken (0 when the
+        cluster is idle — an idle daemon's simulated time stands
+        still). This is the only method that moves simulated time."""
+        with self._lock:
+            with obs.tracer().span("daemon.tick",
+                                   buffered=len(self._buffer),
+                                   max_epochs=max_epochs):
+                self._admit_buffered()
+                taken = 0
+                while taken < max_epochs:
+                    if not self.scheduler.step():
+                        if self.scheduler.now > self.clock.now:
+                            # idle-hop moved time with no epoch results
+                            self.clock.advance_to(self.scheduler.now)
+                        break
+                    taken += 1
+                    self.epochs += 1
+                    if self.scheduler.now > self.clock.now:
+                        self.clock.advance_to(self.scheduler.now)
+                    every = self.config.checkpoint_every
+                    if every and self.epochs % every == 0:
+                        self.checkpoint()
+            self.ticks += 1
+            dropped = self.bus.dropped + sum(
+                w.sub.overflowed for w in self._watchers.values())
+            obs.metrics().gauge("daemon.telemetry_dropped").set(dropped)
+            return taken
+
+    def _admit_buffered(self) -> None:
+        """Move buffered submissions into the scheduler queue, highest
+        priority first, FIFO within a priority (seq assigned under the
+        admission lock breaks ties deterministically)."""
+        if not self._buffer:
+            return
+        self._buffer.sort(key=lambda m: (-m.priority, m.seq))
+        for meta in self._buffer:
+            self.scheduler.submit(
+                self._job_from(meta.request,
+                               submit_time=self.scheduler.now))
+            meta.buffered = False
+        self._buffer.clear()
+        obs.metrics().gauge("daemon.queue_depth").set(0)
+
+    # ------------------------------------------------------------------
+    # Scheduler listeners (called inside tick, under the lock)
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event: SchedulerEvent) -> None:
+        kind = type(event).__name__
+        if kind == "JobStarted":
+            record = self.scheduler.records[event.job_id]
+            obs.metrics().histogram("daemon.admit_wait_s").observe(
+                record.wait_time)
+        frame = proto.EventTelemetry(
+            time=event.time, kind=kind, data=_event_data(event))
+        for watcher in self._watchers.values():
+            if not watcher.want_events:
+                continue
+            if len(watcher.events) >= _EVENT_OUTBOX_CAP:
+                watcher.events.popleft()
+                watcher.events_lost += 1
+            watcher.events.append(frame)
+
+    def _on_epoch(self, now: float, results: dict) -> None:
+        """Publish one progress frame per (job, node) for the epoch —
+        the daemon's equivalent of the paper's per-node progress
+        reports — plus the cluster's epoch power draw."""
+        self.clock.advance_to(now)
+        epoch_energy = 0.0
+        for job_id, by_node in results.items():
+            floor = math.inf
+            for node_id, res in by_node.items():
+                self._pub.send(f"progress/{job_id}/{node_id}",
+                               res.cumulative)
+                floor = min(floor, res.cumulative)
+                epoch_energy += res.energy
+            self._progress[job_id] = floor
+        self._pub.send("cluster/power",
+                       epoch_energy / self.config.scheduler.epoch)
+
+    # ------------------------------------------------------------------
+    # Watch plumbing (server-facing)
+    # ------------------------------------------------------------------
+
+    def drain_watch(self, watch_id: str) -> list:
+        """Frames owed to one subscription: the reliable event backlog
+        first, then every bus message whose modelled delivery time has
+        arrived. Called by the server after each tick."""
+        with self._lock:
+            watcher = self._watchers.get(watch_id)
+            if watcher is None:
+                return []
+            frames: list = []
+            while watcher.events:
+                frames.append(watcher.events.popleft())
+            if not watcher.sub.closed:
+                frames.extend(
+                    proto.StreamTelemetry(time=m.time, topic=m.topic,
+                                          value=m.value)
+                    for m in watcher.sub.recv_all())
+            return frames
+
+    def detach_watch(self, watch_id: str) -> None:
+        """The connection owning ``watch_id`` went away: disconnect its
+        subscriber (messages published while detached are lost — slow
+        joiner on reconnect) but keep the watcher resumable."""
+        with self._lock:
+            watcher = self._watchers.get(watch_id)
+            if watcher is None or not watcher.attached:
+                return
+            watcher.attached = False
+            if not watcher.sub.closed:
+                watcher.sub.close()
+
+    def watch_ids(self) -> list[str]:
+        """Attached subscription ids (server flush loop)."""
+        with self._lock:
+            return [w.watch_id for w in self._watchers.values()
+                    if w.attached]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Write a resumable checkpoint to the configured path."""
+        from repro.daemon.checkpointing import save_checkpoint
+
+        if not self.config.checkpoint_path:
+            raise ConfigurationError(
+                "daemon has no checkpoint_path configured")
+        with self._lock:
+            path = save_checkpoint(self, self.config.checkpoint_path)
+        obs.tracer().instant("daemon.checkpoint", path=path,
+                             epochs=self.epochs)
+        return path
+
+    def close(self) -> None:
+        """Tear down the scheduler's shard workers."""
+        with self._lock:
+            self.scheduler.close()
+
+
+def _finite(value: float) -> float | None:
+    """NaN-free wire value (JSON has no NaN; absent means absent)."""
+    if value is None or math.isnan(value):
+        return None
+    return float(value)
+
+
+def _event_data(event: SchedulerEvent) -> dict:
+    """A scheduler event's payload as JSON-safe primitives."""
+    data = dataclasses.asdict(event)
+    data.pop("time", None)
+    for key, value in data.items():
+        if isinstance(value, float) and math.isnan(value):
+            data[key] = None
+        elif isinstance(value, tuple):
+            data[key] = list(value)
+    return data

@@ -22,6 +22,8 @@ __all__ = [
     "FittingError",
     "TelemetryError",
     "CheckpointError",
+    "DaemonError",
+    "ProtocolError",
     "check_snapshot_version",
 ]
 
@@ -79,6 +81,16 @@ class CheckpointError(ReproError, RuntimeError):
     """A node checkpoint could not be taken or reinstalled (unpicklable
     task body, schema mismatch, rebuilt stack diverging from the
     checkpointed one)."""
+
+
+class DaemonError(ReproError, RuntimeError):
+    """The simulation service was driven into an invalid state (request
+    against a stopped daemon, resume from a foreign checkpoint, ...)."""
+
+
+class ProtocolError(DaemonError):
+    """A daemon wire message could not be encoded or decoded (unknown
+    type, protocol version mismatch, malformed body)."""
 
 
 def check_snapshot_version(state: dict, expected: int, owner: str) -> None:

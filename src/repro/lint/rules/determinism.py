@@ -20,6 +20,7 @@ from typing import Iterator
 from repro.lint.core import Finding, Module, Rule, qualified_name
 
 __all__ = [
+    "AUDITED_CLOCK_MODULES",
     "OBS_CLOCK_MODULES",
     "is_obs_clock_module",
     "WallClockRule",
@@ -32,21 +33,31 @@ __all__ = [
 
 FAMILY = "determinism"
 
-#: The audited observability clock modules — the only places allowed to
-#: read host clocks. Observability must measure wall time by nature; the
-#: allowance confines those reads to a module reviewed as description-
-#: only (trace timestamps and manifest stamps never feed a simulated
-#: quantity), so the clock rules keep protecting everything else without
-#: blanket per-line suppressions. Matched by path suffix so the rules
-#: work from any checkout root. Clock reads only: entropy, environment
-#: and RNG rules still apply inside these modules.
-OBS_CLOCK_MODULES: tuple[str, ...] = ("repro/obs/hostclock.py",)
+#: The audited host-clock modules — the only places allowed to read
+#: host clocks. Two layers legitimately touch wall time: observability
+#: (a trace of where wall time goes is by definition a host-clock
+#: measurement — :mod:`repro.obs.hostclock`) and the daemon's socket
+#: server, which paces simulated epochs against real time
+#: (:mod:`repro.daemon.hostio`). Each allowance confines those reads to
+#: a module reviewed as non-steering (clock readings never feed a
+#: simulated quantity, seed, or control decision), so the clock rules
+#: keep protecting everything else without blanket per-line
+#: suppressions. Matched by path suffix so the rules work from any
+#: checkout root. Clock reads only: entropy, environment and RNG rules
+#: still apply inside these modules.
+AUDITED_CLOCK_MODULES: tuple[str, ...] = (
+    "repro/obs/hostclock.py",
+    "repro/daemon/hostio.py",
+)
+
+#: Backwards-compatible alias (pre-daemon name).
+OBS_CLOCK_MODULES: tuple[str, ...] = AUDITED_CLOCK_MODULES
 
 
 def is_obs_clock_module(path: str) -> bool:
-    """True when ``path`` is an audited obs clock module."""
+    """True when ``path`` is an audited host-clock module."""
     normalized = path.replace(os.sep, "/")
-    return normalized.endswith(OBS_CLOCK_MODULES)
+    return normalized.endswith(AUDITED_CLOCK_MODULES)
 
 #: ``time`` module calls that read the host clock.
 _WALL_CLOCK = {

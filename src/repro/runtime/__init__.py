@@ -7,7 +7,9 @@ rates determined by the node's current frequency, duty cycle, and memory
 contention, plus MPI-like (:mod:`repro.runtime.mpi`) and OpenMP-like
 (:mod:`repro.runtime.openmp`) programming surfaces, and a process-pool
 run executor (:mod:`repro.runtime.executor`) that fans independent runs
-out across workers which rebuild their stacks from picklable specs.
+out across workers which rebuild their stacks from picklable specs, and
+the pure wall-to-simulated-time epoch budgeter
+(:mod:`repro.runtime.pacing`) the daemon paces its service loop with.
 """
 
 from repro.runtime.clock import SimClock
@@ -20,6 +22,7 @@ from repro.runtime.engine import (
     Work,
 )
 from repro.runtime.executor import RunExecutor, derive_seed
+from repro.runtime.pacing import EpochPacer
 
 __all__ = [
     "SimClock",
@@ -29,6 +32,7 @@ __all__ = [
     "Barrier",
     "Publish",
     "TaskState",
+    "EpochPacer",
     "RunExecutor",
     "derive_seed",
 ]

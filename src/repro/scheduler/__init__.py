@@ -25,6 +25,7 @@ from repro.scheduler.events import (
     CapSelected,
     EventLog,
     JobCompleted,
+    JobKilled,
     JobStarted,
     JobSubmitted,
     SchedulerEvent,
@@ -51,5 +52,6 @@ __all__ = [
     "CapSelected",
     "JobStarted",
     "JobCompleted",
+    "JobKilled",
     "BudgetViolation",
 ]

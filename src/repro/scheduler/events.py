@@ -20,6 +20,7 @@ __all__ = [
     "CapSelected",
     "JobStarted",
     "JobCompleted",
+    "JobKilled",
     "BudgetViolation",
     "EventLog",
 ]
@@ -66,6 +67,14 @@ class JobCompleted(SchedulerEvent):
 
 
 @dataclass(frozen=True)
+class JobKilled(SchedulerEvent):
+    """The job was cancelled (daemon ``kill``) before completing."""
+
+    job_id: str
+    was_running: bool            #: True if nodes had to be torn down
+
+
+@dataclass(frozen=True)
 class BudgetViolation(SchedulerEvent):
     """Measured cluster power exceeded the budget over one epoch."""
 
@@ -101,6 +110,17 @@ class EventLog:
 
     def __getitem__(self, idx: int) -> SchedulerEvent:
         return self._events[idx]
+
+    def snapshot(self) -> dict:
+        """Picklable log state (the events themselves are frozen,
+        picklable dataclasses, stored by reference)."""
+        return {"version": 1, "events": list(self._events)}
+
+    def restore(self, state: dict) -> None:
+        from repro.exceptions import check_snapshot_version
+
+        check_snapshot_version(state, 1, "EventLog")
+        self._events = list(state["events"])
 
     def render(self) -> str:
         """Human-readable one-line-per-event trace."""

@@ -31,6 +31,8 @@ class JobState(enum.Enum):
     PENDING = "pending"
     RUNNING = "running"
     COMPLETED = "completed"
+    #: cancelled by the operator (daemon ``kill``) before completion
+    KILLED = "killed"
 
 
 @dataclass(frozen=True)

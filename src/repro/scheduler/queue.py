@@ -51,6 +51,21 @@ class JobQueue:
                 return self._jobs.pop(i)
         raise ConfigurationError(f"job {job_id!r} is not queued")
 
+    def snapshot(self) -> dict:
+        """Picklable queue state: the queued jobs (frozen dataclasses,
+        by reference) plus the submission-sequence bookkeeping that
+        keeps FIFO ordering stable across a restore."""
+        return {"version": 1, "jobs": list(self._jobs),
+                "seq": dict(self._seq), "next_seq": self._next_seq}
+
+    def restore(self, state: dict) -> None:
+        from repro.exceptions import check_snapshot_version
+
+        check_snapshot_version(state, 1, "JobQueue")
+        self._jobs = list(state["jobs"])
+        self._seq = dict(state["seq"])
+        self._next_seq = state["next_seq"]
+
     def __len__(self) -> int:
         return len(self._jobs)
 

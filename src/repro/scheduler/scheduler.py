@@ -39,8 +39,10 @@ function, so reports are bit-for-bit identical either way.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -48,15 +50,22 @@ from repro import obs
 from repro.cluster.policies import ProgressAwareRebalancer
 from repro.cluster.sharding import ShardedLockstep, StepRequest
 from repro.cluster.variability import perturb_config
-from repro.exceptions import ConfigurationError, SimulationError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    SimulationError,
+    check_snapshot_version,
+)
 from repro.hardware.config import NodeConfig, skylake_config
 from repro.scheduler.events import (
     BudgetViolation,
     CapSelected,
     EventLog,
     JobCompleted,
+    JobKilled,
     JobStarted,
     JobSubmitted,
+    SchedulerEvent,
 )
 from repro.scheduler.job import Job, JobRecord, JobState
 from repro.scheduler.powerbook import PowerBook
@@ -226,6 +235,40 @@ class PowerAwareScheduler:
         self._running: dict[str, _RunningJob] = {}
         self._started = 0  # submission-independent placement counter
         self._lockstep = ShardedLockstep(shards=config.shards)
+        # Service hooks (repro.daemon): called synchronously, in
+        # registration order, from inside the epoch loop. Listeners must
+        # only *observe* — mutating the scheduler from one is undefined.
+        self._listeners: list[Callable[[SchedulerEvent], None]] = []
+        self._epoch_listeners: list[Callable[[float, dict], None]] = []
+
+    # ------------------------------------------------------------------
+    # Service hooks (see repro.daemon)
+    # ------------------------------------------------------------------
+
+    def add_listener(self, fn: Callable[[SchedulerEvent], None]) -> None:
+        """Call ``fn`` with every :class:`SchedulerEvent` as it is
+        logged (submissions, cap selections, starts, completions,
+        kills, violations) — the daemon's lifecycle stream."""
+        self._listeners.append(fn)
+
+    def add_epoch_listener(self,
+                           fn: Callable[[float, dict], None]) -> None:
+        """Call ``fn(now, results)`` after every epoch advance, where
+        ``results`` maps ``job_id -> {node_id: StepResult}`` for every
+        job that ran the epoch (completion checks have not run yet, so
+        a job's final epoch is included) — the daemon's progress
+        stream."""
+        self._epoch_listeners.append(fn)
+
+    def _emit(self, event: SchedulerEvent) -> None:
+        self.events.append(event)
+        for fn in self._listeners:
+            fn(event)
+
+    @property
+    def n_running(self) -> int:
+        """Jobs currently placed on nodes."""
+        return len(self._running)
 
     # ------------------------------------------------------------------
     # Submission
@@ -246,11 +289,65 @@ class PowerAwareScheduler:
         # logged at the call time (the log is time-ordered and callers
         # may pre-submit future arrivals in any order); the arrival
         # itself is job.submit_time
-        self.events.append(JobSubmitted(
+        self._emit(JobSubmitted(
             time=self.now, job_id=job.job_id, app_name=job.app_name,
             n_nodes=job.n_nodes, max_slowdown=job.max_slowdown))
         obs.tracer().instant("scheduler.job_submitted", job_id=job.job_id,
                              app=job.app_name, n_nodes=job.n_nodes)
+
+    def admissible(self, job: Job) -> tuple[bool, str]:
+        """Static feasibility check: could ``job`` *ever* start on an
+        otherwise-empty cluster?
+
+        ``(True, "")`` when it can; ``(False, reason)`` when it cannot
+        (too many nodes, or its planned power demand alone exceeds the
+        cluster budget). The daemon rejects inadmissible jobs at the
+        service boundary with a typed error instead of letting the
+        batch loop raise :class:`SimulationError` mid-run. Calling this
+        may trigger a (cached) power-book characterization of the
+        job's application.
+        """
+        if job.n_nodes > self.config.n_slots:
+            return False, (f"wants {job.n_nodes} nodes but the cluster "
+                           f"has {self.config.n_slots}")
+        _cap, node_power, _predicted = self._plan(job)
+        demand = job.n_nodes * node_power
+        if demand > self.config.power_budget + 1e-9:
+            return False, (f"needs {demand:.1f} W even after eco capping "
+                           f"but the budget is "
+                           f"{self.config.power_budget:.1f} W")
+        return True, ""
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a pending or running job (the daemon's ``kill``).
+
+        Queued jobs are removed from the queue; running jobs have their
+        nodes torn down and their slots freed. Either way the record
+        moves to :attr:`JobState.KILLED` and a :class:`JobKilled` event
+        is emitted. Cancelling a completed (or already killed) job
+        raises :class:`ConfigurationError`.
+        """
+        record = self.records.get(job_id)
+        if record is None:
+            raise ConfigurationError(f"unknown job {job_id!r}")
+        if record.state in (JobState.COMPLETED, JobState.KILLED):
+            raise ConfigurationError(
+                f"job {job_id!r} is already {record.state.value}")
+        was_running = job_id in self._running
+        if was_running:
+            run = self._running.pop(job_id)
+            self._lockstep.remove_nodes(list(run.node_ids))
+            self._free_slots.extend(record.slots)
+            self._free_slots.sort()
+            record.end_time = self.now
+        else:
+            self.queue.remove(job_id)
+        record.state = JobState.KILLED
+        self._emit(JobKilled(time=self.now, job_id=job_id,
+                             was_running=was_running))
+        obs.tracer().instant("scheduler.job_killed", job_id=job_id,
+                             was_running=was_running)
+        return record
 
     # ------------------------------------------------------------------
     # Admission planning
@@ -306,7 +403,7 @@ class PowerAwareScheduler:
         del self._free_slots[:job.n_nodes]
         tracer = obs.tracer()
         if cap is not None:
-            self.events.append(CapSelected(
+            self._emit(CapSelected(
                 time=self.now, job_id=job.job_id, cap=cap,
                 predicted_slowdown=predicted, tolerance=job.max_slowdown))
             tracer.instant("scheduler.cap_selected", job_id=job.job_id,
@@ -333,7 +430,7 @@ class PowerAwareScheduler:
         record.start_time = self.now
         self._running[job.job_id] = _RunningJob(
             record, slots, rebalancer, self.now)
-        self.events.append(JobStarted(
+        self._emit(JobStarted(
             time=self.now, job_id=job.job_id, slots=slots, cap=cap,
             demand=record.demand))
         tracer.instant("scheduler.job_started", job_id=job.job_id,
@@ -346,40 +443,56 @@ class PowerAwareScheduler:
 
     def run(self) -> SchedulerReport:
         """Drive the cluster until every submitted job has completed."""
-        epoch = self.config.epoch
         tracer = obs.tracer()
-        epochs = obs.metrics().counter("scheduler.epochs",
-                                       policy=self.config.policy)
         with tracer.span("scheduler.run", policy=self.config.policy,
                          n_slots=self.config.n_slots,
                          power_budget=self.config.power_budget,
                          shards=self.config.shards) as span:
             while self.queue or self._running:
-                if self.now > self.config.max_time:
-                    raise SimulationError(
-                        f"scheduler exceeded max_time="
-                        f"{self.config.max_time}: "
-                        f"queued={[j.job_id for j in self.queue]} "
-                        f"running={sorted(self._running)}")
-                self._try_start_jobs()
-                if not self._running:
-                    # nothing runnable: idle-hop to the next arrival
-                    nxt = self.queue.next_arrival(self.now)
-                    if nxt is None:
-                        raise SimulationError(
-                            "queued jobs can never start: "
-                            f"{[j.job_id for j in self.queue]}")
-                    hops = max(1, math.ceil((nxt - self.now) / epoch - 1e-9))
-                    self.now += hops * epoch
-                    continue
-                with tracer.span("scheduler.epoch", now=self.now,
-                                 running=len(self._running),
-                                 queued=len(self.queue)):
-                    self._rebalance()
-                    self._advance_epoch()
-                epochs.inc()
+                self.step()
             span.set(makespan=self.now, violations=self.violations)
         return self._report()
+
+    def step(self) -> bool:
+        """Advance the simulation by one scheduling decision point.
+
+        One call makes exactly one move: start whatever fits, then
+        either advance one epoch (when anything is running) or idle-hop
+        the clock to the next queued arrival. Returns True while
+        submitted work remains, False once the cluster is drained —
+        ``run()`` is simply ``while step(): pass`` plus a report. This
+        is the seam :mod:`repro.daemon` drives: a service cannot call a
+        run-to-completion loop, it interleaves epochs with admissions.
+        """
+        if not (self.queue or self._running):
+            return False
+        epoch = self.config.epoch
+        tracer = obs.tracer()
+        if self.now > self.config.max_time:
+            raise SimulationError(
+                f"scheduler exceeded max_time="
+                f"{self.config.max_time}: "
+                f"queued={[j.job_id for j in self.queue]} "
+                f"running={sorted(self._running)}")
+        self._try_start_jobs()
+        if not self._running:
+            # nothing runnable: idle-hop to the next arrival
+            nxt = self.queue.next_arrival(self.now)
+            if nxt is None:
+                raise SimulationError(
+                    "queued jobs can never start: "
+                    f"{[j.job_id for j in self.queue]}")
+            hops = max(1, math.ceil((nxt - self.now) / epoch - 1e-9))
+            self.now += hops * epoch
+            return bool(self.queue or self._running)
+        with tracer.span("scheduler.epoch", now=self.now,
+                         running=len(self._running),
+                         queued=len(self.queue)):
+            self._rebalance()
+            self._advance_epoch()
+        obs.metrics().counter("scheduler.epochs",
+                              policy=self.config.policy).inc()
+        return bool(self.queue or self._running)
 
     def close(self) -> None:
         """Shut down shard workers (no-op with ``shards=1``). Further
@@ -460,10 +573,15 @@ class PowerAwareScheduler:
         self.utilisation.append(self.now, busy / self.config.n_slots)
         if power > self.config.power_budget + 1e-6:
             self.violations += 1
-            self.events.append(BudgetViolation(
+            self._emit(BudgetViolation(
                 time=self.now, power=power, budget=self.config.power_budget))
             obs.tracer().instant("scheduler.budget_violation", power=power,
                                  budget=self.config.power_budget)
+        if self._epoch_listeners:
+            samples = {job_id: dict(run.last_results)
+                       for job_id, run in self._running.items()}
+            for fn in self._epoch_listeners:
+                fn(self.now, samples)
         self._complete_finished()
 
     def _complete_finished(self) -> None:
@@ -510,12 +628,95 @@ class PowerAwareScheduler:
         self._free_slots.extend(record.slots)
         self._free_slots.sort()
         del self._running[job_id]
-        self.events.append(JobCompleted(
+        self._emit(JobCompleted(
             time=self.now, job_id=job_id, run_time=record.run_time,
             measured_slowdown=record.measured_slowdown))
         obs.tracer().instant("scheduler.job_completed", job_id=job_id,
                              run_time=record.run_time,
                              measured_slowdown=record.measured_slowdown)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.daemon.checkpointing)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable mid-run state of the whole scheduler.
+
+        Covers the queue, every job record, the event log, the power/
+        utilisation series, and — through the lockstep layer — a full
+        :meth:`NodeInstance.snapshot` checkpoint of every running node,
+        so a restored scheduler continues *bit-for-bit*. Restore onto a
+        freshly constructed scheduler with the same config and power
+        book. Job records are deep-copied so the snapshot does not
+        alias the live run's mutable bookkeeping.
+        """
+        node_ids = [nid for run in self._running.values()
+                    for nid in run.node_ids]
+        node_cps = self._lockstep.checkpoint(node_ids)
+        running = {}
+        for job_id, run in self._running.items():
+            running[job_id] = {
+                "node_ids": list(run.node_ids),
+                "rebalancer": run.rebalancer,
+                "start": run.start,
+                "stalled": run.stalled,
+                "last_cumulative": run.last_cumulative,
+                "last_rates": list(run.last_rates),
+                "pending_budgets": dict(run.pending_budgets),
+                "last_results": dict(run.last_results),
+            }
+        return {
+            "version": 1,
+            "now": self.now,
+            "violations": self.violations,
+            "total_energy": self.total_energy,
+            "started": self._started,
+            "free_slots": list(self._free_slots),
+            "queue": self.queue.snapshot(),
+            "records": {jid: copy.deepcopy(rec)
+                        for jid, rec in self.records.items()},
+            "events": self.events.snapshot(),
+            "power": self.power_series.snapshot(),
+            "committed": self.committed_series.snapshot(),
+            "utilisation": self.utilisation.snapshot(),
+            "running": running,
+            "nodes": node_cps,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot` onto this (freshly constructed,
+        never stepped) scheduler, rebuilding every running node from
+        its checkpoint inside the lockstep layer."""
+        check_snapshot_version(state, 1, "PowerAwareScheduler")
+        if self.records or self._running or self._lockstep.n_nodes:
+            raise CheckpointError(
+                "scheduler restore target must be freshly constructed "
+                "(it already holds jobs or nodes)")
+        self.now = state["now"]
+        self.violations = state["violations"]
+        self.total_energy = state["total_energy"]
+        self._started = state["started"]
+        self._free_slots = list(state["free_slots"])
+        self.queue.restore(state["queue"])
+        self.records = {jid: copy.deepcopy(rec)
+                        for jid, rec in state["records"].items()}
+        self.events.restore(state["events"])
+        self.power_series.restore(state["power"])
+        self.committed_series.restore(state["committed"])
+        self.utilisation.restore(state["utilisation"])
+        items = []
+        for job_id, rs in state["running"].items():
+            run = _RunningJob(self.records[job_id], tuple(rs["node_ids"]),
+                              rs["rebalancer"], rs["start"])
+            run.stalled = rs["stalled"]
+            run.last_cumulative = rs["last_cumulative"]
+            run.last_rates = list(rs["last_rates"])
+            run.pending_budgets = dict(rs["pending_budgets"])
+            run.last_results = dict(rs["last_results"])
+            self._running[job_id] = run
+            for nid in run.node_ids:
+                items.append((nid, state["nodes"][nid]))
+        self._lockstep.add_nodes(items)
 
     # ------------------------------------------------------------------
 

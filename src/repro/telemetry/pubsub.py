@@ -103,6 +103,11 @@ class MessageBus:
         if sub in self._subs:
             self._subs.remove(sub)
 
+    def _reconnect(self, sub: "SubSocket") -> None:
+        if sub in self._subs:  # pragma: no cover - guarded by SubSocket
+            raise TelemetryError("subscriber is already connected")
+        self._subs.append(sub)
+
     # -- checkpointing ------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -202,3 +207,22 @@ class SubSocket:
         """Disconnect from the bus; subsequent publishes are not seen."""
         self.closed = True
         self._bus._disconnect(self)
+
+    def resubscribe(self) -> None:
+        """Reconnect a closed subscriber as a fresh slow joiner.
+
+        ZeroMQ semantics: a subscriber that drops its connection and
+        comes back gets a *new* subscription — messages published while
+        it was away are lost (slow joiner), and nothing of its previous
+        queue survives (fresh HWM queue, no stale backlog). The daemon's
+        ``watch`` reconnect path relies on exactly this: a client that
+        re-attaches must not replay messages its dead connection never
+        drained. The overflow counter keeps accumulating across
+        reconnects (it describes the subscriber's lifetime, not one
+        connection).
+        """
+        if not self.closed:
+            raise TelemetryError("resubscribe on a connected SUB socket")
+        self._queue.clear()
+        self.closed = False
+        self._bus._reconnect(self)

@@ -1,0 +1,162 @@
+"""Daemon persistence: periodic checkpoints, crash resume, parity."""
+
+import pickle
+
+import pytest
+
+from repro.daemon import protocol as proto
+from repro.daemon.checkpointing import (
+    DaemonCheckpoint,
+    load_checkpoint,
+    resume_daemon,
+    save_checkpoint,
+)
+from repro.exceptions import CheckpointError, ConfigurationError
+
+from tests.daemon.conftest import drain, make_daemon, run_request
+
+pytestmark = pytest.mark.slow
+
+JOBS = [
+    dict(job_id="eco2", n_nodes=2, seconds=3.0, tol=0.3),
+    dict(job_id="rigid", n_nodes=1, seconds=2.0),
+    dict(job_id="eco1", n_nodes=2, seconds=2.5, tol=0.25),
+]
+
+
+def submit_all(daemon):
+    for spec in JOBS:
+        spec = dict(spec)
+        reply = daemon.handle(run_request(spec.pop("job_id"), **spec))
+        assert isinstance(reply, proto.RunReply), reply
+
+
+def final_statuses(daemon):
+    return [daemon.handle(proto.StatusRequest(job_id=s["job_id"]))
+            for s in JOBS]
+
+
+class TestPeriodicCheckpoint:
+    def test_written_at_cadence(self, tmp_path):
+        path = tmp_path / "d.ckpt"
+        daemon = make_daemon(checkpoint_every=2, checkpoint_path=str(path))
+        try:
+            submit_all(daemon)
+            assert not path.exists()
+            daemon.tick(2)
+            assert path.exists()
+            first = path.stat().st_mtime_ns
+            daemon.tick(2)
+            assert path.stat().st_mtime_ns >= first
+        finally:
+            daemon.close()
+
+    def test_requires_path(self):
+        with pytest.raises(ConfigurationError):
+            make_daemon(checkpoint_every=2)
+
+    def test_explicit_checkpoint_without_path_raises(self, daemon):
+        with pytest.raises(ConfigurationError):
+            daemon.checkpoint()
+
+
+class TestResume:
+    def test_crash_resume_matches_uninterrupted_run(self, tmp_path):
+        path = tmp_path / "d.ckpt"
+        daemon = make_daemon(checkpoint_every=2, checkpoint_path=str(path))
+        submit_all(daemon)
+        daemon.tick(3)  # periodic checkpoint fired at epoch 2
+        daemon.close()  # "crash": epoch 3 is lost with the process
+
+        resumed = resume_daemon(str(path))
+        try:
+            assert resumed.scheduler.now == 2.0
+            assert resumed.epochs == 2
+            drain(resumed)
+            resumed_statuses = final_statuses(resumed)
+        finally:
+            resumed.close()
+
+        control = make_daemon()
+        try:
+            submit_all(control)
+            drain(control)
+            control_statuses = final_statuses(control)
+        finally:
+            control.close()
+
+        # bit-identical outcomes: same completion times, slowdowns,
+        # progress — the resumed run is indistinguishable
+        assert resumed_statuses == control_statuses
+
+    def test_buffered_submissions_survive(self, tmp_path):
+        path = tmp_path / "d.ckpt"
+        daemon = make_daemon(checkpoint_path=str(path))
+        submit_all(daemon)  # never ticked: all three still buffered
+        daemon.handle(proto.ShutdownRequest())
+        daemon.close()
+
+        resumed = resume_daemon(str(path))
+        try:
+            assert len(resumed.handle(proto.ListRequest()).jobs) == 3
+            drain(resumed)
+            assert all(s.state == "completed"
+                       for s in final_statuses(resumed))
+        finally:
+            resumed.close()
+
+    def test_admission_sequence_continues(self, tmp_path):
+        path = tmp_path / "d.ckpt"
+        daemon = make_daemon(checkpoint_path=str(path))
+        submit_all(daemon)
+        daemon.checkpoint()
+        daemon.close()
+        resumed = resume_daemon(str(path))
+        try:
+            reply = resumed.handle(run_request("late"))
+            assert reply.seq == len(JOBS)  # no seq reuse after resume
+            dup = resumed.handle(run_request("rigid"))
+            assert dup.code == "duplicate-job"
+        finally:
+            resumed.close()
+
+    def test_shutdown_checkpoints_when_configured(self, tmp_path):
+        path = tmp_path / "d.ckpt"
+        daemon = make_daemon(checkpoint_path=str(path))
+        try:
+            reply = daemon.handle(proto.ShutdownRequest())
+            assert reply == proto.ShutdownReply(checkpointed=True)
+            assert path.exists()
+        finally:
+            daemon.close()
+
+    def test_shutdown_without_path(self, daemon):
+        assert daemon.handle(proto.ShutdownRequest()) == \
+            proto.ShutdownReply(checkpointed=False)
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.ckpt"))
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(pickle.dumps({"hello": "world"}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_schema_version_mismatch(self, tmp_path, daemon):
+        path = tmp_path / "d.ckpt"
+        save_checkpoint(daemon, str(path))
+        checkpoint = load_checkpoint(str(path))
+        stale = DaemonCheckpoint(**{
+            **checkpoint.__dict__, "version": 99})
+        path.write_bytes(pickle.dumps(stale))
+        with pytest.raises(CheckpointError, match="99"):
+            load_checkpoint(str(path))
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path, daemon):
+        path = tmp_path / "d.ckpt"
+        save_checkpoint(daemon, str(path))
+        assert not (tmp_path / "d.ckpt.tmp").exists()

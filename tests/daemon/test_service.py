@@ -1,0 +1,335 @@
+"""Daemon core tests: admission (including under thread contention),
+lifecycle, telemetry fan-out, and determinism."""
+
+import threading
+
+import pytest
+
+from repro.daemon import protocol as proto
+from repro.scheduler import JobState
+
+from tests.daemon.conftest import (
+    drain,
+    make_daemon,
+    make_daemon_config,
+    run_request,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestAdmission:
+    def test_run_reply_carries_sequence(self, daemon):
+        r1 = daemon.handle(run_request("a"))
+        r2 = daemon.handle(run_request("b"))
+        assert isinstance(r1, proto.RunReply) and r1.seq == 0
+        assert r2.seq == 1
+        assert r1.state == "pending"
+
+    def test_duplicate_job_rejected(self, daemon):
+        daemon.handle(run_request("a"))
+        reply = daemon.handle(run_request("a"))
+        assert isinstance(reply, proto.ErrorReply)
+        assert reply.code == "duplicate-job"
+
+    def test_queue_full_typed_rejection(self):
+        daemon = make_daemon(queue_capacity=2)
+        try:
+            assert isinstance(daemon.handle(run_request("a")),
+                              proto.RunReply)
+            assert isinstance(daemon.handle(run_request("b")),
+                              proto.RunReply)
+            reply = daemon.handle(run_request("c"))
+            assert isinstance(reply, proto.ErrorReply)
+            assert reply.code == "queue-full"
+        finally:
+            daemon.close()
+
+    def test_inadmissible_job_rejected_at_boundary(self, daemon):
+        reply = daemon.handle(run_request("big", n_nodes=99))
+        assert isinstance(reply, proto.ErrorReply)
+        assert reply.code == "inadmissible"
+        # the rejection left no trace: the id is reusable
+        assert isinstance(daemon.handle(run_request("big")),
+                          proto.RunReply)
+
+    def test_impossible_power_demand_rejected(self):
+        daemon = make_daemon(
+            scheduler_kwargs=dict(power_budget=50.0, min_cap=55.0))
+        try:
+            reply = daemon.handle(run_request("hungry", tol=0.3))
+            assert isinstance(reply, proto.ErrorReply)
+            assert reply.code == "inadmissible"
+        finally:
+            daemon.close()
+
+    def test_malformed_job_is_bad_request(self, daemon):
+        reply = daemon.handle(proto.RunRequest(
+            job_id="x", app_name="lammps", n_nodes=0, work_units=1e5))
+        assert isinstance(reply, proto.ErrorReply)
+        assert reply.code == "bad-request"
+
+    def test_non_request_object_is_bad_request(self, daemon):
+        reply = daemon.handle(proto.RunReply(job_id="x", seq=0,
+                                             state="pending"))
+        assert isinstance(reply, proto.ErrorReply)
+        assert reply.code == "bad-request"
+
+
+class TestConcurrentAdmission:
+    """The ISSUE's concurrency contract: N threads submitting at once
+    lose nothing, duplicate nothing, and drain FIFO per priority."""
+
+    N_THREADS = 8
+    PER_THREAD = 4
+
+    def _submit_storm(self, daemon, priority_of):
+        barrier = threading.Barrier(self.N_THREADS)
+        replies = {}
+
+        def worker(t):
+            barrier.wait()
+            for i in range(self.PER_THREAD):
+                job_id = f"t{t}-{i}"
+                replies[job_id] = daemon.handle(
+                    run_request(job_id, seconds=2.5,
+                                priority=priority_of(t, i)))
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(self.N_THREADS)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        return replies
+
+    def test_no_lost_or_duplicated_submissions(self):
+        daemon = make_daemon(queue_capacity=64)
+        try:
+            replies = self._submit_storm(daemon, lambda t, i: 0)
+            assert all(isinstance(r, proto.RunReply)
+                       for r in replies.values())
+            seqs = sorted(r.seq for r in replies.values())
+            assert seqs == list(range(self.N_THREADS * self.PER_THREAD))
+            listed = daemon.handle(proto.ListRequest())
+            assert len(listed.jobs) == self.N_THREADS * self.PER_THREAD
+            assert len({j["job_id"] for j in listed.jobs}) == len(
+                listed.jobs)
+        finally:
+            daemon.close()
+
+    def test_fifo_within_priority_across_threads(self):
+        daemon = make_daemon(queue_capacity=64)
+        try:
+            # threads 0-3 submit priority 0, threads 4-7 priority 5
+            replies = self._submit_storm(
+                daemon, lambda t, i: 5 if t >= 4 else 0)
+            daemon.tick(1)  # admit the buffer into the scheduler
+            submitted = [e.job_id for e in daemon.scheduler.events
+                         if type(e).__name__ == "JobSubmitted"]
+            by_seq = {jid: replies[jid].seq for jid in submitted}
+            high = [jid for jid in submitted
+                    if jid.startswith(("t4", "t5", "t6", "t7"))]
+            low = [jid for jid in submitted if jid not in set(high)]
+            # all high-priority jobs entered the scheduler first ...
+            assert submitted[:len(high)] == high
+            # ... and each band is FIFO in admission-sequence order
+            assert [by_seq[j] for j in high] == sorted(
+                by_seq[j] for j in high)
+            assert [by_seq[j] for j in low] == sorted(
+                by_seq[j] for j in low)
+        finally:
+            daemon.close()
+
+    def test_capacity_enforced_under_contention(self):
+        capacity = 10
+        daemon = make_daemon(queue_capacity=capacity)
+        try:
+            replies = self._submit_storm(daemon, lambda t, i: 0)
+            accepted = [r for r in replies.values()
+                        if isinstance(r, proto.RunReply)]
+            rejected = [r for r in replies.values()
+                        if isinstance(r, proto.ErrorReply)]
+            assert len(accepted) == capacity
+            assert len(rejected) == \
+                self.N_THREADS * self.PER_THREAD - capacity
+            assert {r.code for r in rejected} == {"queue-full"}
+            # the accepted set still runs to completion
+            drain(daemon)
+            info = daemon.handle(proto.InfoRequest())
+            assert info.completed == capacity
+        finally:
+            daemon.close()
+
+
+class TestLifecycle:
+    def test_jobs_complete_and_report(self, daemon):
+        daemon.handle(run_request("eco", n_nodes=2, tol=0.3))
+        daemon.handle(run_request("rigid", n_nodes=1))
+        drain(daemon)
+        for job_id in ("eco", "rigid"):
+            status = daemon.handle(proto.StatusRequest(job_id=job_id))
+            assert status.state == "completed"
+            assert status.progress == status.work_units
+            assert status.end_time > 0.0
+        eco = daemon.handle(proto.StatusRequest(job_id="eco"))
+        assert eco.cap is not None and eco.measured_slowdown <= 0.3
+
+    def test_status_of_unknown_job(self, daemon):
+        reply = daemon.handle(proto.StatusRequest(job_id="ghost"))
+        assert reply.code == "unknown-job"
+
+    def test_kill_buffered_job(self, daemon):
+        daemon.handle(run_request("doomed"))
+        reply = daemon.handle(proto.KillRequest(job_id="doomed"))
+        assert reply == proto.KillReply(job_id="doomed",
+                                        was_running=False)
+        status = daemon.handle(proto.StatusRequest(job_id="doomed"))
+        assert status.state == JobState.KILLED.value
+        assert daemon.tick(5) == 0  # nothing ever entered the scheduler
+
+    def test_kill_running_job_frees_slots(self, daemon):
+        daemon.handle(run_request("victim", n_nodes=4, seconds=50.0))
+        daemon.handle(run_request("heir", n_nodes=4, seconds=2.5))
+        daemon.tick(2)
+        reply = daemon.handle(proto.KillRequest(job_id="victim"))
+        assert reply.was_running
+        drain(daemon)
+        assert daemon.handle(
+            proto.StatusRequest(job_id="heir")).state == "completed"
+
+    def test_kill_completed_job_is_not_active(self, daemon):
+        daemon.handle(run_request("done"))
+        drain(daemon)
+        reply = daemon.handle(proto.KillRequest(job_id="done"))
+        assert reply.code == "not-active"
+
+    def test_kill_unknown_job(self, daemon):
+        assert daemon.handle(
+            proto.KillRequest(job_id="ghost")).code == "unknown-job"
+
+    def test_info_counts(self, daemon):
+        daemon.handle(run_request("a"))
+        daemon.handle(run_request("b"))
+        daemon.handle(proto.KillRequest(job_id="b"))
+        drain(daemon)
+        info = daemon.handle(proto.InfoRequest())
+        assert (info.completed, info.killed, info.queued,
+                info.running) == (1, 1, 0, 0)
+        assert info.protocol == proto.PROTOCOL_VERSION
+
+    def test_idle_daemon_time_stands_still(self, daemon):
+        assert daemon.tick(10) == 0
+        assert daemon.scheduler.now == 0.0
+
+
+class TestWatch:
+    def test_progress_frames_per_node_per_epoch(self, daemon):
+        daemon.handle(proto.WatchRequest(watch_id="w", topic="progress",
+                                         events=False))
+        daemon.handle(run_request("j", n_nodes=2, seconds=3.5))
+        taken = daemon.tick(2)
+        frames = daemon.drain_watch("w")
+        assert len(frames) == 2 * taken  # two nodes, one frame each
+        topics = {f.topic for f in frames}
+        assert topics == {"progress/j/0", "progress/j/1"}
+        assert all(isinstance(f, proto.StreamTelemetry) for f in frames)
+        # cumulative progress is non-decreasing per node
+        per_node = [f.value for f in frames if f.topic.endswith("/0")]
+        assert per_node == sorted(per_node)
+
+    def test_event_side_channel(self, daemon):
+        daemon.handle(proto.WatchRequest(watch_id="w", events=True))
+        daemon.handle(run_request("j", seconds=2.5))
+        drain(daemon)
+        kinds = [f.kind for f in daemon.drain_watch("w")
+                 if isinstance(f, proto.EventTelemetry)]
+        assert kinds[0] == "JobSubmitted"
+        assert "JobStarted" in kinds and "JobCompleted" in kinds
+
+    def test_late_watcher_is_slow_joiner(self, daemon):
+        daemon.handle(run_request("j", seconds=4.5))
+        daemon.tick(2)
+        daemon.handle(proto.WatchRequest(watch_id="late",
+                                         events=False))
+        daemon.tick(1)
+        frames = daemon.drain_watch("late")
+        # only the epoch after joining is seen
+        assert {f.time for f in frames} == {3.0}
+
+    def test_hwm_bounds_undrained_watcher(self, daemon):
+        daemon.handle(proto.WatchRequest(watch_id="w", hwm=2,
+                                         events=False))
+        daemon.handle(run_request("j", seconds=6.5))
+        daemon.tick(5)  # 5 epochs published, queue holds 2
+        frames = daemon.drain_watch("w")
+        assert len(frames) == 2
+
+    def test_detach_then_reconnect_loses_interim(self, daemon):
+        daemon.handle(proto.WatchRequest(watch_id="w", events=False))
+        daemon.handle(run_request("j", seconds=6.5))
+        daemon.tick(1)
+        daemon.detach_watch("w")
+        daemon.tick(2)  # published into the void
+        reply = daemon.handle(proto.WatchRequest(watch_id="w"))
+        assert reply == proto.WatchReply(watch_id="w", resumed=True)
+        daemon.tick(1)
+        frames = daemon.drain_watch("w")
+        assert {f.time for f in frames} == {4.0}
+
+    def test_attached_watch_id_is_busy(self, daemon):
+        daemon.handle(proto.WatchRequest(watch_id="w"))
+        reply = daemon.handle(proto.WatchRequest(watch_id="w"))
+        assert reply.code == "bad-request"
+
+    def test_modelled_delay_postpones_delivery(self):
+        daemon = make_daemon(telemetry_delay=2.0)
+        try:
+            daemon.handle(proto.WatchRequest(watch_id="w",
+                                             events=False))
+            daemon.handle(run_request("j", seconds=4.5))
+            daemon.tick(1)
+            assert daemon.drain_watch("w") == []  # still in flight
+            daemon.tick(2)  # clock reaches publish time + delay
+            frames = daemon.drain_watch("w")
+            assert [f.time for f in frames] == [1.0]
+        finally:
+            daemon.close()
+
+    def test_seeded_loss_drops_frames(self):
+        daemon = make_daemon(telemetry_drop=0.5, telemetry_seed=3)
+        try:
+            daemon.handle(proto.WatchRequest(watch_id="w",
+                                             events=False))
+            daemon.handle(run_request("j", n_nodes=2, seconds=20.0))
+            daemon.tick(15)
+            got = len(daemon.drain_watch("w"))
+            # 2 nodes x 15 epochs = 30 progress publishes; half survive
+            assert got < 30
+            assert daemon.bus.dropped > 0
+            assert got + daemon.bus.dropped <= daemon.bus.published
+        finally:
+            daemon.close()
+
+
+class TestDeterminism:
+    def test_same_command_log_same_stream(self):
+        def run_once():
+            daemon = make_daemon()
+            try:
+                daemon.handle(proto.WatchRequest(watch_id="w"))
+                daemon.handle(run_request("a", n_nodes=2, tol=0.3,
+                                          seconds=3.5))
+                daemon.handle(run_request("b", seconds=2.5))
+                frames = []
+                while daemon.tick(3):
+                    frames.extend(daemon.drain_watch("w"))
+                frames.extend(daemon.drain_watch("w"))
+                events = [(type(e).__name__, e.time)
+                          for e in daemon.scheduler.events]
+                return frames, events
+            finally:
+                daemon.close()
+
+        first, second = run_once(), run_once()
+        assert first == second

@@ -256,3 +256,19 @@ class TestObsClockModule:
         module = pathlib.Path(__file__).parents[2] / "src" / "repro" \
             / "obs" / "hostclock.py"
         assert "repro-lint: disable" not in module.read_text()
+
+    def test_daemon_hostio_is_audited_too(self):
+        # repro.daemon confines its wall-clock reads (pacing, socket
+        # timeouts) to repro/daemon/hostio.py; the linter must treat it
+        # like the obs host-clock module.
+        assert self._ids_at(
+            self.CLOCK_SOURCE, "src/repro/daemon/hostio.py") == []
+        ids = self._ids_at(self.CLOCK_SOURCE,
+                           "src/repro/daemon/service.py")
+        assert ids.count("det-wallclock") == 2
+
+    def test_shipped_hostio_module_needs_no_suppressions(self):
+        import pathlib
+        module = pathlib.Path(__file__).parents[2] / "src" / "repro" \
+            / "daemon" / "hostio.py"
+        assert "repro-lint: disable" not in module.read_text()

@@ -128,3 +128,59 @@ class TestDelayAndLoss:
             MessageBus(clock, delay=-1.0)
         with pytest.raises(ConfigurationError):
             MessageBus(clock, drop_prob=1.0)
+
+
+class TestResubscribe:
+    """A disconnected subscriber that comes back is a *new* slow
+    joiner: fresh queue, no stale backlog (regression — the daemon's
+    ``watch`` reconnect path must not replay a dead connection's
+    undrained messages)."""
+
+    def test_resubscribe_drops_stale_backlog(self, bus):
+        sub = bus.sub_socket("p")
+        pub = bus.pub_socket()
+        pub.send("p", 1.0)  # queued but never drained
+        sub.close()
+        sub.resubscribe()
+        assert sub.recv_all() == []
+        assert sub.pending() == 0
+
+    def test_messages_while_away_are_lost(self, bus):
+        sub = bus.sub_socket("p")
+        pub = bus.pub_socket()
+        sub.close()
+        pub.send("p", 1.0)  # published while disconnected
+        sub.resubscribe()
+        pub.send("p", 2.0)
+        assert [m.value for m in sub.recv_all()] == [2.0]
+
+    def test_resubscribed_socket_is_live_again(self, bus):
+        sub = bus.sub_socket("progress")
+        sub.close()
+        sub.resubscribe()
+        bus.pub_socket().send("progress/lammps", 3.0)
+        msgs = sub.recv_all()
+        assert [m.topic for m in msgs] == ["progress/lammps"]
+
+    def test_resubscribe_on_connected_socket_raises(self, bus):
+        sub = bus.sub_socket("p")
+        with pytest.raises(TelemetryError):
+            sub.resubscribe()
+
+    def test_overflow_counter_survives_reconnect(self, bus):
+        sub = bus.sub_socket("p", hwm=1)
+        pub = bus.pub_socket()
+        pub.send("p", 1.0)
+        pub.send("p", 2.0)  # over HWM -> dropped
+        assert sub.overflowed == 1
+        sub.close()
+        sub.resubscribe()
+        assert sub.overflowed == 1  # lifetime counter, not per-connection
+
+    def test_reconnect_does_not_duplicate_delivery(self, bus):
+        sub = bus.sub_socket("p")
+        pub = bus.pub_socket()
+        sub.close()
+        sub.resubscribe()
+        pub.send("p", 5.0)
+        assert len(sub.recv_all()) == 1
