@@ -1,11 +1,14 @@
-"""Baseline the sharded lockstep's per-epoch pickle traffic.
+"""Measure the sharded lockstep's per-epoch pickle traffic.
 
 The ROADMAP's delta-shipping item wants to shrink what the lockstep
-pickles per epoch; this benchmark records the current baseline with
+pickles per epoch. This benchmark measures the same run over both wire
+formats — the original one-StepRequest/StepResult-per-node framing
+(``compact_wire=False``) and the compact ``step2`` wire (grouped
+targets/windows, budgets only when changed, bare-tuple replies) — with
 :class:`~repro.cluster.sharding.ShardedLockstep`'s payload measurement
-(``measure_payloads=True``), writing per-shard-count numbers to
-``benchmarks/out/pickle_payload.txt``. Measurement is observation-only,
-so the run's series are identical to an unmeasured run — asserted here.
+(``measure_payloads=True``), writing the before/after numbers to
+``benchmarks/out/pickle_payload.txt``. Neither measurement nor the wire
+format changes the series — asserted here.
 """
 
 from repro.cluster.policies import ProgressAwareRebalancer
@@ -17,12 +20,13 @@ EPOCH = 1.0
 APP_KW = {"n_steps": 10_000_000, "n_workers": 4}
 
 
-def _run(shards, measure):
+def _run(shards, measure, compact=True):
     sim = ClusterSimulation(
         N_NODES, "lammps",
         ProgressAwareRebalancer(4 * 95.0, min_node=60.0, max_node=130.0),
         app_kwargs=APP_KW, variability=(0.05, 0.08), seed=7, shards=shards)
     sim._lockstep.measure_payloads = measure
+    sim._lockstep.compact_wire = compact
     try:
         sim.run(DURATION, epoch=EPOCH)
         series = (list(sim.total_progress.values),
@@ -34,30 +38,52 @@ def _run(shards, measure):
 
 def test_bench_pickle_payloads(benchmark, save_artifact):
     series, stats = benchmark.pedantic(
-        lambda: _run(shards=2, measure=True), rounds=1, iterations=1)
+        lambda: _run(shards=2, measure=True, compact=False),
+        rounds=1, iterations=1)
+    compact_series, compact_stats = _run(shards=2, measure=True)
     unmeasured_series, _ = _run(shards=2, measure=False)
-    assert series == unmeasured_series  # measuring never changes numbers
+    # neither measuring nor the wire format changes the numbers
+    assert series == unmeasured_series
+    assert compact_series == series
 
-    assert stats.epochs == int(DURATION / EPOCH)
+    n_epochs = int(DURATION / EPOCH)
+    assert stats.epochs == n_epochs
+    assert compact_stats.epochs == n_epochs
     down, up = stats.mean_epoch_bytes()
+    cdown, cup = compact_stats.mean_epoch_bytes()
     assert down > 0 and up > 0
+    # the compact wire must actually be smaller, both directions
+    assert cdown < down, (cdown, down)
+    assert cup < up, (cup, up)
 
     lines = [
-        "Sharded lockstep pickle payload baseline "
+        "Sharded lockstep pickle payload "
         f"({N_NODES} nodes, lammps, {DURATION:.0f} s / {EPOCH:.0f} s "
         "epochs, 2 shards)",
         "",
         f"epochs measured:        {stats.epochs}",
-        f"mean per-epoch down:    {down:.0f} B (budgets + step requests)",
-        f"mean per-epoch up:      {up:.0f} B (rates + epoch energy)",
-        f"total down:             {stats.bytes_down} B "
+        "",
+        "per-node framing (compact_wire=False, the pre-delta baseline):",
+        f"  mean per-epoch down:  {down:.0f} B (budgets + step requests)",
+        f"  mean per-epoch up:    {up:.0f} B (rates + epoch energy)",
+        f"  total down:           {stats.bytes_down} B "
         f"over {stats.dispatches} dispatches",
-        f"total up:               {stats.bytes_up} B",
+        f"  total up:             {stats.bytes_up} B",
+        "",
+        "compact wire (compact_wire=True, the default):",
+        f"  mean per-epoch down:  {cdown:.0f} B "
+        f"({down / cdown:.1f}x smaller; grouped targets, delta budgets)",
+        f"  mean per-epoch up:    {cup:.0f} B "
+        f"({up / cup:.1f}x smaller; bare float tuples)",
+        f"  total down:           {compact_stats.bytes_down} B "
+        f"over {compact_stats.dispatches} dispatches",
+        f"  total up:             {compact_stats.bytes_up} B",
         "",
         "Measurement starts after cluster construction, so these are "
         "the",
         "steady-state epoch exchanges (budgets down; rates + energy "
-        "up) —",
-        "exactly the traffic the delta-shipping optimisation targets.",
+        "up).",
+        "Both formats produce identical series — asserted by this "
+        "benchmark.",
     ]
     save_artifact("pickle_payload", "\n".join(lines))

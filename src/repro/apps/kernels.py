@@ -27,7 +27,36 @@ from repro.exceptions import ConfigurationError
 from repro.hardware.config import NodeConfig
 from repro.runtime.engine import Work
 
-__all__ = ["KernelSpec", "PhaseSpec", "cycles_for_rate"]
+__all__ = ["KernelSpec", "PhaseSpec", "cycles_for_rate",
+           "lognormal_factor", "sample_quantities"]
+
+
+def lognormal_factor(draw):
+    """Lognormal jitter multiplier from a normal draw: ``exp(draw)``.
+
+    Shared by the object path (scalar draws) and the vector engine's
+    batched pre-draws; ``numpy.exp`` is bit-identical between array and
+    scalar application, so batching preserves parity.
+    """
+    return np.exp(draw)
+
+
+def sample_quantities(base_cycles, factor, bytes_per_cycle, ipc,
+                      misses_per_instruction):
+    """The four :class:`~repro.runtime.engine.Work` quantities of one
+    iteration scaled by ``factor``.
+
+    This is the single home of the iteration -> work transfer function;
+    :meth:`KernelSpec.sample` applies it to scalars, the vector engine to
+    whole (node, worker) arrays.
+    """
+    cycles = base_cycles * factor
+    nbytes = cycles * bytes_per_cycle
+    ins = cycles * ipc
+    misses = None
+    if misses_per_instruction is not None:
+        misses = ins * misses_per_instruction
+    return cycles, nbytes, ins, misses
 
 
 @dataclass(frozen=True)
@@ -63,13 +92,10 @@ class KernelSpec:
         """
         factor = shared_factor
         if self.jitter > 0:
-            factor *= float(np.exp(worker_rng.normal(0.0, self.jitter)))
-        cycles = self.cycles * factor
-        nbytes = cycles * self.bytes_per_cycle
-        ins = cycles * self.ipc
-        misses = None
-        if self.misses_per_instruction is not None:
-            misses = ins * self.misses_per_instruction
+            factor *= float(lognormal_factor(worker_rng.normal(0.0, self.jitter)))
+        cycles, nbytes, ins, misses = sample_quantities(
+            self.cycles, factor, self.bytes_per_cycle, self.ipc,
+            self.misses_per_instruction)
         return Work(cycles=cycles, bytes=nbytes, instructions=ins,
                     l3_misses=misses)
 
@@ -77,7 +103,8 @@ class KernelSpec:
         """Iteration-wide multiplier drawn from the iteration's RNG."""
         if self.shared_jitter <= 0:
             return 1.0
-        return float(np.exp(iteration_rng.normal(0.0, self.shared_jitter)))
+        return float(lognormal_factor(
+            iteration_rng.normal(0.0, self.shared_jitter)))
 
     def beta_at(self, cfg: NodeConfig) -> float:
         """Analytic beta of this kernel on ``cfg`` (uncontended memory):

@@ -24,6 +24,22 @@ Budget timing is preserved exactly: the budget-tracking policy applies
 budgets on its next tick, so delivering a budget in the worker
 immediately before the epoch's ``advance`` is indistinguishable from the
 serial code delivering it between epochs.
+
+Two further knobs ride on the same shape:
+
+* ``engine`` selects the node host each shard (and the serial path)
+  runs: ``"object"`` keeps one live stack per node (the reference
+  engine), ``"vector"`` batches eligible nodes into
+  :class:`~repro.vector.host.VectorEngine` structure-of-arrays groups
+  that advance in one numpy step per epoch. Both hosts expose the same
+  build/step/rate/telemetry/checkpoint surface and produce bit-identical
+  results (pinned by ``tests/vector``), so callers only pick a speed.
+* ``compact_wire`` shrinks the per-epoch pickle traffic: requests are
+  grouped by ``(target, windows)`` so those ride once per group instead
+  of once per node, budgets are shipped only when they differ from what
+  the parent last sent that node (the tracking policy re-applying an
+  unchanged budget is a no-op, so skipping the send is exact), and
+  replies drop the dataclass framing for bare float tuples.
 """
 
 from __future__ import annotations
@@ -116,7 +132,7 @@ class PayloadStats:
         self.bytes_down += down
         self.bytes_up += up
         self.dispatches += 1
-        if cmd == "step":
+        if cmd in ("step", "step2"):
             self.epoch_payloads.append((down, up))
 
     @property
@@ -196,17 +212,116 @@ def _build_node(node_id: int, item) -> NodeInstance:
 
 
 # ----------------------------------------------------------------------
+# Node hosts (the engine seam)
+# ----------------------------------------------------------------------
+
+
+_ENGINES = ("object", "vector")
+
+
+class _ObjectHost:
+    """The reference node host: one live NodeInstance per node.
+
+    This is exactly the per-node behaviour the lockstep always had,
+    packaged behind the same surface :class:`repro.vector.host
+    .VectorEngine` implements so the serial path and the shard workers
+    select an engine instead of hard-coding one.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, NodeInstance] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def build(self, items: Sequence[tuple[int, object]]) -> None:
+        for node_id, item in items:
+            if node_id in self._nodes:
+                raise ConfigurationError(f"node {node_id} already exists")
+            self._nodes[node_id] = _build_node(node_id, item)
+
+    def node(self, node_id: int) -> NodeInstance:
+        return self._nodes[node_id]
+
+    def remove(self, node_ids: Sequence[int]) -> None:
+        for node_id in node_ids:
+            del self._nodes[node_id]
+
+    def step(self, requests: Sequence[StepRequest]) -> list[StepResult]:
+        return [step_node(self._nodes[req.node_id], req)
+                for req in requests]
+
+    def rate(self, node_id: int, window: float) -> float:
+        return node_rate(self._nodes[node_id], window)
+
+    def telemetry(self, node_id: int) -> NodeTelemetry:
+        return _node_telemetry(self._nodes[node_id])
+
+    def checkpoint(self, node_id: int) -> dict:
+        return self._nodes[node_id].snapshot()
+
+
+def _make_host(engine: str):
+    """Build the node host for ``engine`` (lazy import keeps the vector
+    stack out of object-only processes)."""
+    if engine == "object":
+        return _ObjectHost()
+    if engine == "vector":
+        from repro.vector.host import VectorEngine
+
+        return VectorEngine()
+    raise ConfigurationError(
+        f"engine must be one of {_ENGINES}, got {engine!r}")
+
+
+# ----------------------------------------------------------------------
+# Compact step wire (v2)
+# ----------------------------------------------------------------------
+
+
+def _decode_step_groups(groups) -> list[StepRequest]:
+    """Expand a compact ``step2`` payload back into StepRequests.
+
+    Each group is ``(target, windows, entries)``; an entry is a bare
+    ``node_id`` (no budget change) or ``(node_id, budget)`` (deliver it).
+    """
+    requests: list[StepRequest] = []
+    for target, windows, entries in groups:
+        for entry in entries:
+            if isinstance(entry, tuple):
+                node_id, budget = entry
+                requests.append(StepRequest(
+                    node_id=node_id, target=target, budget=budget,
+                    set_budget=True, windows=windows))
+            else:
+                requests.append(StepRequest(
+                    node_id=entry, target=target, windows=windows))
+    return requests
+
+
+def _encode_step_replies(requests: Sequence[StepRequest],
+                         results: Sequence[StepResult]) -> list[tuple]:
+    """Strip StepResults to bare tuples, rates in window order."""
+    return [(res.now, res.energy, res.cumulative,
+             tuple(res.rates[w] for w in req.windows))
+            for req, res in zip(requests, results)]
+
+
+# ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
 
 
-def _worker_main(conn) -> None:
-    """Shard worker loop: own a dict of live nodes, serve commands.
+def _worker_main(conn, engine: str = "object") -> None:
+    """Shard worker loop: own a node host, serve commands.
 
     Protocol: ``(command, payload)`` tuples over the pipe; every command
     gets exactly one ``("ok", result)`` or ``("error", message)`` reply.
     """
-    nodes: dict[int, NodeInstance] = {}
+    host = _make_host(engine)
     while True:
         try:
             cmd, payload = conn.recv()
@@ -214,25 +329,25 @@ def _worker_main(conn) -> None:
             return
         try:
             if cmd == "build":
-                for node_id, item in payload:
-                    nodes[node_id] = _build_node(node_id, item)
+                host.build(payload)
                 conn.send(("ok", None))
             elif cmd == "step":
-                results = [step_node(nodes[req.node_id], req)
-                           for req in payload]
-                conn.send(("ok", results))
+                conn.send(("ok", host.step(payload)))
+            elif cmd == "step2":
+                requests = _decode_step_groups(payload)
+                results = host.step(requests)
+                conn.send(("ok", _encode_step_replies(requests, results)))
             elif cmd == "rates":
-                conn.send(("ok", [node_rate(nodes[node_id], window)
+                conn.send(("ok", [host.rate(node_id, window)
                                   for node_id, window in payload]))
             elif cmd == "telemetry":
-                conn.send(("ok", [_node_telemetry(nodes[node_id])
+                conn.send(("ok", [host.telemetry(node_id)
                                   for node_id in payload]))
             elif cmd == "checkpoint":
-                conn.send(("ok", [nodes[node_id].snapshot()
+                conn.send(("ok", [host.checkpoint(node_id)
                                   for node_id in payload]))
             elif cmd == "remove":
-                for node_id in payload:
-                    del nodes[node_id]
+                host.remove(payload)
                 conn.send(("ok", None))
             elif cmd == "close":
                 conn.send(("ok", None))
@@ -257,6 +372,13 @@ class ShardedLockstep:
         1 = serial in-process execution (no subprocess at all); N >= 2
         = N long-lived worker processes, nodes assigned round-robin in
         insertion order.
+    engine:
+        Node host every shard (and the serial path) runs: ``"object"``
+        (default) keeps one live stack per node, ``"vector"`` batches
+        eligible nodes into numpy structure-of-arrays groups (see
+        :mod:`repro.vector`). Results are bit-identical either way;
+        ineligible nodes silently fall back to object stacks inside the
+        vector host.
     start_method:
         multiprocessing start method; default prefers ``fork`` (cheap,
         and the workers rebuild their nodes from specs anyway) and falls
@@ -268,18 +390,32 @@ class ShardedLockstep:
         :mod:`repro.obs` tracing is enabled, which additionally emits
         one ``shard.payload`` instant per involved shard per dispatch.
         Payload sizes never influence execution.
+    compact_wire:
+        Ship epoch steps over the compact ``step2`` wire: targets and
+        windows ride once per ``(target, windows)`` group, budgets only
+        when they differ from the last one sent to that node, replies as
+        bare float tuples. On by default; only affects ``shards >= 2``
+        (the serial path has no wire). Set False to force the original
+        one-dataclass-per-node framing.
     """
 
-    def __init__(self, shards: int = 1, *,
+    def __init__(self, shards: int = 1, *, engine: str = "object",
                  start_method: str | None = None,
-                 measure_payloads: bool = False) -> None:
+                 measure_payloads: bool = False,
+                 compact_wire: bool = True) -> None:
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {_ENGINES}, got {engine!r}")
         self.shards = shards
+        self.engine = engine
         self.measure_payloads = measure_payloads
+        self.compact_wire = compact_wire
         self.payload_stats = PayloadStats()
-        self._local: dict[int, NodeInstance] = {}
+        self._host = _make_host(engine) if shards == 1 else None
         self._shard_of: dict[int, int] = {}
+        self._budget_sent: dict[int, float | None] = {}
         self._next_shard = 0
         self._workers: list = []
         self._pipes: list = []
@@ -291,7 +427,8 @@ class ShardedLockstep:
             ctx = mp.get_context(start_method)
             for _ in range(shards):
                 parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(target=_worker_main, args=(child_conn,),
+                proc = ctx.Process(target=_worker_main,
+                                   args=(child_conn, engine),
                                    daemon=True)
                 proc.start()
                 child_conn.close()
@@ -312,6 +449,7 @@ class ShardedLockstep:
         assigned to shards round-robin in insertion order.
         """
         per_shard: dict[int, list] = {}
+        local_items: list[tuple[int, object]] = []
         for node_id, item in items:
             if node_id in self._shard_of:
                 raise ConfigurationError(f"node {node_id} already exists")
@@ -319,32 +457,44 @@ class ShardedLockstep:
             self._next_shard += 1
             self._shard_of[node_id] = shard
             if self.shards == 1:
-                self._local[node_id] = _build_node(node_id, item)
+                local_items.append((node_id, item))
             else:
                 per_shard.setdefault(shard, []).append((node_id, item))
+        if local_items:
+            # one batched build so the vector host can group the whole
+            # placement into shared arrays
+            self._host.build(local_items)
         if self.shards > 1 and per_shard:
             self._dispatch("build", per_shard)
 
     def remove_nodes(self, node_ids: Sequence[int]) -> None:
         """Drop finished nodes (frees worker memory)."""
         per_shard: dict[int, list] = {}
+        local_ids: list[int] = []
         for node_id in node_ids:
             shard = self._shard_of.pop(node_id)
+            self._budget_sent.pop(node_id, None)
             if self.shards == 1:
-                del self._local[node_id]
+                local_ids.append(node_id)
             else:
                 per_shard.setdefault(shard, []).append(node_id)
+        if local_ids:
+            self._host.remove(local_ids)
         if self.shards > 1 and per_shard:
             self._dispatch("remove", per_shard)
 
-    def local_nodes(self) -> dict[int, NodeInstance]:
-        """The live node instances — serial mode only (with workers the
-        nodes live in other processes and cannot be touched directly)."""
+    def local_nodes(self) -> dict[int, Any]:
+        """The live nodes — serial mode only (with workers the nodes
+        live in other processes and cannot be touched directly). Values
+        are NodeInstances under the object engine and NodeInstance-shaped
+        :class:`~repro.vector.host.VectorNodeView`\\ s (or fallbacks)
+        under the vector engine."""
         if self.shards > 1:
             raise ConfigurationError(
                 "live nodes are only addressable with shards=1; use "
                 "step()/rates()/telemetry() in sharded mode")
-        return self._local
+        return {node_id: self._host.node(node_id)
+                for node_id in self._shard_of}
 
     # -- the per-epoch exchange --------------------------------------------
 
@@ -353,20 +503,71 @@ class ShardedLockstep:
         request order. With workers, all shards advance concurrently —
         this is the parallel section."""
         if self.shards == 1:
-            return [step_node(self._local[req.node_id], req)
-                    for req in requests]
+            return self._host.step(requests)
         per_shard: dict[int, list[StepRequest]] = {}
         for req in requests:
             per_shard.setdefault(self._shard_of[req.node_id], []).append(req)
-        replies = self._dispatch("step", per_shard)
-        by_node = {res.node_id: res
-                   for results in replies.values() for res in results}
+        if not self.compact_wire:
+            replies = self._dispatch("step", per_shard)
+            by_node = {res.node_id: res
+                       for results in replies.values() for res in results}
+            return [by_node[req.node_id] for req in requests]
+        payloads: dict[int, list] = {}
+        grouped: dict[int, list[StepRequest]] = {}
+        for shard, reqs in per_shard.items():
+            payloads[shard], grouped[shard] = self._compact_payload(reqs)
+        replies = self._dispatch("step2", payloads)
+        by_node: dict[int, StepResult] = {}
+        for shard, rows in replies.items():
+            for req, row in zip(grouped[shard], rows):
+                now, energy, cumulative, rate_values = row
+                by_node[req.node_id] = StepResult(
+                    node_id=req.node_id, now=now, energy=energy,
+                    cumulative=cumulative,
+                    rates=dict(zip(req.windows, rate_values)))
         return [by_node[req.node_id] for req in requests]
+
+    def _compact_payload(
+        self, reqs: Sequence[StepRequest],
+    ) -> tuple[list, list[StepRequest]]:
+        """One shard's ``step2`` payload plus the requests in the order
+        the worker will answer them (groups in first-seen order, entries
+        in request order within each group).
+
+        A budget entry is shipped only when it differs from the last one
+        this parent delivered to that node — the tracking policy stores
+        the budget and applies it on its next tick, so re-sending an
+        unchanged value is a provable no-op.
+        """
+        groups: list[tuple[float, tuple[float, ...], list]] = []
+        members: list[list[StepRequest]] = []
+        index: dict[tuple, int] = {}
+        unset = object()
+        for req in reqs:
+            key = (req.target, req.windows)
+            k = index.get(key)
+            if k is None:
+                k = index[key] = len(groups)
+                groups.append((req.target, req.windows, []))
+                members.append([])
+            entries = groups[k][2]
+            if req.set_budget:
+                sent = self._budget_sent.get(req.node_id, unset)
+                if sent is unset or sent != req.budget:
+                    entries.append((req.node_id, req.budget))
+                    self._budget_sent[req.node_id] = req.budget
+                else:
+                    entries.append(req.node_id)
+            else:
+                entries.append(req.node_id)
+            members[k].append(req)
+        ordered = [req for group in members for req in group]
+        return groups, ordered
 
     def rates(self, pairs: Sequence[tuple[int, float]]) -> list[float]:
         """Trailing rates for ``(node_id, window)`` pairs, in order."""
         if self.shards == 1:
-            return [node_rate(self._local[node_id], window)
+            return [self._host.rate(node_id, window)
                     for node_id, window in pairs]
         per_shard: dict[int, list] = {}
         order: dict[int, list[int]] = {}
@@ -384,7 +585,7 @@ class ShardedLockstep:
     def telemetry(self, node_ids: Sequence[int]) -> dict[int, NodeTelemetry]:
         """Full telemetry for the given nodes (series copies included)."""
         if self.shards == 1:
-            return {node_id: _node_telemetry(self._local[node_id])
+            return {node_id: self._host.telemetry(node_id)
                     for node_id in node_ids}
         per_shard: dict[int, list[int]] = {}
         for node_id in node_ids:
@@ -397,7 +598,7 @@ class ShardedLockstep:
         """Mid-run checkpoints (see :meth:`NodeInstance.snapshot`) for
         the given nodes — e.g. to migrate them between shard layouts."""
         if self.shards == 1:
-            return {node_id: self._local[node_id].snapshot()
+            return {node_id: self._host.checkpoint(node_id)
                     for node_id in node_ids}
         per_shard: dict[int, list[int]] = {}
         for node_id in node_ids:

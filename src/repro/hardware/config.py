@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.hardware.kernels import voltage_curve
 
 __all__ = ["NodeConfig", "skylake_config"]
 
@@ -199,10 +200,9 @@ class NodeConfig:
             raise ConfigurationError(f"frequency must be positive, got {freq}")
         if freq <= self.v_knee_freq:
             return self.v_min
-        span = self.f_nominal - self.v_knee_freq
-        a2 = (self.v_nominal - self.v_min - self.v_slope_linear * span) / span**2
-        x = freq - self.v_knee_freq
-        return self.v_min + self.v_slope_linear * x + a2 * x * x
+        return voltage_curve(freq, self.v_min, self.v_knee_freq,
+                             self.f_nominal, self.v_nominal,
+                             self.v_slope_linear)
 
     def ladder_index(self, freq: float) -> int:
         """Index of the highest ladder step <= ``freq``.

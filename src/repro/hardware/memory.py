@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.hardware.kernels import fair_share_fill
 
 __all__ = ["allocate_bandwidth"]
 
@@ -61,7 +62,7 @@ def allocate_bandwidth(demands, capacity: float):
     remaining = capacity
     n_left = len(d)
     for idx in order:
-        fair = remaining / n_left
+        fair = fair_share_fill(remaining, n_left)
         g = min(d[idx], fair)
         grants[idx] = g
         remaining -= g

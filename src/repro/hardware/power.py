@@ -21,6 +21,12 @@ from dataclasses import dataclass
 
 from repro.hardware.config import NodeConfig
 from repro.hardware.cpu import CoreState
+from repro.hardware.kernels import (
+    accumulate_core_power,
+    core_power,
+    dram_power,
+    uncore_power,
+)
 
 __all__ = ["PowerSample", "PowerModel"]
 
@@ -50,20 +56,18 @@ class PowerModel:
         """Static + dynamic power of one core (watts)."""
         cfg = self.cfg
         volt = cfg.voltage(core.freq)
-        static = cfg.leak_per_volt * volt
-        dynamic = cfg.c_dyn * volt * volt * core.freq * core.duty * core.activity(cfg)
-        return static + dynamic
+        return core_power(volt, core.freq, core.duty, core.activity(cfg),
+                          cfg.c_dyn, cfg.leak_per_volt)
 
     def sample(self, cores: list[CoreState]) -> PowerSample:
         """Power breakdown for the whole node given per-core states."""
         cfg = self.cfg
-        core_total = 0.0
-        traffic = 0.0
-        for core in cores:
-            core_total += self.core_power(core)
-            traffic += core.bytes_rate
-        uncore = cfg.uncore_base + cfg.uncore_per_bw * traffic
-        dram = cfg.dram_base + cfg.dram_per_bw * traffic
+        core_total, traffic = accumulate_core_power(
+            (self.core_power(core) for core in cores),
+            (core.bytes_rate for core in cores),
+        )
+        uncore = uncore_power(traffic, cfg.uncore_base, cfg.uncore_per_bw)
+        dram = dram_power(traffic, cfg.dram_base, cfg.dram_per_bw)
         return PowerSample(
             package=core_total + uncore,
             cores=core_total,
@@ -84,7 +88,8 @@ class PowerModel:
         """
         cfg = self.cfg
         volt = cfg.voltage(freq)
-        return cfg.leak_per_volt * volt + cfg.c_dyn * volt * volt * freq * duty * activity
+        return core_power(volt, freq, duty, activity,
+                          cfg.c_dyn, cfg.leak_per_volt)
 
     def effective_alpha(self, f_low: float, f_high: float,
                         activity: float = 1.0) -> float:

@@ -41,6 +41,16 @@ from typing import TYPE_CHECKING
 
 from repro.exceptions import ConfigurationError, check_snapshot_version
 from repro.hardware.cpu import CoreMode
+from repro.hardware.kernels import (
+    accumulate_core_power,
+    average_power,
+    core_power,
+    ewma_alpha,
+    ewma_update,
+    throttle_steps,
+    uncore_dvfs_scale,
+    uncore_power,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.node import SimulatedNode
@@ -169,19 +179,17 @@ class RaplFirmware:
         """Average package power since the previous tick (watts), or None
         when no time has elapsed. Also maintains the EWMA over the
         PL1 enforcement window."""
-        import math
-
         dt = now - self._last_time
         if dt <= 0:
             return None
-        avg = (self.node.pkg_energy - self._last_energy) / dt
+        avg = average_power(self.node.pkg_energy, self._last_energy, dt)
         self._last_energy = self.node.pkg_energy
         self._last_time = now
         if self._avg_windowed is None:
             self._avg_windowed = avg
         else:
-            alpha = 1.0 - math.exp(-dt / max(self.window, dt))
-            self._avg_windowed += alpha * (avg - self._avg_windowed)
+            alpha = ewma_alpha(dt, self.window)
+            self._avg_windowed = ewma_update(self._avg_windowed, avg, alpha)
         return avg
 
     @property
@@ -196,13 +204,14 @@ class RaplFirmware:
         rates change; the feedback loop corrects any residual error)."""
         cfg = self.node.cfg
         volt = cfg.voltage(freq)
-        core_total = 0.0
-        traffic = 0.0
-        for core in self.node.cores:
-            act = core.activity(cfg)
-            core_total += cfg.leak_per_volt * volt + cfg.c_dyn * volt * volt * freq * duty * act
-            traffic += core.bytes_rate
-        return core_total + cfg.uncore_base + cfg.uncore_per_bw * traffic
+        core_total, traffic = accumulate_core_power(
+            (core_power(volt, freq, duty, core.activity(cfg),
+                        cfg.c_dyn, cfg.leak_per_volt)
+             for core in self.node.cores),
+            (core.bytes_rate for core in self.node.cores),
+        )
+        return core_total + uncore_power(traffic, cfg.uncore_base,
+                                         cfg.uncore_per_bw)
 
     def _apply_uncore_dvfs(self) -> None:
         """Scale the uncore clock with the core ratio while a real cap is
@@ -211,10 +220,8 @@ class RaplFirmware:
         node = self.node
         capping = self.enabled and self.limit < node.cfg.tdp
         if capping:
-            ratio = node.frequency / node.cfg.f_nominal
-            node.set_uncore_scale(
-                min(1.0, max(self.min_uncore_scale, ratio))
-            )
+            node.set_uncore_scale(uncore_dvfs_scale(
+                node.frequency, node.cfg.f_nominal, self.min_uncore_scale))
         else:
             node.set_uncore_scale(1.0)
 
@@ -238,8 +245,7 @@ class RaplFirmware:
         avg = self._avg_windowed if self._avg_windowed is not None else avg
         if avg > cap:
             # Over budget: proportional step down the ladder, then DDCM.
-            error = (avg - cap) / cap
-            steps = max(1, min(self.max_steps, int(error * 20)))
+            steps = throttle_steps(avg, cap, self.max_steps)
             idx = cfg.ladder_index(node.frequency)
             if idx > 0:
                 node.set_frequency(cfg.freq_ladder[max(0, idx - steps)])

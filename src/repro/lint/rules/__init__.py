@@ -13,6 +13,7 @@ from repro.lint.rules.checkpoint import (
     SnapshotAttrCoverageRule,
     SnapshotKeyDriftRule,
     SnapshotVersionRule,
+    SoaFieldCoverageRule,
 )
 from repro.lint.rules.determinism import (
     DatetimeRule,
@@ -38,6 +39,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SnapshotKeyDriftRule(),
     SnapshotAttrCoverageRule(),
     SnapshotVersionRule(),
+    SoaFieldCoverageRule(),
     BoundaryFieldRule(),
     UnitMixRule(),
     UnitSuffixRule(),

@@ -45,6 +45,12 @@ from repro.exceptions import (
     check_snapshot_version,
 )
 from repro.hardware.cpu import CoreMode
+from repro.hardware.kernels import (
+    bandwidth_demand,
+    compute_fraction,
+    progress_rate,
+    standalone_time,
+)
 from repro.hardware.memory import allocate_bandwidth
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -451,8 +457,8 @@ class Engine:
             s = core.effective_clock()
             link = cfg.core_link_bandwidth * core.duty
             if w.bytes > 0:
-                standalone = w.cycles / s + w.bytes / link
-                demands.append(w.bytes / standalone)
+                standalone = standalone_time(w.cycles, w.bytes, s, link)
+                demands.append(bandwidth_demand(w.bytes, standalone))
                 mem_tasks.append(t)
             else:
                 t.bytes_rate = 0.0
@@ -470,13 +476,13 @@ class Engine:
                 granted = float(grants[gi])
                 gi += 1
                 t.bytes_rate = granted
-                t.rate = granted / w.bytes
+                t.rate = progress_rate(granted, w.bytes)
             else:
                 t.rate = s / w.cycles
                 t.bytes_rate = 0.0
             # Fraction of wall time retiring instructions.
-            cycle_rate = w.cycles * t.rate
-            t.compute_frac = min(cycle_rate / s, 1.0) if s > 0 else 0.0
+            t.compute_frac = (min(compute_fraction(w.cycles, t.rate, s), 1.0)
+                              if s > 0 else 0.0)
             core.mode = CoreMode.BUSY
             core.compute_frac = t.compute_frac
             core.bytes_rate = t.bytes_rate

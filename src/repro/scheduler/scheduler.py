@@ -119,6 +119,10 @@ class SchedulerConfig:
     shards:
         Worker processes node execution is sharded over; 1 (default)
         runs serially in-process. Reports are identical either way.
+    engine:
+        Node engine the lockstep layer runs: ``"object"`` (default) or
+        ``"vector"`` (numpy structure-of-arrays batches, see
+        :mod:`repro.vector`). Reports are bit-identical either way.
     """
 
     n_slots: int
@@ -134,6 +138,7 @@ class SchedulerConfig:
     max_time: float = 100_000.0
     stall_epochs: int = 30
     shards: int = 1
+    engine: str = "object"
 
     def __post_init__(self) -> None:
         if self.n_slots < 1:
@@ -157,6 +162,9 @@ class SchedulerConfig:
         if self.shards < 1:
             raise ConfigurationError(
                 f"shards must be >= 1, got {self.shards}")
+        if self.engine not in ("object", "vector"):
+            raise ConfigurationError(
+                f"engine must be 'object' or 'vector', got {self.engine!r}")
 
 
 class _RunningJob:
@@ -234,7 +242,8 @@ class PowerAwareScheduler:
         self.total_energy = 0.0
         self._running: dict[str, _RunningJob] = {}
         self._started = 0  # submission-independent placement counter
-        self._lockstep = ShardedLockstep(shards=config.shards)
+        self._lockstep = ShardedLockstep(shards=config.shards,
+                                         engine=config.engine)
         # Service hooks (repro.daemon): called synchronously, in
         # registration order, from inside the epoch loop. Listeners must
         # only *observe* — mutating the scheduler from one is undefined.

@@ -1,0 +1,296 @@
+"""Host-side seam between the cluster layers and the vector engine.
+
+:class:`VectorEngine` owns a set of nodes the way a shard worker (or the
+serial :class:`~repro.cluster.sharding.ShardedLockstep`) does, but routes
+every eligible :class:`~repro.stack.spec.StackSpec` into shared
+:class:`~repro.vector.engine.VectorGroup` arrays and advances each group
+with ONE batched call per epoch. Ineligible specs and foreign
+checkpoints fall back to ordinary object
+:class:`~repro.cluster.node_instance.NodeInstance`\\ s inside the same
+host, so callers never need to know which nodes took which path.
+
+:class:`VectorNodeView` exposes one vectorized slot through the
+NodeInstance surface (``now``, ``receive_budget``, ``advance``,
+``monitor.series``, ``node.pkg_energy`` ...) so telemetry helpers, tests
+and the serial ``local_nodes()`` accessor keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.stack.spec import StackSpec
+from repro.vector.engine import VectorGroup
+from repro.vector.gate import build_profile, profile_key, supports_fast_path
+
+__all__ = ["VectorEngine", "VectorNodeView"]
+
+
+class _NodeShim:
+    """The slice of SimulatedNode telemetry the cluster layers read."""
+
+    __slots__ = ("_group", "_slot")
+
+    def __init__(self, group: VectorGroup, slot: int) -> None:
+        self._group = group
+        self._slot = slot
+
+    @property
+    def pkg_energy(self) -> float:
+        return float(self._group.pkg_energy[self._slot])
+
+    @property
+    def dram_energy(self) -> float:
+        return float(self._group.dram_energy[self._slot])
+
+    @property
+    def frequency(self) -> float:
+        g = self._group
+        return float(g.cfg.freq_ladder[int(g.freq_idx[self._slot])])
+
+    @property
+    def uncore_scale(self) -> float:
+        return float(self._group.uncore_scale[self._slot])
+
+
+class _MonitorShim:
+    """The slice of ProgressMonitor the cluster layers read."""
+
+    __slots__ = ("_group", "_slot")
+
+    def __init__(self, group: VectorGroup, slot: int) -> None:
+        self._group = group
+        self._slot = slot
+
+    @property
+    def series(self):
+        return self._group.mon_series[self._slot]
+
+    @property
+    def interval(self) -> float:
+        return self._group.interval
+
+    @property
+    def events_seen(self) -> int:
+        return int(self._group.mon_events[self._slot])
+
+
+class VectorNodeView:
+    """One vectorized node through the NodeInstance surface."""
+
+    def __init__(self, group: VectorGroup, slot: int, node_id: int,
+                 spec: StackSpec) -> None:
+        self.group = group
+        self.slot = slot
+        self.node_id = node_id
+        self.spec = spec
+        self.node = _NodeShim(group, slot)
+        self.monitor = _MonitorShim(group, slot)
+
+    @property
+    def now(self) -> float:
+        return float(self.group.now[self.slot])
+
+    def receive_budget(self, watts: float | None) -> None:
+        self.group.receive_budget(self.slot, watts)
+
+    def advance(self, until: float) -> None:
+        if until < self.now:
+            raise ConfigurationError(
+                f"node {self.node_id}: cannot rewind to {until} "
+                f"from {self.now}")
+        self.group.advance(np.asarray([self.slot]), np.asarray([until]))
+
+    def recent_rate(self, window: float = 5.0) -> float:
+        series = self.monitor.series
+        if series.is_empty():
+            return 0.0
+        recent = series.window(self.now - window, self.now + 1e-9)
+        if recent.is_empty():
+            return 0.0
+        return float(recent.values.mean())
+
+    def cumulative_progress(self) -> float:
+        series = self.monitor.series
+        if series.is_empty():
+            return 0.0
+        return float(series.values.sum()) * self.monitor.interval
+
+    def epoch_energy(self) -> float:
+        return self.group.epoch_energy(self.slot)
+
+    def snapshot(self) -> dict:
+        """A NodeInstance-format checkpoint (restorable by either
+        engine); see :mod:`repro.vector.checkpoint`."""
+        from repro.vector.checkpoint import export_checkpoint
+
+        return export_checkpoint(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"VectorNodeView(id={self.node_id}, t={self.now:.1f}s, "
+                f"f={self.node.frequency / 1e9:.1f}GHz)")
+
+
+class VectorEngine:
+    """A node host that batches eligible nodes into vector groups.
+
+    The per-epoch seam is :meth:`step`: budgets go in with the step
+    requests, trailing rates and epoch energy come back — one batched
+    array advance per group instead of one engine loop per node.
+    """
+
+    def __init__(self) -> None:
+        self._groups: dict[tuple, VectorGroup] = {}
+        self._views: dict[int, VectorNodeView] = {}
+        self._fallback: dict = {}
+
+    # -- membership ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._views) + len(self._fallback)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._views or node_id in self._fallback
+
+    @property
+    def vector_node_ids(self) -> list[int]:
+        """Nodes on the fast path (the rest run as object fallbacks)."""
+        return list(self._views)
+
+    @property
+    def fallback_node_ids(self) -> list[int]:
+        return list(self._fallback)
+
+    def build(self, items: Sequence[tuple[int, object]]) -> None:
+        """Adopt ``(node_id, StackSpec | checkpoint)`` pairs.
+
+        Eligible specs with equal profiles batch into one new
+        :class:`VectorGroup` per call; everything else (ineligible
+        specs, mid-run checkpoints the vector importer rejects) becomes
+        an object NodeInstance.
+        """
+        from repro.cluster.sharding import _build_node
+        from repro.vector.checkpoint import try_import_checkpoint
+
+        staged: dict[tuple, list[tuple[int, StackSpec]]] = {}
+        for node_id, item in items:
+            if node_id in self:
+                raise ConfigurationError(f"node {node_id} already exists")
+            if isinstance(item, StackSpec) and \
+                    supports_fast_path(item) is None:
+                staged.setdefault(profile_key(item), []).append(
+                    (node_id, item))
+                continue
+            if isinstance(item, dict):
+                imported = try_import_checkpoint(self, node_id, item)
+                if imported is not None:
+                    self._views[node_id] = imported
+                    continue
+            self._fallback[node_id] = _build_node(node_id, item)
+        for key, members in staged.items():
+            group = VectorGroup(build_profile(members[0][1]), members)
+            self._groups[key + (min(nid for nid, _ in members),)] = group
+            for node_id, spec in members:
+                self._views[node_id] = VectorNodeView(
+                    group, group.slot_of(node_id), node_id, spec)
+
+    def adopt_group(self, key: tuple, group: VectorGroup,
+                    node_id: int, spec: StackSpec) -> VectorNodeView:
+        """Register a checkpoint-restored slot (checkpoint importer)."""
+        self._groups[key] = group
+        view = VectorNodeView(group, group.slot_of(node_id), node_id, spec)
+        return view
+
+    def node(self, node_id: int):
+        """The live node — a :class:`VectorNodeView` or a fallback
+        NodeInstance, both NodeInstance-shaped."""
+        view = self._views.get(node_id)
+        if view is not None:
+            return view
+        return self._fallback[node_id]
+
+    def remove(self, node_ids: Sequence[int]) -> None:
+        for node_id in node_ids:
+            if node_id in self._views:
+                del self._views[node_id]
+            else:
+                del self._fallback[node_id]
+
+    # -- the per-epoch seam --------------------------------------------
+
+    def step(self, requests: Sequence) -> list:
+        """Advance every requested node one epoch (budgets applied
+        first), batching all same-group nodes into one array advance.
+        Results come back in request order."""
+        from repro.cluster.sharding import StepResult, step_node
+
+        batches: dict[int, tuple[VectorGroup, list[int], list[float]]] = {}
+        for req in requests:
+            view = self._views.get(req.node_id)
+            if view is None:
+                continue
+            if req.set_budget:
+                view.group.receive_budget(view.slot, req.budget)
+            group = view.group
+            batch = batches.get(id(group))
+            if batch is None:
+                batch = batches[id(group)] = (group, [], [])
+            batch[1].append(view.slot)
+            batch[2].append(req.target)
+        for group, slots, targets in batches.values():
+            group.advance(np.asarray(slots, dtype=np.intp),
+                          np.asarray(targets, dtype=float))
+        results = []
+        for req in requests:
+            view = self._views.get(req.node_id)
+            if view is None:
+                results.append(step_node(self._fallback[req.node_id], req))
+                continue
+            results.append(StepResult(
+                node_id=req.node_id,
+                now=view.now,
+                energy=view.epoch_energy(),
+                cumulative=view.cumulative_progress(),
+                rates={w: self._guarded_rate(view, w) for w in req.windows},
+            ))
+        return results
+
+    # -- telemetry ------------------------------------------------------
+
+    @staticmethod
+    def _guarded_rate(view: VectorNodeView, window: float) -> float:
+        if view.monitor.series.is_empty():
+            return 0.0
+        return view.recent_rate(window=window)
+
+    def rate(self, node_id: int, window: float) -> float:
+        from repro.cluster.sharding import node_rate
+
+        view = self._views.get(node_id)
+        if view is not None:
+            return self._guarded_rate(view, window)
+        return node_rate(self._fallback[node_id], window)
+
+    def telemetry(self, node_id: int):
+        from repro.cluster.sharding import NodeTelemetry, _node_telemetry
+
+        view = self._views.get(node_id)
+        if view is None:
+            return _node_telemetry(self._fallback[node_id])
+        return NodeTelemetry(
+            node_id=node_id,
+            now=view.now,
+            progress=view.monitor.series.copy(),
+            interval=view.monitor.interval,
+            pkg_energy=view.node.pkg_energy,
+            frequency=view.node.frequency,
+        )
+
+    def checkpoint(self, node_id: int) -> dict:
+        view = self._views.get(node_id)
+        if view is not None:
+            return view.snapshot()
+        return self._fallback[node_id].snapshot()

@@ -77,7 +77,7 @@ class TestRuleSelection:
     def test_select_by_family(self):
         rules = select_rules(["checkpoint"])
         assert {r.family for r in rules} == {"checkpoint"}
-        assert len(rules) == 3
+        assert len(rules) == 4
 
     def test_unknown_token_raises(self):
         with pytest.raises(ValueError, match="unknown rule"):

@@ -1,0 +1,133 @@
+"""Checkpoint round-trips between the engines.
+
+A vector slot exports a standard :meth:`NodeInstance.snapshot`
+checkpoint, and the vector host re-imports object checkpoints into
+fresh groups — so nodes can cross engine boundaries mid-run with bit
+parity in all four directions (vector->object, object->vector,
+vector->vector, and the pre-start case).
+"""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.cluster.node_instance import NodeInstance
+from repro.cluster.sharding import ShardedLockstep, StepRequest
+from repro.vector import VectorEngine
+from tests.vector.conftest import (
+    BUDGET_SCHEDULE,
+    bits,
+    build_pair,
+    make_spec,
+    surface,
+)
+
+
+def _drive(node, budgets):
+    t = node.now
+    for budget in budgets:
+        node.receive_budget(budget)
+        t += 1.0
+        node.advance(t)
+
+
+def _continue_and_compare(a, b, budgets=BUDGET_SCHEDULE[5:]):
+    """Advance both nodes through the same tail; every epoch surface
+    and the final full checkpoint must be bit-identical."""
+    t = a.now
+    for budget in budgets:
+        a.receive_budget(budget)
+        b.receive_budget(budget)
+        t += 1.0
+        a.advance(t)
+        b.advance(t)
+        assert bits(surface(a)) == bits(surface(b))
+    assert bits(a.snapshot()) == bits(b.snapshot())
+
+
+def _import_vector(checkpoint, node_id=0):
+    host = VectorEngine()
+    host.build([(node_id, checkpoint)])
+    assert host.vector_node_ids == [node_id], host.fallback_node_ids
+    return host.node(node_id)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("app_name", ["lammps", "openmc"])
+    def test_vector_to_object(self, app_name):
+        obj, host = build_pair(app_name)
+        vec = host.node(0)
+        _drive(obj, BUDGET_SCHEDULE[:5])
+        _drive(vec, BUDGET_SCHEDULE[:5])
+        restored = NodeInstance.from_checkpoint(vec.snapshot())
+        _continue_and_compare(restored, obj)
+
+    @pytest.mark.parametrize("app_name", ["lammps", "stream"])
+    def test_object_to_vector(self, app_name):
+        obj, host = build_pair(app_name)
+        vec = host.node(0)
+        _drive(obj, BUDGET_SCHEDULE[:5])
+        _drive(vec, BUDGET_SCHEDULE[:5])
+        imported = _import_vector(obj.snapshot())
+        _continue_and_compare(imported, vec)
+
+    def test_vector_to_vector(self):
+        obj, host = build_pair("lammps")
+        vec = host.node(0)
+        _drive(obj, BUDGET_SCHEDULE[:5])
+        _drive(vec, BUDGET_SCHEDULE[:5])
+        imported = _import_vector(vec.snapshot())
+        _continue_and_compare(imported, obj)
+
+    def test_pre_start_checkpoint(self):
+        """A checkpoint taken before the first advance restores onto
+        either engine and both continue identically."""
+        _, host = build_pair("amg")
+        vec = host.node(0)
+        checkpoint = vec.snapshot()
+        restored_obj = NodeInstance.from_checkpoint(checkpoint)
+        restored_vec = _import_vector(checkpoint)
+        _continue_and_compare(restored_obj, restored_vec,
+                              budgets=BUDGET_SCHEDULE[:6])
+
+    def test_irregular_checkpoint_falls_back(self):
+        """A checkpoint of a non-fast-path app imports as an object
+        fallback inside the vector host, results unchanged."""
+        spec = make_spec("candle")
+        obj = NodeInstance.from_spec(0, spec)
+        _drive(obj, BUDGET_SCHEDULE[:3])
+        host = VectorEngine()
+        host.build([(0, obj.snapshot())])
+        assert host.fallback_node_ids == [0]
+        ref = NodeInstance.from_spec(0, spec)
+        _drive(ref, BUDGET_SCHEDULE[:3])
+        _continue_and_compare(host.node(0), ref,
+                              budgets=BUDGET_SCHEDULE[3:6])
+
+
+class TestLockstepMigration:
+    def test_vector_lockstep_checkpoints_restore_on_object(self):
+        """Checkpoints taken through a vector-engine lockstep rebuild
+        inside an object-engine lockstep (and vice versa) with
+        bit-identical step results."""
+
+        def requests(target):
+            return [StepRequest(node_id=i, target=target, budget=90.0,
+                                set_budget=True, windows=(3.0,))
+                    for i in range(2)]
+
+        def fingerprint(results):
+            return bits([(r.node_id, r.now, r.energy, r.cumulative,
+                          sorted(r.rates.items())) for r in results])
+
+        specs = [(i, make_spec("lammps", node_id=i, seed=7 + i))
+                 for i in range(2)]
+        with ShardedLockstep(engine="vector") as vec_ls:
+            vec_ls.add_nodes(specs)
+            vec_ls.step(requests(1.0))
+            checkpoints = vec_ls.checkpoint([0, 1])
+            with ShardedLockstep(engine="object") as obj_ls:
+                obj_ls.add_nodes(sorted(checkpoints.items()))
+                obj_results = obj_ls.step(requests(2.0))
+            vec_results = vec_ls.step(requests(2.0))
+        assert fingerprint(obj_results) == fingerprint(vec_results)

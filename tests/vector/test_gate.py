@@ -1,0 +1,96 @@
+"""Eligibility gate: which specs take the fast path, and why not."""
+
+import dataclasses
+
+import pytest
+
+from repro.stack import BUDGET, StackSpec
+from repro.vector import (
+    FAST_APPS,
+    MAX_VECTOR_WORKERS,
+    VectorEngine,
+    build_profile,
+    profile_key,
+    supports_fast_path,
+)
+from tests.vector.conftest import IRREGULAR_APPS, make_spec
+
+
+class TestSupportsFastPath:
+    @pytest.mark.parametrize("app_name", FAST_APPS)
+    def test_fast_apps_are_eligible(self, app_name):
+        assert supports_fast_path(make_spec(app_name)) is None
+
+    @pytest.mark.parametrize("app_name", IRREGULAR_APPS)
+    def test_irregular_apps_are_refused_with_a_reason(self, app_name):
+        reason = supports_fast_path(make_spec(app_name))
+        assert isinstance(reason, str) and app_name in reason
+
+    def test_non_budget_controller_is_refused(self):
+        spec = dataclasses.replace(make_spec("lammps"),
+                                   controller="daemon")
+        assert "controller" in supports_fast_path(spec)
+
+    def test_initial_budget_is_refused(self):
+        spec = dataclasses.replace(make_spec("lammps"),
+                                   initial_budget=100.0)
+        assert "initial_budget" in supports_fast_path(spec)
+
+    def test_too_many_workers_are_refused(self):
+        spec = StackSpec(
+            app_name="lammps",
+            app_kwargs={"n_steps": 1000,
+                        "n_workers": MAX_VECTOR_WORKERS + 1},
+            seed=0, controller=BUDGET)
+        assert "n_workers" in supports_fast_path(spec)
+
+    def test_checkpoint_dict_is_refused(self):
+        assert supports_fast_path({"version": 1}) is not None
+
+
+class TestProfileKey:
+    def test_seed_and_name_do_not_split_groups(self):
+        a = make_spec("lammps", node_id=0, seed=1)
+        b = make_spec("lammps", node_id=1, seed=2)
+        assert profile_key(a) == profile_key(b)
+
+    def test_different_apps_split_groups(self):
+        assert profile_key(make_spec("lammps")) != \
+            profile_key(make_spec("amg"))
+
+    def test_different_kwargs_split_groups(self):
+        a = make_spec("stream")
+        b = dataclasses.replace(a, app_kwargs={"n_workers": 2})
+        assert profile_key(a) != profile_key(b)
+
+    def test_build_profile_refuses_ineligible_specs(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            build_profile(make_spec("candle"))
+
+
+class TestHostMembership:
+    def test_mixed_build_routes_each_spec(self):
+        host = VectorEngine()
+        host.build([(0, make_spec("lammps", node_id=0)),
+                    (1, make_spec("candle", node_id=1)),
+                    (2, make_spec("lammps", node_id=2, seed=9))])
+        assert sorted(host.vector_node_ids) == [0, 2]
+        assert host.fallback_node_ids == [1]
+        assert len(host) == 3 and 1 in host and 3 not in host
+
+    def test_duplicate_node_id_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        host = VectorEngine()
+        host.build([(0, make_spec("lammps"))])
+        with pytest.raises(ConfigurationError):
+            host.build([(0, make_spec("lammps"))])
+
+    def test_remove_frees_both_paths(self):
+        host = VectorEngine()
+        host.build([(0, make_spec("lammps", node_id=0)),
+                    (1, make_spec("candle", node_id=1))])
+        host.remove([0, 1])
+        assert len(host) == 0

@@ -1,0 +1,177 @@
+"""Golden bit-parity: vector engine == object engine, all 10 apps.
+
+``fixtures/golden_apps.json`` was recorded by the object engine
+(:class:`NodeInstance`) running each application category through the
+shared budget schedule. Every test compares with :func:`bits` — IEEE
+bytes, not approximately — so a single reassociated float fails.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.cluster.node_instance import NodeInstance
+from repro.cluster.variability import perturb_config
+from repro.hardware.config import skylake_config
+from repro.vector import FAST_APPS, VectorEngine
+from tests.vector.conftest import (
+    ALL_APPS,
+    BUDGET_SCHEDULE,
+    IRREGULAR_APPS,
+    bits,
+    build_pair,
+    make_spec,
+    surface,
+)
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "golden_apps.json"
+
+
+def _golden():
+    with open(FIXTURE) as f:
+        return json.load(f)
+
+
+def _drive(node, budgets=BUDGET_SCHEDULE):
+    """Run the schedule, returning per-epoch surfaces."""
+    trajectory = []
+    t = node.now
+    for budget in budgets:
+        node.receive_budget(budget)
+        t += 1.0
+        node.advance(t)
+        trajectory.append(surface(node))
+    return trajectory
+
+
+def _golden_surface(node):
+    """The fixture's view of a finished node (cap series + counters
+    reach beyond the common NodeInstance surface, so pull them from the
+    full checkpoint, which both engines export in the same format)."""
+    snap = node.snapshot()
+    state = snap["stack"].state
+    cap = state["controller"]["cap_series"]
+    return {
+        "now": node.now,
+        "pkg_energy": node.node.pkg_energy,
+        "dram_energy": node.node.dram_energy,
+        "frequency": node.node.frequency,
+        "uncore_scale": node.node.uncore_scale,
+        "mon_times": list(node.monitor.series.times),
+        "mon_values": list(node.monitor.series.values),
+        "cap_times": cap["times"],
+        "cap_values": cap["values"],
+        "cumulative": node.cumulative_progress(),
+        "recent_rate": node.recent_rate(3.0),
+        "counters": state["node"]["counters"],
+    }
+
+
+class TestGoldenParity:
+    """Both engines must reproduce the recorded object trajectories."""
+
+    @pytest.mark.parametrize("app_name", ALL_APPS)
+    def test_engines_match_fixture(self, app_name):
+        golden = _golden()[app_name]
+        obj, host = build_pair(app_name)
+        vec = host.node(0)
+
+        obj_traj = _drive(obj)
+        vec_traj = _drive(vec)
+
+        # epoch-by-epoch, engine vs engine (full surface incl. energy)
+        assert bits(vec_traj) == bits(obj_traj)
+
+        # end-state vs the recorded fixture (guards both engines —
+        # and the fixture itself — against drift)
+        for node, engine in ((obj, "object"), (vec, "vector")):
+            got = _golden_surface(node)
+            epoch_energies = [s["epoch_energy"] for s in
+                              (obj_traj if engine == "object" else vec_traj)]
+            for key, expected in golden.items():
+                if key == "epoch_energies":
+                    assert bits(epoch_energies) == bits(expected), engine
+                else:
+                    assert bits(got[key]) == bits(expected), \
+                        f"{engine}:{key}"
+
+    @pytest.mark.parametrize("app_name", ALL_APPS)
+    def test_full_checkpoint_parity(self, app_name):
+        """The *entire* mid-run checkpoint — engine tasks, firmware,
+        bus RNG, counters, everything — must be bit-identical."""
+        obj, host = build_pair(app_name)
+        vec = host.node(0)
+        _drive(obj, BUDGET_SCHEDULE[:5])
+        _drive(vec, BUDGET_SCHEDULE[:5])
+        assert bits(vec.snapshot()) == bits(obj.snapshot())
+
+
+class TestRouting:
+    @pytest.mark.parametrize("app_name", FAST_APPS)
+    def test_fast_apps_take_the_vector_path(self, app_name):
+        host = VectorEngine()
+        host.build([(0, make_spec(app_name))])
+        assert host.vector_node_ids == [0]
+        assert host.fallback_node_ids == []
+
+    @pytest.mark.parametrize("app_name", IRREGULAR_APPS)
+    def test_irregular_apps_fall_back_to_object(self, app_name):
+        host = VectorEngine()
+        host.build([(0, make_spec(app_name))])
+        assert host.vector_node_ids == []
+        assert host.fallback_node_ids == [0]
+        assert isinstance(host.node(0), NodeInstance)
+
+
+class TestGroupedParity:
+    def test_perturbed_group_matches_object_nodes(self):
+        """A multi-node group with per-node process variation (the
+        cluster's perturbation touches exactly the per-node config
+        fields) stays bit-identical to independent object nodes."""
+        import numpy as np
+
+        base = skylake_config()
+        specs = []
+        for i in range(4):
+            cfg = perturb_config(base, np.random.default_rng([11, i]),
+                                 sigma_dynamic=0.05, sigma_static=0.08)
+            specs.append((i, make_spec("lammps", node_id=i,
+                                       seed=7 + 1000 * i, cfg=cfg)))
+        host = VectorEngine()
+        host.build(specs)
+        assert sorted(host.vector_node_ids) == [0, 1, 2, 3]
+        objs = [NodeInstance.from_spec(i, spec) for i, spec in specs]
+
+        for budget in BUDGET_SCHEDULE[:6]:
+            per_node = [budget, 100.0, None, 125.0]
+            for obj, (i, _), b in zip(objs, specs, per_node):
+                obj.receive_budget(b)
+                host.node(i).receive_budget(b)
+                t = obj.now + 1.0
+                obj.advance(t)
+                host.node(i).advance(t)
+
+        for obj, (i, _) in zip(objs, specs):
+            assert bits(surface(host.node(i))) == bits(surface(obj)), i
+
+    def test_run_to_completion_matches(self):
+        """An app that exhausts its work (the DONE path: workers spin
+        down, rate falls to zero) stays bit-identical."""
+        import dataclasses
+
+        spec = dataclasses.replace(
+            make_spec("lammps"),
+            app_kwargs={"n_steps": 40, "n_workers": 4})
+        obj = NodeInstance.from_spec(0, spec)
+        host = VectorEngine()
+        host.build([(0, spec)])
+        vec = host.node(0)
+        for _ in range(8):
+            t = obj.now + 1.0
+            obj.advance(t)
+            vec.advance(t)
+            assert bits(surface(vec)) == bits(surface(obj))
+        assert obj.recent_rate(1.0) == 0.0  # it actually finished
