@@ -20,9 +20,23 @@ scale-up:
   pluggable cluster-level power policy,
 * :mod:`repro.cluster.policies` — uniform budgets vs a progress-aware
   rebalancer that shifts power toward the critical-path nodes (the use
-  case the paper's online-progress metric enables).
+  case the paper's online-progress metric enables),
+* :mod:`repro.cluster.elastic` — checkpoint-powered elasticity: the
+  :class:`~repro.cluster.elastic.ShardBalancer` migrates nodes between
+  shards from measured epoch wall times (results invariant by the
+  parity contract), and :func:`~repro.cluster.elastic.rewind_cluster` /
+  :func:`~repro.cluster.elastic.rewind_scheduler` resume or time-travel
+  replay recorded runs from
+  :class:`~repro.runtime.runfile.RunCheckpoint` files.
 """
 
+from repro.cluster.elastic import (
+    MigrationPlan,
+    NodeMigration,
+    ShardBalancer,
+    rewind_cluster,
+    rewind_scheduler,
+)
 from repro.cluster.lockstep import (
     advance_lockstep,
     collect_rates,
@@ -56,4 +70,9 @@ __all__ = [
     "StepResult",
     "NodeTelemetry",
     "step_node",
+    "NodeMigration",
+    "MigrationPlan",
+    "ShardBalancer",
+    "rewind_cluster",
+    "rewind_scheduler",
 ]

@@ -1,0 +1,205 @@
+"""Checkpoint-powered elasticity: rebalancing, resumption, replay.
+
+The paper's thesis is that a fixed allocation wastes what a dynamic one
+recovers — power should flow to where progress stalls. This module
+applies the same idea one level up, to *compute placement*: because PR 4
+made every node's full mid-run state shippable
+(:meth:`~repro.cluster.node_instance.NodeInstance.snapshot`) and the
+lockstep parity contract guarantees bit-identical series for any
+node-to-shard assignment, nodes can move while a run is in flight —
+and whole runs can stop, resume, and replay. Three capabilities share
+the machinery:
+
+* **Dynamic shard rebalancing** — :class:`ShardBalancer` watches the
+  per-shard epoch wall times :class:`~repro.cluster.sharding
+  .ShardedLockstep` measures and migrates nodes from the slowest shard
+  to the fastest (``checkpoint() → add_nodes()``, cross-engine safe:
+  an object node lands in a vector host's fallback slot and vice
+  versa). Purely a wall-clock lever; simulated results are invariant.
+* **Crash-resumable runs** — the epoch loops
+  (:meth:`~repro.cluster.simulation.ClusterSimulation.run`,
+  :meth:`~repro.scheduler.scheduler.PowerAwareScheduler.run`, the
+  daemon tick) periodically write atomic
+  :class:`~repro.runtime.runfile.RunCheckpoint` files; a ``kill -9``
+  mid-run resumes from the last file and finishes bit-equal to the
+  uninterrupted run.
+* **Time-travel replay** — :func:`rewind_cluster` /
+  :func:`rewind_scheduler` rebuild a run at any checkpointed epoch,
+  optionally under a *different* policy or configuration, answering
+  "what would this run have done from epoch N under schedule B?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.runfile import resolve_checkpoint
+
+__all__ = [
+    "NodeMigration",
+    "MigrationPlan",
+    "ShardBalancer",
+    "rewind_cluster",
+    "rewind_scheduler",
+]
+
+
+@dataclass(frozen=True)
+class NodeMigration:
+    """One node's move from shard ``src`` to shard ``dst``."""
+
+    node_id: int
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """A balancer decision: the moves to apply before the next epoch.
+
+    ``observation`` is the balancer's observation count when the plan
+    was issued (a wall-clock-free sequence number, useful in traces).
+    """
+
+    observation: int
+    moves: tuple[NodeMigration, ...]
+
+
+class ShardBalancer:
+    """Move nodes off the slowest shard when the skew justifies it.
+
+    After every sharded epoch step the lockstep offers the balancer the
+    measured per-shard wall times (:meth:`observe`). When the slowest
+    shard exceeds ``threshold`` times the fastest, the balancer plans to
+    move the tail of the slow shard's node list to the fast shard —
+    enough nodes to roughly equalise the shards' per-node costs, but
+    never the slow shard's last node, and at most ``max_moves`` per
+    plan when set.
+
+    Wall times are host measurements and therefore nondeterministic;
+    that is safe *only* because placement cannot affect simulated
+    results (the lockstep parity contract — see
+    :mod:`repro.runtime.hosttime` for the audit reasoning). Two runs of
+    the same seed may migrate differently and still produce
+    bit-identical series.
+
+    Parameters
+    ----------
+    threshold:
+        Slowest/fastest wall-time ratio that triggers a plan (> 1).
+    warmup:
+        Observations to ignore before the first plan — early epochs are
+        dominated by fork/import noise.
+    cooldown:
+        Observations to skip after each plan, letting the new placement
+        produce fresh timings before judging it.
+    max_moves:
+        Cap on nodes moved per plan; 0 (default) means uncapped (the
+        equalising estimate still applies).
+    """
+
+    def __init__(self, *, threshold: float = 1.4, warmup: int = 2,
+                 cooldown: int = 3, max_moves: int = 0) -> None:
+        if threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be > 1, got {threshold}")
+        if warmup < 0 or cooldown < 0 or max_moves < 0:
+            raise ConfigurationError(
+                "warmup, cooldown and max_moves must be >= 0")
+        self.threshold = threshold
+        self.warmup = warmup
+        self.cooldown = cooldown
+        self.max_moves = max_moves
+        self.observations = 0
+        self.plans = 0
+        self._cooling = 0
+
+    def observe(self, shard_times: dict[int, float],
+                shard_nodes: dict[int, list[int]]) -> MigrationPlan | None:
+        """Judge one epoch's timings; return a plan or None.
+
+        ``shard_times`` maps shard → wall seconds for the epoch just
+        stepped; ``shard_nodes`` is the current placement. Only shards
+        present in both inputs participate.
+        """
+        self.observations += 1
+        if self.observations <= self.warmup:
+            return None
+        if self._cooling > 0:
+            self._cooling -= 1
+            return None
+        shards = [s for s in sorted(shard_times) if s in shard_nodes]
+        if len(shards) < 2:
+            return None
+        slow = max(shards, key=lambda s: (shard_times[s], s))
+        fast = min(shards, key=lambda s: (shard_times[s], -s))
+        t_slow, t_fast = shard_times[slow], shard_times[fast]
+        if t_fast <= 0.0 or t_slow <= self.threshold * t_fast:
+            return None
+        donors = shard_nodes[slow]
+        if len(donors) < 2:
+            return None  # never empty a shard's last node
+        # Move roughly enough nodes to close the gap at current
+        # per-node costs; the cooldown absorbs estimate error.
+        per_slow = t_slow / len(donors)
+        receivers = shard_nodes.get(fast, [])
+        per_fast = t_fast / len(receivers) if receivers else per_slow
+        denom = per_slow + per_fast
+        k = int((t_slow - t_fast) / denom) if denom > 0 else 1
+        k = max(1, min(k, len(donors) - 1))
+        if self.max_moves:
+            k = min(k, self.max_moves)
+        moves = tuple(NodeMigration(node_id=nid, src=slow, dst=fast)
+                      for nid in donors[-k:])
+        self._cooling = self.cooldown
+        self.plans += 1
+        return MigrationPlan(observation=self.observations, moves=moves)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardBalancer(threshold={self.threshold}, "
+                f"observations={self.observations}, plans={self.plans})")
+
+
+# ----------------------------------------------------------------------
+# Time travel
+# ----------------------------------------------------------------------
+
+
+def rewind_cluster(source, epoch: int | None = None, *, policy=None,
+                   shards: int = 1, engine: str = "object",
+                   balance: bool = False):
+    """Rebuild a :class:`ClusterSimulation` at a checkpointed epoch.
+
+    ``source`` is a :class:`CheckpointStore`, a store directory, a
+    checkpoint file path, or a :class:`RunCheckpoint`. ``policy``
+    (when given) replaces the checkpointed allocation policy — the
+    time-travel seam: replay the identical node state under a different
+    schedule. ``shards``/``engine``/``balance`` pick the execution
+    substrate for the replay; none of them affect the replayed series.
+    """
+    from repro.cluster.simulation import ClusterSimulation
+
+    checkpoint = resolve_checkpoint(source, kind="cluster", epoch=epoch)
+    return ClusterSimulation.resume(checkpoint, policy=policy,
+                                    shards=shards, engine=engine,
+                                    balance=balance)
+
+
+def rewind_scheduler(source, powerbook, cfg=None,
+                     epoch: int | None = None, *, config=None):
+    """Rebuild a :class:`PowerAwareScheduler` at a checkpointed epoch.
+
+    ``powerbook``/``cfg`` mirror the scheduler constructor (profiles
+    are not stored in checkpoints — pass the same book, or a preloaded
+    equivalent). ``config`` (when given) replaces the checkpointed
+    :class:`SchedulerConfig` for the replay — e.g. a different
+    ``power_budget`` or cap schedule from epoch N on. Structural
+    fields (``n_slots``, ``seed``, ``variability``) must match the
+    recorded run; the restored node state was built under them.
+    """
+    from repro.scheduler.scheduler import PowerAwareScheduler
+
+    checkpoint = resolve_checkpoint(source, kind="scheduler", epoch=epoch)
+    return PowerAwareScheduler.resume(checkpoint, powerbook, cfg,
+                                      config=config)

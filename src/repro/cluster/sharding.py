@@ -48,11 +48,17 @@ import multiprocessing as mp
 import pickle
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Sequence
 
 from repro import obs
 from repro.cluster.node_instance import NodeInstance
-from repro.exceptions import ConfigurationError, SimulationError
+from repro.exceptions import (
+    ConfigurationError,
+    ShardWorkerError,
+    SimulationError,
+)
+from repro.runtime import hosttime
 from repro.stack.spec import StackSpec
 from repro.telemetry.timeseries import TimeSeries
 
@@ -397,12 +403,30 @@ class ShardedLockstep:
         bare float tuples. On by default; only affects ``shards >= 2``
         (the serial path has no wire). Set False to force the original
         one-dataclass-per-node framing.
+    balancer:
+        An elastic rebalancer (duck-typed as
+        :class:`repro.cluster.elastic.ShardBalancer`): after every
+        sharded epoch step its ``observe(shard_times, shard_nodes)`` is
+        offered the measured per-shard wall times and may return a
+        migration plan, which is applied immediately via
+        :meth:`migrate_nodes`. Placement is provably invisible to
+        simulated results (the parity contract), so the balancer can
+        only change wall time. Ignored with ``shards=1``.
     """
 
     def __init__(self, shards: int = 1, *, engine: str = "object",
                  start_method: str | None = None,
                  measure_payloads: bool = False,
-                 compact_wire: bool = True) -> None:
+                 compact_wire: bool = True,
+                 balancer=None) -> None:
+        # Assigned before any validation so close() — and therefore
+        # __del__ — is safe on a partially constructed instance.
+        self._closed = False
+        self._workers: list = []
+        self._pipes: list = []
+        self._shard_of: dict[int, int] = {}
+        self._budget_sent: dict[int, float | None] = {}
+        self._next_shard = 0
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         if engine not in _ENGINES:
@@ -412,28 +436,33 @@ class ShardedLockstep:
         self.engine = engine
         self.measure_payloads = measure_payloads
         self.compact_wire = compact_wire
+        self.balancer = balancer
         self.payload_stats = PayloadStats()
+        #: Per-shard wall seconds of the most recent sharded epoch step
+        #: (send-complete to reply-arrival, host clock). Placement
+        #: telemetry only — never feeds a simulated quantity.
+        self.shard_times: dict[int, float] = {}
+        #: Total nodes migrated between shards over this lockstep's life.
+        self.migrations = 0
         self._host = _make_host(engine) if shards == 1 else None
-        self._shard_of: dict[int, int] = {}
-        self._budget_sent: dict[int, float | None] = {}
-        self._next_shard = 0
-        self._workers: list = []
-        self._pipes: list = []
-        self._closed = False
         if shards > 1:
             if start_method is None:
                 methods = mp.get_all_start_methods()
                 start_method = "fork" if "fork" in methods else methods[0]
             ctx = mp.get_context(start_method)
-            for _ in range(shards):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(target=_worker_main,
-                                   args=(child_conn, engine),
-                                   daemon=True)
-                proc.start()
-                child_conn.close()
-                self._workers.append(proc)
-                self._pipes.append(parent_conn)
+            try:
+                for _ in range(shards):
+                    parent_conn, child_conn = ctx.Pipe()
+                    proc = ctx.Process(target=_worker_main,
+                                       args=(child_conn, engine),
+                                       daemon=True)
+                    proc.start()
+                    child_conn.close()
+                    self._workers.append(proc)
+                    self._pipes.append(parent_conn)
+            except BaseException:  # pragma: no cover - spawn failure
+                self.close()
+                raise
 
     # -- membership --------------------------------------------------------
 
@@ -441,25 +470,35 @@ class ShardedLockstep:
     def n_nodes(self) -> int:
         return len(self._shard_of)
 
-    def add_nodes(self, items: Sequence[tuple[int, object]]) -> None:
+    def add_nodes(self, items: Sequence[tuple[int, object]], *,
+                  shard: int | None = None) -> None:
         """Build nodes from ``(node_id, StackSpec | checkpoint)`` pairs.
 
         Specs are rebuilt fresh; checkpoint dicts (from
-        :meth:`NodeInstance.snapshot`) restore a node mid-run. Nodes are
-        assigned to shards round-robin in insertion order.
+        :meth:`NodeInstance.snapshot`) restore a node mid-run. By
+        default nodes are assigned to shards round-robin in insertion
+        order; ``shard=`` pins every item in this call to one shard
+        (used by :meth:`migrate_nodes`) without advancing the
+        round-robin cursor.
         """
+        if shard is not None and not 0 <= shard < self.shards:
+            raise ConfigurationError(
+                f"shard must be in [0, {self.shards}), got {shard}")
         per_shard: dict[int, list] = {}
         local_items: list[tuple[int, object]] = []
         for node_id, item in items:
             if node_id in self._shard_of:
                 raise ConfigurationError(f"node {node_id} already exists")
-            shard = self._next_shard % self.shards
-            self._next_shard += 1
-            self._shard_of[node_id] = shard
+            if shard is None:
+                target = self._next_shard % self.shards
+                self._next_shard += 1
+            else:
+                target = shard
+            self._shard_of[node_id] = target
             if self.shards == 1:
                 local_items.append((node_id, item))
             else:
-                per_shard.setdefault(shard, []).append((node_id, item))
+                per_shard.setdefault(target, []).append((node_id, item))
         if local_items:
             # one batched build so the vector host can group the whole
             # placement into shared arrays
@@ -483,6 +522,61 @@ class ShardedLockstep:
         if self.shards > 1 and per_shard:
             self._dispatch("remove", per_shard)
 
+    def shard_nodes(self) -> dict[int, list[int]]:
+        """Current placement: shard index → node ids, insertion order.
+        Every shard appears, including empty ones."""
+        out: dict[int, list[int]] = {s: [] for s in range(self.shards)}
+        for node_id, shard in self._shard_of.items():
+            out[shard].append(node_id)
+        return out
+
+    def migrate_nodes(self, moves: dict[int, int]) -> int:
+        """Move live nodes between shards via checkpoint → rebuild.
+
+        ``moves`` maps node id → destination shard. Each node is
+        checkpointed in place (:meth:`NodeInstance.snapshot` — fully
+        engine-portable, so an object node may land in a vector host's
+        fallback slot and vice versa), removed from its source shard and
+        rebuilt on the destination, mid-run state intact. The parent's
+        budget-dedup cache survives the move: the restored policy still
+        holds the delivered budget, so skipping an unchanged re-send
+        stays exact. No-op moves (already on the destination) are
+        skipped. Returns the number of nodes actually migrated.
+
+        The lockstep contract makes this invisible to results — golden
+        parity holds for *any* placement — so migration is purely a
+        wall-clock lever.
+        """
+        real: dict[int, int] = {}
+        for node_id, dst in moves.items():
+            src = self._shard_of.get(node_id)
+            if src is None:
+                raise ConfigurationError(f"unknown node {node_id}")
+            if not 0 <= dst < self.shards:
+                raise ConfigurationError(
+                    f"destination shard must be in [0, {self.shards}), "
+                    f"got {dst} for node {node_id}")
+            if dst != src:
+                real[node_id] = dst
+        if not real or self.shards == 1:
+            return 0
+        snapshots = self.checkpoint(list(real))
+        saved_budgets = {nid: self._budget_sent[nid]
+                        for nid in real if nid in self._budget_sent}
+        self.remove_nodes(list(real))
+        per_dst: dict[int, list] = {}
+        for node_id, dst in real.items():
+            per_dst.setdefault(dst, []).append((node_id, snapshots[node_id]))
+        for dst in sorted(per_dst):
+            self.add_nodes(per_dst[dst], shard=dst)
+        self._budget_sent.update(saved_budgets)
+        self.migrations += len(real)
+        obs.metrics().counter("shard.migrations_total").inc(len(real))
+        obs.tracer().instant(
+            "shard.migrate", nodes=len(real),
+            moves={str(nid): dst for nid, dst in sorted(real.items())})
+        return len(real)
+
     def local_nodes(self) -> dict[int, Any]:
         """The live nodes — serial mode only (with workers the nodes
         live in other processes and cannot be touched directly). Values
@@ -501,7 +595,9 @@ class ShardedLockstep:
     def step(self, requests: Sequence[StepRequest]) -> list[StepResult]:
         """Advance every requested node one epoch; results come back in
         request order. With workers, all shards advance concurrently —
-        this is the parallel section."""
+        this is the parallel section. When a :attr:`balancer` is
+        installed it observes the measured per-shard wall times after
+        the step and may migrate nodes before the next epoch."""
         if self.shards == 1:
             return self._host.step(requests)
         per_shard: dict[int, list[StepRequest]] = {}
@@ -511,20 +607,26 @@ class ShardedLockstep:
             replies = self._dispatch("step", per_shard)
             by_node = {res.node_id: res
                        for results in replies.values() for res in results}
-            return [by_node[req.node_id] for req in requests]
-        payloads: dict[int, list] = {}
-        grouped: dict[int, list[StepRequest]] = {}
-        for shard, reqs in per_shard.items():
-            payloads[shard], grouped[shard] = self._compact_payload(reqs)
-        replies = self._dispatch("step2", payloads)
-        by_node: dict[int, StepResult] = {}
-        for shard, rows in replies.items():
-            for req, row in zip(grouped[shard], rows):
-                now, energy, cumulative, rate_values = row
-                by_node[req.node_id] = StepResult(
-                    node_id=req.node_id, now=now, energy=energy,
-                    cumulative=cumulative,
-                    rates=dict(zip(req.windows, rate_values)))
+        else:
+            payloads: dict[int, list] = {}
+            grouped: dict[int, list[StepRequest]] = {}
+            for shard, reqs in per_shard.items():
+                payloads[shard], grouped[shard] = self._compact_payload(reqs)
+            replies = self._dispatch("step2", payloads)
+            by_node = {}
+            for shard, rows in replies.items():
+                for req, row in zip(grouped[shard], rows):
+                    now, energy, cumulative, rate_values = row
+                    by_node[req.node_id] = StepResult(
+                        node_id=req.node_id, now=now, energy=energy,
+                        cumulative=cumulative,
+                        rates=dict(zip(req.windows, rate_values)))
+        if self.balancer is not None and self.shard_times:
+            plan = self.balancer.observe(self.shard_times,
+                                         self.shard_nodes())
+            if plan is not None and plan.moves:
+                self.migrate_nodes(
+                    {move.node_id: move.dst for move in plan.moves})
         return [by_node[req.node_id] for req in requests]
 
     def _compact_payload(
@@ -613,7 +715,9 @@ class ShardedLockstep:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the workers down (idempotent)."""
+        """Shut the workers down. Idempotent, and safe against
+        partially-started or already-dead workers — every pipe
+        operation tolerates a broken peer."""
         if self._closed:
             return
         self._closed = True
@@ -627,7 +731,10 @@ class ShardedLockstep:
                 pipe.recv()
             except (EOFError, OSError):
                 pass
-            pipe.close()
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
         for proc in self._workers:
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover - defensive
@@ -649,15 +756,29 @@ class ShardedLockstep:
 
     # -- internals ---------------------------------------------------------
 
+    def _worker_exitcode(self, shard: int) -> int | None:
+        """Best-effort exit code of a shard worker (reaps it first)."""
+        try:
+            proc = self._workers[shard]
+        except IndexError:  # pragma: no cover - defensive
+            return None
+        proc.join(timeout=1.0)
+        return proc.exitcode
+
     def _dispatch(self, cmd: str, per_shard: dict[int, list]) -> dict[int, Any]:
         """Send ``cmd`` to every involved shard, then collect replies.
 
         Sends complete before any receive, so all shards compute
-        concurrently; errors ship back as formatted tracebacks and
-        re-raise here as :class:`SimulationError`. With payload
-        measurement on (explicitly or via tracing), each direction's
-        pickled size is recorded — observation only, the bytes on the
-        pipe are untouched.
+        concurrently. Replies are collected as they arrive (via
+        :func:`multiprocessing.connection.wait`, so a dead worker
+        surfaces as a typed :class:`ShardWorkerError` instead of a
+        hang), and each shard's send-to-reply wall time is measured —
+        for ``step``/``step2`` these land in :attr:`shard_times` as the
+        balancer's signal. Worker-side exceptions ship back as formatted
+        tracebacks and re-raise here as :class:`SimulationError`. With
+        payload measurement on (explicitly or via tracing), each
+        direction's pickled size is recorded — observation only, the
+        bytes on the pipe are untouched.
         """
         if self._closed:
             raise SimulationError("ShardedLockstep is closed")
@@ -669,23 +790,39 @@ class ShardedLockstep:
             for shard, payload in per_shard.items():
                 if measure:
                     sizes_down[shard] = len(pickle.dumps((cmd, payload)))
-                self._pipes[shard].send((cmd, payload))
+                try:
+                    self._pipes[shard].send((cmd, payload))
+                except (BrokenPipeError, OSError) as exc:
+                    raise ShardWorkerError(
+                        shard, cmd, self._worker_exitcode(shard)) from exc
+            start = hosttime.perf_s()
             replies: dict[int, Any] = {}
-            total_down = total_up = 0
-            for shard in per_shard:
-                status, value = self._pipes[shard].recv()
-                if status != "ok":
-                    raise SimulationError(
-                        f"shard {shard} failed on {cmd!r}:\n{value}")
-                replies[shard] = value
-                if measure:
-                    up = len(pickle.dumps((status, value)))
+            arrivals: dict[int, float] = {}
+            pending = {self._pipes[shard]: shard for shard in per_shard}
+            while pending:
+                for conn in _conn_wait(list(pending)):
+                    shard = pending.pop(conn)
+                    try:
+                        status, value = conn.recv()
+                    except (EOFError, OSError) as exc:
+                        raise ShardWorkerError(
+                            shard, cmd, self._worker_exitcode(shard)) from exc
+                    arrivals[shard] = hosttime.perf_s() - start
+                    if status != "ok":
+                        raise SimulationError(
+                            f"shard {shard} failed on {cmd!r}:\n{value}")
+                    replies[shard] = value
+            if cmd in ("step", "step2"):
+                self._record_step_times(arrivals)
+            if measure:
+                total_down = total_up = 0
+                for shard in per_shard:
+                    up = len(pickle.dumps(("ok", replies[shard])))
                     down = sizes_down[shard]
                     total_down += down
                     total_up += up
                     tracer.instant("shard.payload", cmd=cmd, shard=shard,
                                    bytes_down=down, bytes_up=up)
-            if measure:
                 self.payload_stats.record(cmd, total_down, total_up)
                 span.set(bytes_down=total_down, bytes_up=total_up)
                 registry = obs.metrics()
@@ -694,3 +831,17 @@ class ShardedLockstep:
                 registry.counter("shard.pickle_bytes",
                                  direction="up").inc(total_up)
         return replies
+
+    def _record_step_times(self, arrivals: dict[int, float]) -> None:
+        """Publish one epoch step's per-shard wall times (placement
+        telemetry: the balancer's input and the obs imbalance gauge)."""
+        self.shard_times = dict(sorted(arrivals.items()))
+        registry = obs.metrics()
+        for shard, seconds in self.shard_times.items():
+            registry.histogram("shard.epoch_wall_s",
+                               shard=shard).observe(seconds)
+        if len(self.shard_times) >= 2:
+            slowest = max(self.shard_times.values())
+            fastest = min(self.shard_times.values())
+            registry.gauge("shard.imbalance").set(
+                slowest / fastest if fastest > 0 else float("inf"))

@@ -24,18 +24,36 @@ job-wide and node-local metrics:
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro import obs
 from repro.cluster.node_instance import NodeInstance
 from repro.cluster.sharding import ShardedLockstep, StepRequest
 from repro.cluster.variability import perturb_config
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    check_snapshot_version,
+)
 from repro.hardware.config import NodeConfig, skylake_config
+from repro.runtime.runfile import RUN_CHECKPOINT_VERSION, RunCheckpoint
 from repro.stack import BUDGET, StackSpec
 from repro.telemetry.timeseries import TimeSeries
 
 __all__ = ["ClusterSimulation"]
+
+
+def _balancer(balance: bool, shards: int):
+    """A ShardBalancer when asked for and meaningful, else None (local
+    import — :mod:`repro.cluster.elastic` imports this module back for
+    its rewind helpers)."""
+    if not balance or shards < 2:
+        return None
+    from repro.cluster.elastic import ShardBalancer
+
+    return ShardBalancer()
 
 
 class ClusterSimulation:
@@ -66,6 +84,11 @@ class ClusterSimulation:
         live stack per node) or ``"vector"`` (numpy structure-of-arrays
         batches, see :mod:`repro.vector`). Results are bit-identical;
         the vector engine is simply faster at scale.
+    balance:
+        With ``shards >= 2``, install a
+        :class:`~repro.cluster.elastic.ShardBalancer` that migrates
+        nodes off slow shards between epochs. Pure wall-clock lever;
+        results stay bit-identical (see :mod:`repro.cluster.elastic`).
     """
 
     def __init__(self, n_nodes: int, app_name: str, policy, *,
@@ -73,7 +96,7 @@ class ClusterSimulation:
                  cfg: NodeConfig | None = None,
                  variability: tuple[float, float] | None = (0.05, 0.08),
                  seed: int = 0, shards: int = 1,
-                 engine: str = "object") -> None:
+                 engine: str = "object", balance: bool = False) -> None:
         if n_nodes < 1:
             raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
         base_cfg = cfg if cfg is not None else skylake_config()
@@ -95,9 +118,11 @@ class ClusterSimulation:
                 controller=BUDGET,
                 name=f"node{i}",
             )))
-        self._lockstep = ShardedLockstep(shards=shards, engine=engine)
+        self._lockstep = ShardedLockstep(
+            shards=shards, engine=engine, balancer=_balancer(balance, shards))
         self._lockstep.add_nodes(specs)
         self._now = 0.0
+        self._epochs = 0  #: completed epochs (RunCheckpoint file index)
         # Rates the next allocation will use, keyed by window; seeded
         # with the empty-monitor zeros collect_rates reports at t=0.
         self._alloc_rates: dict[float, list[float]] = {}
@@ -138,18 +163,49 @@ class ClusterSimulation:
             return [0.0] * len(self._node_ids)
         return self._lockstep.rates([(i, window) for i in self._node_ids])
 
-    def run(self, duration: float, epoch: float = 1.0) -> None:
-        """Advance the whole cluster by ``duration`` seconds in
-        ``epoch``-sized lockstep rounds; budgets are re-allocated from
-        the trailing progress rates before every round."""
-        if duration <= 0 or epoch <= 0:
-            raise ConfigurationError("duration and epoch must be positive")
-        end = self.now + duration
+    def run(self, duration: float | None = None, epoch: float = 1.0, *,
+            until: float | None = None, checkpoint_store=None,
+            checkpoint_every: int = 0) -> None:
+        """Advance the whole cluster in ``epoch``-sized lockstep rounds;
+        budgets are re-allocated from the trailing progress rates before
+        every round.
+
+        Exactly one of ``duration`` (relative) and ``until`` (an
+        absolute end time) must be given. Resumed runs must use
+        ``until`` with the *original* end time: ``now + (end - now)``
+        re-associates the float arithmetic, so only sharing the exact
+        ``end`` value keeps every epoch target — and therefore every
+        series — bit-identical to the uninterrupted run.
+
+        With ``checkpoint_every=N`` (and a
+        :class:`~repro.runtime.runfile.CheckpointStore`), an atomic
+        :class:`RunCheckpoint` is saved after every N-th completed
+        epoch — the crash-resume and time-travel record.
+        """
+        if (duration is None) == (until is None):
+            raise ConfigurationError(
+                "pass exactly one of duration= or until=")
+        if epoch <= 0:
+            raise ConfigurationError("epoch must be positive")
+        if duration is not None:
+            if duration <= 0:
+                raise ConfigurationError("duration must be positive")
+            end = self.now + duration
+        else:
+            end = until
+            if end <= self.now + 1e-9:
+                raise ConfigurationError(
+                    f"until={end} is not after now={self.now}")
+        if checkpoint_every < 0:
+            raise ConfigurationError("checkpoint_every must be >= 0")
+        if checkpoint_every and checkpoint_store is None:
+            raise ConfigurationError(
+                "checkpoint_every needs a checkpoint_store")
         alloc_window = 3 * epoch
         tracer = obs.tracer()
         epochs = obs.metrics().counter("cluster.epochs")
         with tracer.span("cluster.run", n_nodes=len(self._node_ids),
-                         duration=duration, epoch=epoch,
+                         duration=end - self.now, epoch=epoch,
                          shards=self.shards):
             while self.now < end - 1e-9:
                 with tracer.span("cluster.epoch", now=self.now):
@@ -182,6 +238,116 @@ class ClusterSimulation:
                     self.critical_path.append(target, float(np.min(current)))
                     self.budget_history.append(target, float(np.sum(budgets)))
                 epochs.inc()
+                self._epochs += 1
+                if checkpoint_every and \
+                        self._epochs % checkpoint_every == 0:
+                    checkpoint_store.save(self.run_checkpoint())
+
+    # -- checkpointing (see repro.runtime.runfile) ---------------------------
+
+    @property
+    def epochs_done(self) -> int:
+        """Completed epochs over this simulation's whole life (resumes
+        continue the count)."""
+        return self._epochs
+
+    @property
+    def migrations(self) -> int:
+        """Nodes migrated between shards by the balancer so far."""
+        return self._lockstep.migrations
+
+    def snapshot(self) -> dict:
+        """Picklable mid-run state: the clock, the allocation caches,
+        the published series, the policy, and — through the lockstep —
+        a full :meth:`NodeInstance.snapshot` of every node. Restore
+        onto a freshly constructed (node-free) simulation."""
+        node_cps = self._lockstep.checkpoint(self._node_ids)
+        return {
+            "version": 1,
+            "now": self._now,
+            "epochs": self._epochs,
+            "node_ids": list(self._node_ids),
+            "alloc_rates": {w: list(r)
+                            for w, r in self._alloc_rates.items()},
+            "total_energy": self.total_energy,
+            "policy": copy.deepcopy(self.policy),
+            "budget_history": self.budget_history.snapshot(),
+            "total_progress": self.total_progress.snapshot(),
+            "critical_path": self.critical_path.snapshot(),
+            "nodes": node_cps,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot`, rebuilding every node from its
+        checkpoint inside the lockstep layer (placement is fresh:
+        round-robin over this simulation's shards — invisible to
+        results by the parity contract)."""
+        check_snapshot_version(state, 1, "ClusterSimulation")
+        if self._lockstep.n_nodes:
+            raise CheckpointError(
+                "cluster restore target must be freshly constructed "
+                "(it already holds nodes)")
+        self._now = state["now"]
+        self._epochs = state["epochs"]
+        self._node_ids = list(state["node_ids"])
+        self._alloc_rates = {w: list(r)
+                             for w, r in state["alloc_rates"].items()}
+        self.total_energy = state["total_energy"]
+        self.policy = copy.deepcopy(state["policy"])
+        self.budget_history.restore(state["budget_history"])
+        self.total_progress.restore(state["total_progress"])
+        self.critical_path.restore(state["critical_path"])
+        self._lockstep.add_nodes(
+            [(nid, state["nodes"][nid]) for nid in self._node_ids])
+
+    def run_checkpoint(self) -> RunCheckpoint:
+        """This instant of the run as a :class:`RunCheckpoint` (kind
+        ``"cluster"``), ready for :func:`~repro.runtime.runfile
+        .save_run_checkpoint` or a :class:`CheckpointStore`."""
+        return RunCheckpoint(
+            version=RUN_CHECKPOINT_VERSION,
+            kind="cluster",
+            epoch=self._epochs,
+            now=self._now,
+            config={"n_nodes": len(self._node_ids),
+                    "shards": self.shards,
+                    "engine": self._lockstep.engine},
+            state=self.snapshot(),
+        )
+
+    @classmethod
+    def resume(cls, checkpoint: RunCheckpoint, *, policy=None,
+               shards: int = 1, engine: str = "object",
+               balance: bool = False) -> "ClusterSimulation":
+        """Rebuild a simulation from a :meth:`run_checkpoint`.
+
+        ``shards``/``engine``/``balance`` choose the execution
+        substrate for the continuation — independent of what the
+        recorded run used, and invisible to results. ``policy`` (when
+        given) replaces the checkpointed policy: the time-travel seam.
+        Continue with ``run(until=...)`` (sharing the original end
+        time) for bit-identical series.
+        """
+        if checkpoint.kind != "cluster":
+            raise CheckpointError(
+                f"expected a 'cluster' checkpoint, got "
+                f"{checkpoint.kind!r}")
+        sim = cls.__new__(cls)
+        sim.policy = None
+        sim._node_ids = []
+        sim._lockstep = ShardedLockstep(
+            shards=shards, engine=engine, balancer=_balancer(balance, shards))
+        sim._now = 0.0
+        sim._epochs = 0
+        sim._alloc_rates = {}
+        sim.budget_history = TimeSeries("allocated-total")
+        sim.total_progress = TimeSeries("job-total-progress")
+        sim.critical_path = TimeSeries("job-critical-path")
+        sim.total_energy = 0.0
+        sim.restore(checkpoint.state)
+        if policy is not None:
+            sim.policy = policy
+        return sim
 
     # -- summaries ------------------------------------------------------------
 

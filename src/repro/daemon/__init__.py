@@ -25,8 +25,11 @@ Layering — each module owns one concern:
   against wall time;
 * :mod:`repro.daemon.client` — the ``upctl``-style client library and
   CLI (``python -m repro.daemon.client run/status/list/kill/watch``);
-* :mod:`repro.daemon.checkpointing` — crash-resumable persistence
-  (``--resume`` picks a run up from the last periodic checkpoint);
+* :mod:`repro.daemon.checkpointing` — crash-resumable persistence on
+  the repo-wide :class:`~repro.runtime.runfile.RunCheckpoint` format
+  (``--resume`` picks a run up from the last periodic checkpoint file
+  or the epoch-stamped ``--checkpoint-dir`` store; ``--resume-epoch``
+  rewinds — time travel);
 * :mod:`repro.daemon.hostio` — the package's *only* wall-clock reads,
   audited by the determinism lint;
 * :mod:`repro.daemon.profiles` — the offline-measured demo power book
@@ -44,8 +47,9 @@ and talk to it with ``python -m repro.daemon.client --socket
 """
 
 from repro.daemon.checkpointing import (
-    DaemonCheckpoint,
+    build_run_checkpoint,
     load_checkpoint,
+    resume_daemon,
     save_checkpoint,
 )
 from repro.daemon.client import DaemonClient
@@ -58,9 +62,10 @@ __all__ = [
     "DaemonConfig",
     "DaemonServer",
     "DaemonClient",
-    "DaemonCheckpoint",
+    "build_run_checkpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "resume_daemon",
     "PROTOCOL_VERSION",
     "encode",
     "decode",

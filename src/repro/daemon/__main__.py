@@ -12,7 +12,11 @@ the resolved address — useful with ``--tcp 127.0.0.1:0``) and serves
 until a client sends ``shutdown``. ``--resume`` continues from the
 checkpoint file instead of starting an empty cluster; pair it with
 ``--checkpoint-every`` so there is always a recent file to resume
-*from*.
+*from*. ``--checkpoint-dir`` + ``--checkpoint-interval`` keep an
+epoch-stamped *store* of checkpoints instead of one file; with
+``--resume`` that picks up the latest, and ``--resume-epoch N``
+rewinds to the newest checkpoint at or before epoch N (time travel —
+e.g. replay from epoch N under a different ``--power-budget``).
 """
 
 from __future__ import annotations
@@ -48,6 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--epoch", type=float, default=1.0)
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--shards", type=int, default=1)
+    cluster.add_argument("--engine", default="object",
+                         choices=("object", "vector"),
+                         help="node-hosting engine inside each shard")
+    cluster.add_argument("--balance", action="store_true",
+                         help="rebalance nodes across shards from "
+                              "measured epoch wall times (placement "
+                              "only; results are invariant)")
     cluster.add_argument("--n-workers", type=int, default=4)
     cluster.add_argument("--min-cap", type=float, default=55.0)
     cluster.add_argument("--cap-step", type=float, default=5.0)
@@ -77,26 +88,49 @@ def build_parser() -> argparse.ArgumentParser:
     persist.add_argument("--checkpoint-every", type=int, default=0,
                          help="epochs between periodic checkpoints "
                               "(0 = only on shutdown)")
+    persist.add_argument("--checkpoint-dir", default=None,
+                         help="directory for an epoch-stamped "
+                              "checkpoint store (keeps every epoch; "
+                              "enables --resume-epoch)")
+    persist.add_argument("--checkpoint-interval", type=int, default=0,
+                         help="epochs between store checkpoints "
+                              "(0 = only on shutdown)")
     persist.add_argument("--resume", action="store_true",
-                         help="continue from --checkpoint instead of "
-                              "starting empty")
+                         help="continue from --checkpoint (or the "
+                              "latest file in --checkpoint-dir) "
+                              "instead of starting empty")
+    persist.add_argument("--resume-epoch", type=int, default=None,
+                         help="with --resume and --checkpoint-dir: "
+                              "rewind to the newest checkpoint at or "
+                              "before this epoch")
     return parser
 
 
 def daemon_from_args(args) -> Daemon:
     if args.resume:
+        if args.checkpoint_dir:
+            return resume_daemon(args.checkpoint_dir,
+                                 epoch=args.resume_epoch)
         if not args.checkpoint:
-            raise SystemExit("--resume requires --checkpoint")
+            raise SystemExit(
+                "--resume requires --checkpoint or --checkpoint-dir")
+        if args.resume_epoch is not None:
+            raise SystemExit("--resume-epoch requires --checkpoint-dir")
         return resume_daemon(args.checkpoint)
+    if args.resume_epoch is not None:
+        raise SystemExit("--resume-epoch requires --resume")
     config = DaemonConfig(
         scheduler=SchedulerConfig(
             n_slots=args.n_slots, power_budget=args.power_budget,
             policy=args.policy, epoch=args.epoch, seed=args.seed,
-            shards=args.shards, n_workers=args.n_workers,
+            shards=args.shards, engine=args.engine,
+            balance=args.balance, n_workers=args.n_workers,
             min_cap=args.min_cap, cap_step=args.cap_step),
         queue_capacity=args.queue_capacity,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_dir=args.checkpoint_dir,
         telemetry_delay=args.telemetry_delay,
         telemetry_drop=args.telemetry_drop,
         telemetry_seed=args.telemetry_seed,

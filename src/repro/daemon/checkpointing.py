@@ -1,14 +1,25 @@
 """Crash-resumable persistence for the daemon.
 
 A long-running service must survive its host: the daemon periodically
-(every ``checkpoint_every`` epochs, and on clean shutdown) pickles a
-:class:`DaemonCheckpoint` — its config, admission bookkeeping, the
-power book's measured profiles, and a full mid-run
+(every ``checkpoint_every`` epochs into the single ``checkpoint_path``
+file, every ``checkpoint_interval`` epochs into the epoch-stamped
+``checkpoint_dir`` store, and on clean shutdown) writes a
+:class:`~repro.runtime.runfile.RunCheckpoint` of kind ``"daemon"`` —
+its config, admission bookkeeping, the power book's measured profiles,
+and a full mid-run
 :meth:`~repro.scheduler.scheduler.PowerAwareScheduler.snapshot`
 (which itself carries a :class:`~repro.stack.checkpoint.NodeCheckpoint`
 for every running node). :func:`resume_daemon` rebuilds the whole
-service from that file and continues *bit-for-bit*: same placements,
-same caps, same telemetry values.
+service from any of those sources and continues *bit-for-bit*: same
+placements, same caps, same telemetry values. The epoch-stamped store
+additionally enables time travel — resume from epoch N rather than the
+latest file (``--resume-epoch``).
+
+The envelope is the repo-wide one (:mod:`repro.runtime.runfile`), so
+the same tooling reads cluster, scheduler, and daemon checkpoints, and
+a daemon resume can never silently install a cluster file. The daemon's
+own payload lives in ``state`` behind its own
+:data:`DAEMON_STATE_VERSION`.
 
 What is deliberately **not** persisted:
 
@@ -24,48 +35,34 @@ leaves the previous checkpoint intact.
 
 from __future__ import annotations
 
-import os
-import pickle
-from dataclasses import dataclass, field
-
 from repro.daemon import protocol as proto
-from repro.exceptions import CheckpointError
+from repro.exceptions import CheckpointError, check_snapshot_version
 from repro.hardware.config import NodeConfig
+from repro.runtime.runfile import (
+    RUN_CHECKPOINT_VERSION,
+    RunCheckpoint,
+    load_run_checkpoint,
+    resolve_checkpoint,
+    save_run_checkpoint,
+)
 from repro.scheduler.powerbook import AppPowerProfile, PowerBook
 
-__all__ = ["DaemonCheckpoint", "save_checkpoint", "load_checkpoint",
-           "resume_daemon"]
+__all__ = ["DAEMON_STATE_VERSION", "build_run_checkpoint",
+           "save_checkpoint", "load_checkpoint", "resume_daemon"]
 
-#: Schema version of :class:`DaemonCheckpoint`; bump on layout change.
-CHECKPOINT_VERSION = 1
+#: Schema version of the daemon's ``state`` payload inside the
+#: :class:`RunCheckpoint` envelope; bump on layout change.
+DAEMON_STATE_VERSION = 2
 
 
-@dataclass(frozen=True)
-class DaemonCheckpoint:
-    """Everything needed to rebuild a daemon mid-run.
+def build_run_checkpoint(daemon) -> RunCheckpoint:
+    """The daemon's full mid-run state as a ``"daemon"`` checkpoint.
 
-    ``meta`` holds one entry per submission the daemon ever accepted:
-    ``{"seq", "priority", "request": RunRequest, "buffered",
+    ``state["meta"]`` holds one entry per submission the daemon ever
+    accepted: ``{"seq", "priority", "request": RunRequest, "buffered",
     "killed"}`` — submissions still buffered at checkpoint time are
     re-admitted on the resumed daemon's first tick.
     """
-
-    version: int
-    protocol: int
-    config: object                 #: the DaemonConfig (picklable frozen dc)
-    epochs: int
-    ticks: int
-    seq: int
-    meta: list = field(default_factory=list)
-    progress: dict = field(default_factory=dict)
-    book_profiles: dict = field(default_factory=dict)
-    book_n_workers: int = 8
-    book_seed: int = 0
-    scheduler: dict = field(default_factory=dict)
-
-
-def save_checkpoint(daemon, path: str) -> str:
-    """Atomically write ``daemon``'s state to ``path``; returns it."""
     meta = [{
         "seq": m.seq,
         "priority": m.priority,
@@ -73,50 +70,50 @@ def save_checkpoint(daemon, path: str) -> str:
         "buffered": m.buffered,
         "killed": m.killed,
     } for m in sorted(daemon._meta.values(), key=lambda m: m.seq)]
-    checkpoint = DaemonCheckpoint(
-        version=CHECKPOINT_VERSION,
-        protocol=proto.PROTOCOL_VERSION,
+    state = {
+        "version": DAEMON_STATE_VERSION,
+        "protocol": proto.PROTOCOL_VERSION,
+        "epochs": daemon.epochs,
+        "ticks": daemon.ticks,
+        "seq": daemon._seq,
+        "meta": meta,
+        "progress": dict(daemon._progress),
+        "book_profiles": dict(daemon.book._profiles),
+        "book_n_workers": daemon.book.n_workers,
+        "book_seed": daemon.book.seed,
+        "scheduler": daemon.scheduler.snapshot(),
+    }
+    return RunCheckpoint(
+        version=RUN_CHECKPOINT_VERSION,
+        kind="daemon",
+        epoch=daemon.epochs,
+        now=daemon.scheduler.now,
         config=daemon.config,
-        epochs=daemon.epochs,
-        ticks=daemon.ticks,
-        seq=daemon._seq,
-        meta=meta,
-        progress=dict(daemon._progress),
-        book_profiles=dict(daemon.book._profiles),
-        book_n_workers=daemon.book.n_workers,
-        book_seed=daemon.book.seed,
-        scheduler=daemon.scheduler.snapshot(),
+        state=state,
     )
-    tmp = f"{path}.tmp"
-    with open(tmp, "wb") as fh:
-        pickle.dump(checkpoint, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp, path)
-    return path
 
 
-def load_checkpoint(path: str) -> DaemonCheckpoint:
-    """Read and validate a checkpoint file."""
-    try:
-        with open(path, "rb") as fh:
-            checkpoint = pickle.load(fh)
-    except (OSError, pickle.UnpicklingError, EOFError) as exc:
-        raise CheckpointError(
-            f"cannot read daemon checkpoint {path!r}: {exc}") from exc
-    if not isinstance(checkpoint, DaemonCheckpoint):
-        raise CheckpointError(
-            f"{path!r} does not hold a DaemonCheckpoint "
-            f"(got {type(checkpoint).__name__})")
-    if checkpoint.version != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"daemon checkpoint {path!r} has schema version "
-            f"{checkpoint.version}; this build reads "
-            f"{CHECKPOINT_VERSION}")
-    return checkpoint
+def save_checkpoint(daemon, path: str) -> str:
+    """Atomically write ``daemon``'s state to ``path``; returns it."""
+    return save_run_checkpoint(build_run_checkpoint(daemon), path)
 
 
-def resume_daemon(source, cfg: NodeConfig | None = None):
+def load_checkpoint(path: str) -> RunCheckpoint:
+    """Read and validate a single daemon checkpoint file."""
+    return load_run_checkpoint(path, kind="daemon")
+
+
+def resume_daemon(source, cfg: NodeConfig | None = None, *,
+                  epoch: int | None = None):
     """Rebuild a live :class:`~repro.daemon.service.Daemon` from a
-    checkpoint (a path or a loaded :class:`DaemonCheckpoint`).
+    checkpoint.
+
+    ``source`` is anything :func:`~repro.runtime.runfile
+    .resolve_checkpoint` accepts: a checkpoint file path, a store
+    directory (or :class:`~repro.runtime.runfile.CheckpointStore`), or
+    a loaded :class:`RunCheckpoint`. With a store, ``epoch`` rewinds to
+    the newest checkpoint at-or-before that epoch (time travel);
+    ``None`` resumes the latest.
 
     The resumed daemon continues exactly where the checkpointed one
     stopped: running nodes are reinstalled from their node checkpoints,
@@ -125,24 +122,25 @@ def resume_daemon(source, cfg: NodeConfig | None = None):
     """
     from repro.daemon.service import Daemon, _Admitted
 
-    checkpoint = source if isinstance(source, DaemonCheckpoint) \
-        else load_checkpoint(source)
-    book = PowerBook(cfg, n_workers=checkpoint.book_n_workers,
-                     seed=checkpoint.book_seed)
-    for profile in checkpoint.book_profiles.values():
+    checkpoint = resolve_checkpoint(source, kind="daemon", epoch=epoch)
+    state = checkpoint.state
+    check_snapshot_version(state, DAEMON_STATE_VERSION, "Daemon")
+    book = PowerBook(cfg, n_workers=state["book_n_workers"],
+                     seed=state["book_seed"])
+    for profile in state["book_profiles"].values():
         if not isinstance(profile, AppPowerProfile):
             raise CheckpointError(
                 f"checkpoint power book holds a "
                 f"{type(profile).__name__}, not an AppPowerProfile")
         book.preload(profile)
     daemon = Daemon(checkpoint.config, book, cfg)
-    daemon.scheduler.restore(checkpoint.scheduler)
+    daemon.scheduler.restore(state["scheduler"])
     daemon.clock.advance_to(daemon.scheduler.now)
-    daemon.epochs = checkpoint.epochs
-    daemon.ticks = checkpoint.ticks
-    daemon._seq = checkpoint.seq
-    daemon._progress.update(checkpoint.progress)
-    for entry in checkpoint.meta:
+    daemon.epochs = state["epochs"]
+    daemon.ticks = state["ticks"]
+    daemon._seq = state["seq"]
+    daemon._progress.update(state["progress"])
+    for entry in state["meta"]:
         meta = _Admitted(entry["seq"], entry["priority"],
                          entry["request"])
         meta.buffered = entry["buffered"]

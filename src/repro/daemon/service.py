@@ -71,7 +71,17 @@ class DaemonConfig:
     checkpoint_every:
         Simulated epochs between periodic checkpoints; 0 disables.
     checkpoint_path:
-        Where periodic (and shutdown) checkpoints are written.
+        Where periodic (and shutdown) checkpoints are written (a single
+        file, atomically replaced each time).
+    checkpoint_interval:
+        Simulated epochs between epoch-stamped
+        :class:`~repro.runtime.runfile.RunCheckpoint` saves into
+        ``checkpoint_dir``; 0 disables.
+    checkpoint_dir:
+        Directory for the epoch-stamped checkpoint store
+        (:class:`~repro.runtime.runfile.CheckpointStore`). Unlike the
+        single ``checkpoint_path`` file, the store keeps *every*
+        checkpoint, enabling time-travel resume (``--resume-epoch``).
     telemetry_delay:
         Modelled bus delivery latency in *simulated* seconds — frames
         published at epoch *t* become receivable at ``t + delay``.
@@ -87,6 +97,8 @@ class DaemonConfig:
     queue_capacity: int = 64
     checkpoint_every: int = 0
     checkpoint_path: str | None = None
+    checkpoint_interval: int = 0
+    checkpoint_dir: str | None = None
     telemetry_delay: float = 0.0
     telemetry_drop: float = 0.0
     telemetry_seed: int = 0
@@ -103,6 +115,13 @@ class DaemonConfig:
         if self.checkpoint_every and not self.checkpoint_path:
             raise ConfigurationError(
                 "checkpoint_every > 0 requires a checkpoint_path")
+        if self.checkpoint_interval < 0:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 0, got "
+                f"{self.checkpoint_interval}")
+        if self.checkpoint_interval and not self.checkpoint_dir:
+            raise ConfigurationError(
+                "checkpoint_interval > 0 requires a checkpoint_dir")
         if self.default_hwm < 1:
             raise ConfigurationError(
                 f"default_hwm must be >= 1, got {self.default_hwm}")
@@ -175,6 +194,13 @@ class Daemon:
         self.epochs = 0          #: scheduler steps taken over the lifetime
         self.ticks = 0
         self._shutdown = False
+        if config.checkpoint_dir:
+            from repro.runtime.runfile import CheckpointStore
+
+            self._run_store = CheckpointStore(config.checkpoint_dir,
+                                              kind="daemon")
+        else:
+            self._run_store = None
         self.scheduler.add_listener(self._on_event)
         self.scheduler.add_epoch_listener(self._on_epoch)
 
@@ -391,6 +417,9 @@ class Daemon:
         if self.config.checkpoint_path:
             self.checkpoint()
             checkpointed = True
+        if self._run_store is not None:
+            self.store_checkpoint()
+            checkpointed = True
         return proto.ShutdownReply(checkpointed=checkpointed)
 
     # ------------------------------------------------------------------
@@ -421,6 +450,9 @@ class Daemon:
                     every = self.config.checkpoint_every
                     if every and self.epochs % every == 0:
                         self.checkpoint()
+                    interval = self.config.checkpoint_interval
+                    if interval and self.epochs % interval == 0:
+                        self.store_checkpoint()
             self.ticks += 1
             dropped = self.bus.dropped + sum(
                 w.sub.overflowed for w in self._watchers.values())
@@ -532,6 +564,22 @@ class Daemon:
                 "daemon has no checkpoint_path configured")
         with self._lock:
             path = save_checkpoint(self, self.config.checkpoint_path)
+        obs.tracer().instant("daemon.checkpoint", path=path,
+                             epochs=self.epochs)
+        return path
+
+    def store_checkpoint(self) -> str:
+        """Write an epoch-stamped checkpoint into the configured store
+        (``checkpoint_dir``); returns the file path. Unlike
+        :meth:`checkpoint`, earlier epochs stay on disk, so the run can
+        later be rewound (time travel)."""
+        from repro.daemon.checkpointing import build_run_checkpoint
+
+        if self._run_store is None:
+            raise ConfigurationError(
+                "daemon has no checkpoint_dir configured")
+        with self._lock:
+            path = self._run_store.save(build_run_checkpoint(self))
         obs.tracer().instant("daemon.checkpoint", path=path,
                              epochs=self.epochs)
         return path

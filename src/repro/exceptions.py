@@ -14,6 +14,7 @@ __all__ = [
     "ConfigurationError",
     "SimulationError",
     "SchedulingError",
+    "ShardWorkerError",
     "MSRError",
     "MSRAccessError",
     "MSRPermissionError",
@@ -43,6 +44,28 @@ class SimulationError(ReproError, RuntimeError):
 
 class SchedulingError(SimulationError):
     """A timer or event was scheduled at a time in the simulated past."""
+
+
+class ShardWorkerError(SimulationError):
+    """A shard worker process died or its pipe broke mid-command.
+
+    Raised instead of hanging on a dead pipe; carries the shard index
+    and, when known, the worker's exit code. After this error the
+    lockstep's distributed state is unrecoverable — callers should
+    ``close()`` it and resume from the last :class:`RunCheckpoint`.
+    """
+
+    def __init__(self, shard: int, cmd: str,
+                 exitcode: int | None = None) -> None:
+        self.shard = shard
+        self.cmd = cmd
+        self.exitcode = exitcode
+        detail = (f"exit code {exitcode}" if exitcode is not None
+                  else "pipe closed")
+        super().__init__(
+            f"shard {shard} worker died during {cmd!r} ({detail}); "
+            "lockstep state is unrecoverable — close() and resume from "
+            "the last checkpoint")
 
 
 class MSRError(ReproError):

@@ -9,12 +9,14 @@ to lint time.
 
 Boundary types are identified by naming convention: any ``@dataclass``
 whose name ends in ``Spec``, ``Request``, ``Reply``, ``Result``,
-``Checkpoint``, ``Telemetry``, ``Message`` or ``Payload`` is wire
-format (the repo's existing wire types — ``StackSpec``,
-``StepRequest``, ``StepResult``, ``NodeTelemetry``, ``NodeCheckpoint``,
-``Message``, and the daemon protocol's ``*Request``/``*Reply``/
-``*Telemetry`` dataclasses — all follow it). Declared fields of such
-classes must stay picklable by construction.
+``Checkpoint``, ``Telemetry``, ``Message``, ``Payload``, ``Plan`` or
+``Migration`` is wire format (the repo's existing wire types —
+``StackSpec``, ``StepRequest``, ``StepResult``, ``NodeTelemetry``,
+``NodeCheckpoint``, ``Message``, the elastic layer's
+``RunCheckpoint``/``MigrationPlan``/``NodeMigration``, and the daemon
+protocol's ``*Request``/``*Reply``/``*Telemetry`` dataclasses — all
+follow it). Declared fields of such classes must stay picklable by
+construction.
 """
 
 from __future__ import annotations
@@ -31,7 +33,8 @@ FAMILY = "picklable"
 
 #: Class names treated as process-boundary wire types.
 BOUNDARY_NAME_RE = re.compile(
-    r"(Spec|Request|Reply|Result|Checkpoint|Telemetry|Message|Payload)$")
+    r"(Spec|Request|Reply|Result|Checkpoint|Telemetry|Message|Payload"
+    r"|Plan|Migration)$")
 
 #: Type names that cannot cross a pickle boundary (matched against every
 #: identifier inside the field annotation, so ``Callable[[int], float]``,

@@ -10,9 +10,22 @@ run executor (:mod:`repro.runtime.executor`) that fans independent runs
 out across workers which rebuild their stacks from picklable specs, and
 the pure wall-to-simulated-time epoch budgeter
 (:mod:`repro.runtime.pacing`) the daemon paces its service loop with.
+Crash resumption and time travel live in :mod:`repro.runtime.runfile`:
+one :class:`~repro.runtime.runfile.RunCheckpoint` envelope for every
+epoch loop, and the epoch-stamped
+:class:`~repro.runtime.runfile.CheckpointStore` directory format.
+:mod:`repro.runtime.hosttime` is the audited wall-clock the shard
+balancer times epochs with (placement-only; results invariant).
 """
 
 from repro.runtime.clock import SimClock
+from repro.runtime.runfile import (
+    CheckpointStore,
+    RunCheckpoint,
+    load_run_checkpoint,
+    resolve_checkpoint,
+    save_run_checkpoint,
+)
 from repro.runtime.engine import (
     Barrier,
     Engine,
@@ -35,4 +48,9 @@ __all__ = [
     "EpochPacer",
     "RunExecutor",
     "derive_seed",
+    "RunCheckpoint",
+    "CheckpointStore",
+    "save_run_checkpoint",
+    "load_run_checkpoint",
+    "resolve_checkpoint",
 ]

@@ -1,0 +1,36 @@
+"""The elasticity layer's audited host-clock source.
+
+The determinism lint (:mod:`repro.lint.rules.determinism`) bans
+host-clock reads so simulation results stay a pure function of the
+seed. The shard balancer needs one carefully-scoped exception: deciding
+*where a node runs* requires knowing how long each shard's epoch step
+took in real time — that is a host-clock measurement by definition, the
+same way the paper's power redistribution reads real per-node progress
+before moving watts.
+
+This module is that exception, recognised by path in
+``AUDITED_CLOCK_MODULES``. Its audit contract is deliberately one notch
+wider than :mod:`repro.obs.hostclock` (describe-only) and still sharply
+bounded:
+
+* readings may steer **placement only** — which shard worker hosts
+  which node. Placement is provably invisible to simulated results:
+  the lockstep contract (golden parity across shards and engines,
+  ``tests/cluster/``, ``tests/vector/``) guarantees bit-identical
+  series for *any* node-to-shard assignment, so a wall-clock-driven
+  migration can change wall time but never a simulated quantity;
+* no simulated value, seed, RNG stream, budget, cap, or schedule may
+  ever derive from these readings;
+* clocks only — environment, entropy and RNG rules still apply here.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["perf_s"]
+
+
+def perf_s() -> float:
+    """Monotonic high-resolution timestamp (s) for shard step timing."""
+    return time.perf_counter()

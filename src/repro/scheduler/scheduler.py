@@ -57,6 +57,7 @@ from repro.exceptions import (
     check_snapshot_version,
 )
 from repro.hardware.config import NodeConfig, skylake_config
+from repro.runtime.runfile import RUN_CHECKPOINT_VERSION, RunCheckpoint
 from repro.scheduler.events import (
     BudgetViolation,
     CapSelected,
@@ -123,6 +124,11 @@ class SchedulerConfig:
         Node engine the lockstep layer runs: ``"object"`` (default) or
         ``"vector"`` (numpy structure-of-arrays batches, see
         :mod:`repro.vector`). Reports are bit-identical either way.
+    balance:
+        With ``shards >= 2``, install a
+        :class:`~repro.cluster.elastic.ShardBalancer` that migrates
+        nodes off slow shards between epochs. Pure wall-clock lever;
+        reports stay bit-identical (see :mod:`repro.cluster.elastic`).
     """
 
     n_slots: int
@@ -139,6 +145,7 @@ class SchedulerConfig:
     stall_epochs: int = 30
     shards: int = 1
     engine: str = "object"
+    balance: bool = False
 
     def __post_init__(self) -> None:
         if self.n_slots < 1:
@@ -240,10 +247,17 @@ class PowerAwareScheduler:
         self.now = 0.0
         self.violations = 0
         self.total_energy = 0.0
+        self.epochs_done = 0  #: completed epochs (RunCheckpoint index)
         self._running: dict[str, _RunningJob] = {}
         self._started = 0  # submission-independent placement counter
+        balancer = None
+        if config.balance and config.shards > 1:
+            from repro.cluster.elastic import ShardBalancer
+
+            balancer = ShardBalancer()
         self._lockstep = ShardedLockstep(shards=config.shards,
-                                         engine=config.engine)
+                                         engine=config.engine,
+                                         balancer=balancer)
         # Service hooks (repro.daemon): called synchronously, in
         # registration order, from inside the epoch loop. Listeners must
         # only *observe* — mutating the scheduler from one is undefined.
@@ -450,15 +464,32 @@ class PowerAwareScheduler:
     # Epoch loop
     # ------------------------------------------------------------------
 
-    def run(self) -> SchedulerReport:
-        """Drive the cluster until every submitted job has completed."""
+    def run(self, *, checkpoint_store=None,
+            checkpoint_every: int = 0) -> SchedulerReport:
+        """Drive the cluster until every submitted job has completed.
+
+        With ``checkpoint_every=N`` (and a
+        :class:`~repro.runtime.runfile.CheckpointStore`), an atomic
+        :class:`RunCheckpoint` is saved after every N-th completed
+        epoch — the crash-resume and time-travel record (see
+        :meth:`resume`).
+        """
+        if checkpoint_every < 0:
+            raise ConfigurationError("checkpoint_every must be >= 0")
+        if checkpoint_every and checkpoint_store is None:
+            raise ConfigurationError(
+                "checkpoint_every needs a checkpoint_store")
         tracer = obs.tracer()
         with tracer.span("scheduler.run", policy=self.config.policy,
                          n_slots=self.config.n_slots,
                          power_budget=self.config.power_budget,
                          shards=self.config.shards) as span:
             while self.queue or self._running:
+                before = self.epochs_done
                 self.step()
+                if checkpoint_every and self.epochs_done != before and \
+                        self.epochs_done % checkpoint_every == 0:
+                    checkpoint_store.save(self.run_checkpoint())
             span.set(makespan=self.now, violations=self.violations)
         return self._report()
 
@@ -592,6 +623,7 @@ class PowerAwareScheduler:
             for fn in self._epoch_listeners:
                 fn(self.now, samples)
         self._complete_finished()
+        self.epochs_done += 1
 
     def _complete_finished(self) -> None:
         for job_id in list(self._running):
@@ -677,6 +709,7 @@ class PowerAwareScheduler:
         return {
             "version": 1,
             "now": self.now,
+            "epochs": self.epochs_done,
             "violations": self.violations,
             "total_energy": self.total_energy,
             "started": self._started,
@@ -702,6 +735,9 @@ class PowerAwareScheduler:
                 "scheduler restore target must be freshly constructed "
                 "(it already holds jobs or nodes)")
         self.now = state["now"]
+        # .get: pre-elasticity snapshots lack the epoch counter; its
+        # only consumer is checkpoint-file naming, so 0 is safe there.
+        self.epochs_done = state.get("epochs", 0)
         self.violations = state["violations"]
         self.total_energy = state["total_energy"]
         self._started = state["started"]
@@ -726,6 +762,45 @@ class PowerAwareScheduler:
             for nid in run.node_ids:
                 items.append((nid, state["nodes"][nid]))
         self._lockstep.add_nodes(items)
+
+    def run_checkpoint(self) -> RunCheckpoint:
+        """This instant of the run as a :class:`RunCheckpoint` (kind
+        ``"scheduler"``), carrying the :class:`SchedulerConfig` and a
+        full :meth:`snapshot` — the file both crash resumption and
+        time-travel replay start from."""
+        return RunCheckpoint(
+            version=RUN_CHECKPOINT_VERSION,
+            kind="scheduler",
+            epoch=self.epochs_done,
+            now=self.now,
+            config=self.config,
+            state=self.snapshot(),
+        )
+
+    @classmethod
+    def resume(cls, checkpoint: RunCheckpoint, powerbook: PowerBook,
+               cfg: NodeConfig | None = None, *,
+               config: SchedulerConfig | None = None,
+               ) -> "PowerAwareScheduler":
+        """Rebuild a scheduler from a :meth:`run_checkpoint`.
+
+        ``powerbook``/``cfg`` mirror the constructor (profiles are not
+        checkpointed — pass the same book, or a preloaded equivalent).
+        ``config`` (when given) replaces the recorded
+        :class:`SchedulerConfig` for the continuation — the time-travel
+        seam (different ``power_budget``, policy, shards, engine, ...).
+        Structural fields (``n_slots``, ``seed``, ``variability``) must
+        match the recorded run: the restored node state was built under
+        them.
+        """
+        if checkpoint.kind != "scheduler":
+            raise CheckpointError(
+                f"expected a 'scheduler' checkpoint, got "
+                f"{checkpoint.kind!r}")
+        scheduler = cls(config if config is not None else checkpoint.config,
+                        powerbook, cfg)
+        scheduler.restore(checkpoint.state)
+        return scheduler
 
     # ------------------------------------------------------------------
 

@@ -1,17 +1,19 @@
 """Daemon persistence: periodic checkpoints, crash resume, parity."""
 
+import dataclasses
 import pickle
 
 import pytest
 
 from repro.daemon import protocol as proto
 from repro.daemon.checkpointing import (
-    DaemonCheckpoint,
+    DAEMON_STATE_VERSION,
     load_checkpoint,
     resume_daemon,
     save_checkpoint,
 )
 from repro.exceptions import CheckpointError, ConfigurationError
+from repro.runtime.runfile import CheckpointStore
 
 from tests.daemon.conftest import drain, make_daemon, run_request
 
@@ -146,17 +148,121 @@ class TestLoadErrors:
         with pytest.raises(CheckpointError):
             load_checkpoint(str(path))
 
-    def test_schema_version_mismatch(self, tmp_path, daemon):
+    def test_envelope_version_mismatch(self, tmp_path, daemon):
         path = tmp_path / "d.ckpt"
         save_checkpoint(daemon, str(path))
         checkpoint = load_checkpoint(str(path))
-        stale = DaemonCheckpoint(**{
-            **checkpoint.__dict__, "version": 99})
+        stale = dataclasses.replace(checkpoint, version=99)
         path.write_bytes(pickle.dumps(stale))
         with pytest.raises(CheckpointError, match="99"):
+            load_checkpoint(str(path))
+
+    def test_state_version_mismatch(self, tmp_path, daemon):
+        path = tmp_path / "d.ckpt"
+        save_checkpoint(daemon, str(path))
+        checkpoint = load_checkpoint(str(path))
+        stale = dataclasses.replace(
+            checkpoint,
+            state={**checkpoint.state,
+                   "version": DAEMON_STATE_VERSION + 1})
+        path.write_bytes(pickle.dumps(stale))
+        with pytest.raises(CheckpointError):
+            resume_daemon(str(path))
+
+    def test_wrong_kind_rejected(self, tmp_path, daemon):
+        path = tmp_path / "d.ckpt"
+        save_checkpoint(daemon, str(path))
+        checkpoint = load_checkpoint(str(path))
+        wrong = dataclasses.replace(checkpoint, kind="cluster")
+        path.write_bytes(pickle.dumps(wrong))
+        with pytest.raises(CheckpointError, match="cluster"):
             load_checkpoint(str(path))
 
     def test_atomic_write_leaves_no_temp_file(self, tmp_path, daemon):
         path = tmp_path / "d.ckpt"
         save_checkpoint(daemon, str(path))
         assert not (tmp_path / "d.ckpt.tmp").exists()
+
+
+class TestRunStore:
+    """The epoch-stamped ``checkpoint_dir`` store: periodic saves,
+    latest-resume, and time travel (``--resume-epoch``)."""
+
+    def test_interval_requires_dir(self):
+        with pytest.raises(ConfigurationError):
+            make_daemon(checkpoint_interval=2)
+
+    def test_store_checkpoint_without_dir_raises(self, daemon):
+        with pytest.raises(ConfigurationError):
+            daemon.store_checkpoint()
+
+    def test_epoch_stamped_files_accumulate(self, tmp_path):
+        root = tmp_path / "store"
+        daemon = make_daemon(checkpoint_interval=2,
+                             checkpoint_dir=str(root))
+        try:
+            submit_all(daemon)
+            daemon.tick(5)
+            store = CheckpointStore(str(root), kind="daemon")
+            assert store.epochs() == [2, 4]
+        finally:
+            daemon.close()
+
+    def test_resume_latest_matches_uninterrupted(self, tmp_path):
+        root = tmp_path / "store"
+        daemon = make_daemon(checkpoint_interval=2,
+                             checkpoint_dir=str(root))
+        submit_all(daemon)
+        daemon.tick(5)  # checkpoints at 2 and 4; epoch 5 is lost
+        daemon.close()
+
+        resumed = resume_daemon(str(root))
+        try:
+            assert resumed.epochs == 4
+            drain(resumed)
+            resumed_statuses = final_statuses(resumed)
+        finally:
+            resumed.close()
+
+        control = make_daemon()
+        try:
+            submit_all(control)
+            drain(control)
+            assert resumed_statuses == final_statuses(control)
+        finally:
+            control.close()
+
+    def test_rewind_to_earlier_epoch(self, tmp_path):
+        root = tmp_path / "store"
+        daemon = make_daemon(checkpoint_interval=2,
+                             checkpoint_dir=str(root))
+        submit_all(daemon)
+        daemon.tick(6)
+        daemon.close()
+
+        rewound = resume_daemon(str(root), epoch=3)
+        try:
+            # newest checkpoint at-or-before 3 is epoch 2
+            assert rewound.epochs == 2
+            drain(rewound)
+            rewound_statuses = final_statuses(rewound)
+        finally:
+            rewound.close()
+
+        control = make_daemon()
+        try:
+            submit_all(control)
+            drain(control)
+            assert rewound_statuses == final_statuses(control)
+        finally:
+            control.close()
+
+    def test_shutdown_writes_to_store(self, tmp_path):
+        root = tmp_path / "store"
+        daemon = make_daemon(checkpoint_dir=str(root))
+        try:
+            reply = daemon.handle(proto.ShutdownRequest())
+            assert reply == proto.ShutdownReply(checkpointed=True)
+            assert len(CheckpointStore(str(root), kind="daemon")) == 1
+        finally:
+            daemon.close()
