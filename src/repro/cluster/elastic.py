@@ -120,8 +120,12 @@ class ShardBalancer:
         """Judge one epoch's timings; return a plan or None.
 
         ``shard_times`` maps shard → wall seconds for the epoch just
-        stepped; ``shard_nodes`` is the current placement. Only shards
-        present in both inputs participate.
+        stepped; ``shard_nodes`` is the current placement. Timed shards
+        must appear in both inputs; shards that hold no nodes (fresh
+        capacity from :meth:`ShardedLockstep.grow`) step no work and so
+        never get a timing — they join as receivers at an implicit
+        0.0 s, which is what makes newly grown capacity reachable at
+        all instead of invisible to the balancer.
         """
         self.observations += 1
         if self.observations <= self.warmup:
@@ -129,14 +133,25 @@ class ShardBalancer:
         if self._cooling > 0:
             self._cooling -= 1
             return None
-        shards = [s for s in sorted(shard_times) if s in shard_nodes]
-        if len(shards) < 2:
+        timed = [s for s in sorted(shard_times) if s in shard_nodes]
+        empty = [s for s in sorted(shard_nodes)
+                 if not shard_nodes[s] and s not in shard_times]
+        if len(timed) + len(empty) < 2:
             return None
-        slow = max(shards, key=lambda s: (shard_times[s], s))
-        fast = min(shards, key=lambda s: (shard_times[s], -s))
-        t_slow, t_fast = shard_times[slow], shard_times[fast]
-        if t_fast <= 0.0 or t_slow <= self.threshold * t_fast:
+        donor_pool = [s for s in timed if shard_nodes[s]]
+        if not donor_pool:
             return None
+        slow = max(donor_pool, key=lambda s: (shard_times[s], s))
+        t_of = lambda s: shard_times.get(s, 0.0)  # noqa: E731
+        fast = min(timed + empty, key=lambda s: (t_of(s), -s))
+        if fast == slow:
+            return None
+        t_slow, t_fast = shard_times[slow], t_of(fast)
+        if shard_nodes[fast]:
+            if t_fast <= 0.0 or t_slow <= self.threshold * t_fast:
+                return None
+        elif t_slow <= 0.0:
+            return None  # empty receiver, but nothing measured to move
         donors = shard_nodes[slow]
         if len(donors) < 2:
             return None  # never empty a shard's last node

@@ -35,6 +35,8 @@ leaves the previous checkpoint intact.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.daemon import protocol as proto
 from repro.exceptions import CheckpointError, check_snapshot_version
 from repro.hardware.config import NodeConfig
@@ -47,6 +49,9 @@ from repro.runtime.runfile import (
 )
 from repro.scheduler.powerbook import AppPowerProfile, PowerBook
 
+if TYPE_CHECKING:  # runtime import would be circular
+    from repro.daemon.service import Daemon
+
 __all__ = ["DAEMON_STATE_VERSION", "build_run_checkpoint",
            "save_checkpoint", "load_checkpoint", "resume_daemon"]
 
@@ -55,7 +60,7 @@ __all__ = ["DAEMON_STATE_VERSION", "build_run_checkpoint",
 DAEMON_STATE_VERSION = 2
 
 
-def build_run_checkpoint(daemon) -> RunCheckpoint:
+def build_run_checkpoint(daemon: "Daemon") -> RunCheckpoint:
     """The daemon's full mid-run state as a ``"daemon"`` checkpoint.
 
     ``state["meta"]`` holds one entry per submission the daemon ever
@@ -93,7 +98,7 @@ def build_run_checkpoint(daemon) -> RunCheckpoint:
     )
 
 
-def save_checkpoint(daemon, path: str) -> str:
+def save_checkpoint(daemon: "Daemon", path: str) -> str:
     """Atomically write ``daemon``'s state to ``path``; returns it."""
     return save_run_checkpoint(build_run_checkpoint(daemon), path)
 
@@ -103,8 +108,8 @@ def load_checkpoint(path: str) -> RunCheckpoint:
     return load_run_checkpoint(path, kind="daemon")
 
 
-def resume_daemon(source, cfg: NodeConfig | None = None, *,
-                  epoch: int | None = None):
+def resume_daemon(source: object, cfg: NodeConfig | None = None, *,
+                  epoch: int | None = None) -> "Daemon":
     """Rebuild a live :class:`~repro.daemon.service.Daemon` from a
     checkpoint.
 
@@ -134,18 +139,22 @@ def resume_daemon(source, cfg: NodeConfig | None = None, *,
                 f"{type(profile).__name__}, not an AppPowerProfile")
         book.preload(profile)
     daemon = Daemon(checkpoint.config, book, cfg)
-    daemon.scheduler.restore(state["scheduler"])
-    daemon.clock.advance_to(daemon.scheduler.now)
-    daemon.epochs = state["epochs"]
-    daemon.ticks = state["ticks"]
-    daemon._seq = state["seq"]
-    daemon._progress.update(state["progress"])
-    for entry in state["meta"]:
-        meta = _Admitted(entry["seq"], entry["priority"],
-                         entry["request"])
-        meta.buffered = entry["buffered"]
-        meta.killed = entry["killed"]
-        daemon._meta[entry["request"].job_id] = meta
-        if meta.buffered:
-            daemon._buffer.append(meta)
+    # the daemon is not shared yet, but its counters and collections
+    # are declared lock-protected (repro.sanitize guards them under an
+    # active tracker), so restore state under the lock like any writer
+    with daemon._lock:
+        daemon.scheduler.restore(state["scheduler"])
+        daemon.clock.advance_to(daemon.scheduler.now)
+        daemon.epochs = state["epochs"]
+        daemon.ticks = state["ticks"]
+        daemon._seq = state["seq"]
+        daemon._progress.update(state["progress"])
+        for entry in state["meta"]:
+            meta = _Admitted(entry["seq"], entry["priority"],
+                             entry["request"])
+            meta.buffered = entry["buffered"]
+            meta.killed = entry["killed"]
+            daemon._meta[entry["request"].job_id] = meta
+            if meta.buffered:
+                daemon._buffer.append(meta)
     return daemon

@@ -30,7 +30,7 @@ import os
 import socket
 import threading
 
-from repro import obs
+from repro import obs, sanitize
 from repro.daemon import hostio
 from repro.daemon import protocol as proto
 from repro.daemon.service import Daemon
@@ -50,8 +50,11 @@ class _ClientConn:
     def __init__(self, name: str, sock: socket.socket) -> None:
         self.name = name
         self.sock = sock
-        self.wlock = threading.Lock()
-        self.watch_ids: set[str] = set()
+        self.wlock = sanitize.tracked_lock("_ClientConn.wlock")
+        # iterated by the driver thread, mutated by the reader thread:
+        # reads are as racy as writes here, so guard both
+        self.watch_ids: set[str] = sanitize.guarded(
+            set(), "_ClientConn.watch_ids", self.wlock, reads=True)
 
 
 class DaemonServer:
@@ -90,8 +93,10 @@ class DaemonServer:
         self.tick_wall = tick_wall
         self.address: str = ""
         self._listener: socket.socket | None = None
-        self._conns: dict[int, _ClientConn] = {}
-        self._conns_lock = threading.Lock()
+        self._conns_lock = sanitize.tracked_lock(
+            "DaemonServer._conns_lock")
+        self._conns: dict[int, _ClientConn] = sanitize.guarded(
+            {}, "DaemonServer._conns", self._conns_lock, reads=True)
         self._stop = threading.Event()
         self._next_client = 0
 
@@ -122,7 +127,9 @@ class DaemonServer:
             self.address = f"{host}:{port}"
         listener.listen()
         listener.settimeout(0.1)  # so the acceptor notices shutdown
-        self._listener = listener
+        # benign: bind() happens-before Thread.start() of the acceptor,
+        # and _listener is never rebound afterwards
+        self._listener = listener  # repro-lint: disable=conc-unguarded-write
         return self.address
 
     def _path_is_live(self) -> bool:
@@ -234,7 +241,10 @@ class DaemonServer:
         reply = self.daemon.handle(request)
         if isinstance(request, proto.WatchRequest) and \
                 isinstance(reply, proto.WatchReply):
-            conn.watch_ids.add(reply.watch_id)
+            # the driver thread iterates watch_ids in _flush_watchers;
+            # wlock serialises this reader-thread mutation against it
+            with conn.wlock:
+                conn.watch_ids.add(reply.watch_id)
         self._send(conn, reply)
         if isinstance(request, proto.TickRequest):
             # a manual tick produced telemetry; push it out now rather
@@ -246,7 +256,9 @@ class DaemonServer:
         return True
 
     def _drop_client(self, cid: int, conn: _ClientConn) -> None:
-        for watch_id in conn.watch_ids:
+        with conn.wlock:
+            watch_ids = list(conn.watch_ids)
+        for watch_id in watch_ids:
             self.daemon.detach_watch(watch_id)
         with self._conns_lock:
             self._conns.pop(cid, None)
@@ -260,7 +272,9 @@ class DaemonServer:
         with self._conns_lock:
             conns = list(self._conns.values())
         for conn in conns:
-            for watch_id in list(conn.watch_ids):
+            with conn.wlock:
+                watch_ids = list(conn.watch_ids)
+            for watch_id in watch_ids:
                 for frame in self.daemon.drain_watch(watch_id):
                     self._send(conn, frame)
 

@@ -39,7 +39,7 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 
-from repro import obs
+from repro import obs, sanitize
 from repro.daemon import protocol as proto
 from repro.exceptions import ConfigurationError, ReproError
 from repro.hardware.config import NodeConfig
@@ -48,7 +48,7 @@ from repro.scheduler.job import Job, JobState
 from repro.scheduler.powerbook import PowerBook
 from repro.scheduler.scheduler import PowerAwareScheduler, SchedulerConfig
 from repro.runtime.clock import SimClock
-from repro.telemetry.pubsub import MessageBus
+from repro.telemetry.pubsub import MessageBus, SubSocket
 
 __all__ = ["DaemonConfig", "Daemon"]
 
@@ -147,7 +147,8 @@ class _Watcher:
     __slots__ = ("watch_id", "sub", "want_events", "events",
                  "events_lost", "attached")
 
-    def __init__(self, watch_id: str, sub, want_events: bool) -> None:
+    def __init__(self, watch_id: str, sub: SubSocket,
+                 want_events: bool) -> None:
         self.watch_id = watch_id
         self.sub = sub
         self.want_events = want_events
@@ -185,11 +186,17 @@ class Daemon:
                               drop_prob=config.telemetry_drop,
                               seed=config.telemetry_seed)
         self._pub = self.bus.pub_socket()
-        self._lock = threading.RLock()
-        self._buffer: list[_Admitted] = []
-        self._meta: dict[str, _Admitted] = {}
-        self._progress: dict[str, float] = {}
-        self._watchers: dict[str, _Watcher] = {}
+        # tracked when a repro.sanitize tracker is active, a plain
+        # threading.RLock otherwise (zero cost when off)
+        self._lock = sanitize.tracked_rlock("Daemon._lock")
+        self._buffer: list[_Admitted] = sanitize.guarded(
+            [], "Daemon._buffer", self._lock)
+        self._meta: dict[str, _Admitted] = sanitize.guarded(
+            {}, "Daemon._meta", self._lock)
+        self._progress: dict[str, float] = sanitize.guarded(
+            {}, "Daemon._progress", self._lock)
+        self._watchers: dict[str, _Watcher] = sanitize.guarded(
+            {}, "Daemon._watchers", self._lock)
         self._seq = 0
         self.epochs = 0          #: scheduler steps taken over the lifetime
         self.ticks = 0
@@ -203,6 +210,13 @@ class Daemon:
             self._run_store = None
         self.scheduler.add_listener(self._on_event)
         self.scheduler.add_epoch_listener(self._on_epoch)
+        # under an active sanitizer: subscriber bookkeeping and the
+        # scalar counters must only change while the daemon lock is
+        # held (guards are installed last so __init__ itself is free)
+        sanitize.guard_attr(self.bus, "_subs", "MessageBus._subs",
+                            self._lock)
+        sanitize.guard_fields(self, ("_seq", "epochs", "ticks",
+                                     "_shutdown"), self._lock)
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -378,8 +392,12 @@ class Daemon:
                 req.topic, hwm=req.hwm or self.config.default_hwm)
         except ConfigurationError as exc:
             return self._reject("bad-request", str(exc))
-        self._watchers[req.watch_id] = _Watcher(req.watch_id, sub,
-                                                req.events)
+        watcher = _Watcher(req.watch_id, sub, req.events)
+        sanitize.guard_attr(sub, "_queue", "SubSocket._queue",
+                            self._lock)
+        sanitize.guard_attr(watcher, "events", "_Watcher.events",
+                            self._lock)
+        self._watchers[req.watch_id] = watcher
         return proto.WatchReply(watch_id=req.watch_id, resumed=False)
 
     def _handle_tick(self, req: proto.TickRequest) -> object:
@@ -590,7 +608,7 @@ class Daemon:
             self.scheduler.close()
 
 
-def _finite(value: float) -> float | None:
+def _finite(value: float | None) -> float | None:
     """NaN-free wire value (JSON has no NaN; absent means absent)."""
     if value is None or math.isnan(value):
         return None

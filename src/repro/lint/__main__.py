@@ -18,12 +18,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="AST-based invariant checks: determinism, checkpoint "
-                    "coverage, shard-boundary picklability, physical units. "
-                    "See docs/LINTING.md.")
+                    "coverage, shard-boundary picklability, physical units, "
+                    "concurrency lock discipline. See docs/LINTING.md.")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="output format (default: text)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="output format (default: text); sarif emits "
+                             "a SARIF 2.1.0 log for code-scanning uploads")
     parser.add_argument("--rules", default=None,
                         help="comma-separated rule ids or family names to "
                              "run (default: all)")
@@ -51,6 +53,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             "findings": [f.as_dict() for f in findings],
             "errors": errors,
         }, indent=2))
+    elif args.format == "sarif":
+        from repro.lint.sarif import to_sarif
+        print(json.dumps(to_sarif(findings, rules, errors), indent=2))
     else:
         for finding in findings:
             print(finding.render())

@@ -1,9 +1,17 @@
 """Core machinery for :mod:`repro.lint`.
 
 A *rule* is an object with an ``id``, a ``family`` and a
-``check(module)`` method yielding :class:`Finding`\\ s. Rules operate on
-a parsed :class:`Module` (AST + source + import map) so each source file
-is read and parsed exactly once per run.
+``check(module, project)`` method yielding :class:`Finding`\\ s. Rules
+operate on a parsed :class:`Module` (AST + source + import map) so each
+source file is read and parsed exactly once per run, plus the
+:class:`~repro.lint.project.Project` built from *every* module of the
+run — per-module rules may follow imports, base classes and
+annotations across files through it.
+
+Rules whose unit of analysis is the whole project (the concurrency
+family's lock graph, for instance) subclass :class:`ProjectRule` and
+implement ``check_project(project)`` instead; the driver calls it once
+per run and routes each finding back through its module's suppressions.
 
 Suppressions are per line: a trailing ``# repro-lint: disable=<rule>``
 comment (comma-separated rule ids or family names) silences findings
@@ -17,15 +25,20 @@ import ast
 import os
 import re
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # circular at runtime: project.py imports Module
+    from repro.lint.project import Project
 
 __all__ = [
     "Finding",
     "Module",
+    "ProjectRule",
     "Rule",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "parse_module",
     "qualified_name",
 ]
@@ -95,7 +108,7 @@ class Rule:
     family: str = ""
     description: str = ""
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module, project: "Project") -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
@@ -107,6 +120,24 @@ class Rule:
             col=getattr(node, "col_offset", 0),
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """A rule whose unit of analysis is the whole project.
+
+    Subclasses implement :meth:`check_project`, called once per run;
+    each yielded :class:`Finding` must carry the path of the module it
+    belongs to (use :meth:`Rule.finding` with that module) so the
+    driver can apply the module's suppressions.
+    """
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check(self, module: Module, project: "Project") -> Iterator[Finding]:
+        # Per-module dispatch never applies; the driver special-cases
+        # ProjectRule. Kept callable so duck-typed callers stay safe.
+        return iter(())
 
 
 def _collect_imports(tree: ast.Module) -> dict[str, str]:
@@ -160,17 +191,43 @@ def parse_module(path: str, source: str | None = None) -> Module:
     return Module(path, source, tree)
 
 
-def lint_file(module: Module, rules: Iterable[Rule]) -> list[Finding]:
-    """Run ``rules`` over one parsed module, honouring suppressions."""
+def lint_project(project: "Project",
+                 rules: Iterable[Rule]) -> list[Finding]:
+    """Run ``rules`` over every module of ``project``, honouring each
+    module's suppressions. Findings are ordered by module (in project
+    order), then ``(line, col, rule)``."""
+    order = {m.path: i for i, m in enumerate(project.modules)}
     findings: list[Finding] = []
     for rule in rules:
-        for finding in rule.check(module):
-            disabled = module.suppressed(finding.line)
-            if finding.rule in disabled or finding.family in disabled:
-                continue
+        if isinstance(rule, ProjectRule):
+            raw: Iterable[Finding] = rule.check_project(project)
+        else:
+            raw = (f for m in project.modules for f in rule.check(m, project))
+        for finding in raw:
+            mod = project.by_path.get(finding.path)
+            if mod is not None:
+                disabled = mod.suppressed(finding.line)
+                if finding.rule in disabled or finding.family in disabled:
+                    continue
             findings.append(finding)
-    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    findings.sort(key=lambda f: (order.get(f.path, 0), f.line, f.col, f.rule))
     return findings
+
+
+def lint_file(module: Module, rules: Iterable[Rule],
+              project: "Project | None" = None) -> list[Finding]:
+    """Run ``rules`` over one parsed module, honouring suppressions.
+
+    Without an explicit ``project`` the module is wrapped in a
+    single-module project, so project-wide rules still run (blind to
+    anything outside the file — exactly the unit-test entry point's
+    contract).
+    """
+    from repro.lint.project import Project
+
+    if project is None:
+        project = Project([module])
+    return [f for f in lint_project(project, rules) if f.path == module.path]
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
@@ -204,14 +261,14 @@ def lint_paths(paths: Iterable[str],
     messages for files that could not be read or parsed (a parse error
     is not a finding — it means the file never reached the rules).
     """
+    from repro.lint.project import Project
+
     rules = list(rules)
-    findings: list[Finding] = []
+    modules: list[Module] = []
     errors: list[str] = []
     for path in iter_python_files(paths):
         try:
-            module = parse_module(path)
+            modules.append(parse_module(path))
         except (OSError, SyntaxError, UnicodeDecodeError) as exc:
             errors.append(f"{path}: {exc}")
-            continue
-        findings.extend(lint_file(module, rules))
-    return findings, errors
+    return lint_project(Project(modules), rules), errors

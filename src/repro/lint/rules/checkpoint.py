@@ -27,6 +27,7 @@ import ast
 from typing import Iterator
 
 from repro.lint.core import Finding, Module, Rule
+from repro.lint.project import Project
 
 __all__ = [
     "SnapshotKeyDriftRule",
@@ -144,7 +145,8 @@ class SnapshotKeyDriftRule(Rule):
     description = ("keys snapshot() writes and restore() reads must match "
                    "exactly")
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         for cls, snap, restore in checkpoint_classes(module):
             written = _dict_keys(snap)
             read = _read_keys(restore)
@@ -170,7 +172,8 @@ class SnapshotAttrCoverageRule(Rule):
     description = ("attributes mutated after construction must appear in "
                    "snapshot() or restore()")
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         for cls, snap, restore in checkpoint_classes(module):
             init = None
             mutated: dict[str, ast.AST] = {}
@@ -186,6 +189,15 @@ class SnapshotAttrCoverageRule(Rule):
                 continue
             covered = _self_attrs_mentioned(snap) | \
                 _self_attrs_mentioned(restore)
+            # Attributes an *inherited* snapshot()/restore() covers
+            # count too — a subclass mutating state that the base's
+            # checkpoint pair persists is fully covered.
+            info = project.resolve_class(module, cls.name)
+            if info is not None:
+                for owner, name, fn in project.iter_methods(info):
+                    if owner is not info and name in ("snapshot",
+                                                      "restore"):
+                        covered |= _self_attrs_mentioned(fn)
             init_attrs = _self_attrs_assigned(init)
             for name in sorted(set(init_attrs) & set(mutated) - covered):
                 yield self.finding(
@@ -237,7 +249,8 @@ class SoaFieldCoverageRule(Rule):
     description = ("every _SOA_FIELDS entry must appear in the class's "
                    "snapshot() and restore() methods")
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         for cls in ast.walk(module.tree):
             if not isinstance(cls, ast.ClassDef):
                 continue
@@ -266,24 +279,61 @@ class SoaFieldCoverageRule(Rule):
                             "round-trip silently resets that array")
 
 
+def _calls_super_snapshot(snap: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(n, ast.Call) and
+        isinstance(n.func, ast.Attribute) and
+        n.func.attr == "snapshot" and
+        isinstance(n.func.value, ast.Call) and
+        isinstance(n.func.value.func, ast.Name) and
+        n.func.value.func.id == "super"
+        for n in ast.walk(snap))
+
+
+def _inherited_version(project: Project, module: Module,
+                       cls: ast.ClassDef) -> bool | None:
+    """Does some resolvable ancestor's ``snapshot()`` write a
+    ``version`` key? True/False when the chain resolves to an answer,
+    None when no ancestor snapshot is in reach (unresolvable bases,
+    helper-built state) — the caller must stay quiet then."""
+    info = project.resolve_class(module, cls.name)
+    if info is None:
+        return None
+    verdict: bool | None = None
+    for owner, name, fn in project.iter_methods(info):
+        if name != "snapshot" or owner is info:
+            continue
+        keys = _dict_keys(fn)
+        if "version" in keys:
+            return True
+        if _calls_super_snapshot(fn):
+            return None  # chain continues past resolvable bases
+        if keys:
+            verdict = False  # base builds the dict, without a version
+        return verdict
+    return None
+
+
 class SnapshotVersionRule(Rule):
     id = "ckpt-missing-version"
     family = FAMILY
     description = "snapshot() dicts must carry a 'version' key"
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         for cls, snap, _restore in checkpoint_classes(module):
-            # Subclass snapshots that extend super().snapshot() inherit
-            # the base version field.
-            calls_super = any(
-                isinstance(n, ast.Call) and
-                isinstance(n.func, ast.Attribute) and
-                n.func.attr == "snapshot" and
-                isinstance(n.func.value, ast.Call) and
-                isinstance(n.func.value.func, ast.Name) and
-                n.func.value.func.id == "super"
-                for n in ast.walk(snap))
-            if calls_super:
+            if _calls_super_snapshot(snap):
+                # The subclass extends super().snapshot(): follow the
+                # inheritance chain through the project. A base that
+                # provably writes no version is the subclass's bug too;
+                # an unresolvable chain stays quiet (old behaviour).
+                if _inherited_version(project, module, cls) is False:
+                    yield self.finding(
+                        module, snap,
+                        f"{cls.name}.snapshot() extends super().snapshot() "
+                        "but no ancestor snapshot() writes a 'version' "
+                        "key; schema changes will mis-restore old "
+                        "checkpoints instead of failing loudly")
                 continue
             written = _dict_keys(snap)
             if not written:

@@ -18,6 +18,7 @@ import os
 from typing import Iterator
 
 from repro.lint.core import Finding, Module, Rule, qualified_name
+from repro.lint.project import Project
 
 __all__ = [
     "AUDITED_CLOCK_MODULES",
@@ -103,7 +104,8 @@ class WallClockRule(Rule):
     description = ("host wall-clock reads (time.time & friends) inside "
                    "simulation code; use the engine clock instead")
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         clock_allowed = is_obs_clock_module(module.path)
         for node, name in _called_names(module):
             if name in _WALL_CLOCK:
@@ -125,7 +127,8 @@ class DatetimeRule(Rule):
     family = FAMILY
     description = "datetime.now()/today() reads inside simulation code"
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         if is_obs_clock_module(module.path):
             return  # the audited obs clock module (clock reads only)
         for node, name in _called_names(module):
@@ -144,7 +147,8 @@ class StdlibRandomRule(Rule):
     description = ("stdlib random module use; all randomness must flow "
                    "through seeded numpy Generators")
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         for node, name in _called_names(module):
             if name == "random" or name.startswith("random."):
                 yield self.finding(
@@ -158,7 +162,8 @@ class UnseededRngRule(Rule):
     family = FAMILY
     description = "np.random.default_rng() without an explicit seed"
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         for node, name in _called_names(module):
             if name != "numpy.random.default_rng":
                 continue
@@ -180,7 +185,8 @@ class NumpyGlobalRngRule(Rule):
     family = FAMILY
     description = "numpy global-state RNG calls (np.random.rand, .seed, ...)"
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         for node, name in _called_names(module):
             if name in _NUMPY_GLOBAL:
                 yield self.finding(
@@ -196,7 +202,8 @@ class EnvironReadRule(Rule):
     description = ("os.environ reads; simulation behaviour must not depend "
                    "on ambient process state")
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 name = qualified_name(node.func, module.imports)

@@ -26,6 +26,7 @@ import re
 from typing import Iterator
 
 from repro.lint.core import Finding, Module, Rule
+from repro.lint.project import Project
 
 __all__ = ["BoundaryFieldRule", "BOUNDARY_NAME_RE"]
 
@@ -56,6 +57,22 @@ _UNPICKLABLE = {
     "BinaryIO": "open file objects",
     "socket": "sockets",
     "Connection": "pipe connections",
+}
+
+#: Fully-qualified spellings of the same types, matched after pushing
+#: the annotation through the module's import aliases — so
+#: ``from threading import Lock as L`` or ``import threading as t``
+#: cannot smuggle a lock past the bare-name table.
+_UNPICKLABLE_QUALIFIED = {
+    "threading.Lock": "locks",
+    "threading.RLock": "locks",
+    "threading.Condition": "synchronization primitives",
+    "threading.Event": "synchronization primitives",
+    "threading.Semaphore": "synchronization primitives",
+    "threading.Thread": "threads",
+    "multiprocessing.Process": "processes",
+    "multiprocessing.connection.Connection": "pipe connections",
+    "socket.socket": "sockets",
 }
 
 
@@ -91,7 +108,8 @@ class BoundaryFieldRule(Rule):
                    "unpicklable fields (lambdas, locks, files, live "
                    "generators)")
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         for cls in ast.walk(module.tree):
             if not isinstance(cls, ast.ClassDef) or \
                     not BOUNDARY_NAME_RE.search(cls.name) or \
@@ -102,12 +120,22 @@ class BoundaryFieldRule(Rule):
                         not isinstance(item.target, ast.Name):
                     continue
                 field_name = item.target.id
-                for _node, ident in _annotation_idents(item.annotation):
-                    if ident in _UNPICKLABLE:
+                for node, ident in _annotation_idents(item.annotation):
+                    reason = _UNPICKLABLE.get(ident)
+                    if reason is None and isinstance(
+                            node, (ast.Name, ast.Attribute)):
+                        # aliased spellings: resolve the chain through
+                        # the module's imports and match qualified
+                        qualified = project.resolve_name(
+                            module, ident) if isinstance(node, ast.Name) \
+                            else None
+                        reason = _UNPICKLABLE_QUALIFIED.get(
+                            qualified) if qualified else None
+                    if reason is not None:
                         yield self.finding(
                             module, item,
                             f"{cls.name}.{field_name} is typed {ident}; "
-                            f"{_UNPICKLABLE[ident]} cannot cross the "
+                            f"{reason} cannot cross the "
                             "pickle boundary this class is shipped over")
                         break
                 if isinstance(item.value, ast.Lambda):

@@ -27,6 +27,7 @@ import ast
 from typing import Iterator
 
 from repro.lint.core import Finding, Module, Rule
+from repro.lint.project import Project
 
 __all__ = ["UnitSuffixRule", "UnitMixRule", "classify_name"]
 
@@ -129,7 +130,8 @@ class UnitSuffixRule(Rule):
             for elt in target.elts:
                 yield from UnitSuffixRule._names(elt)
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         seen: set[tuple[int, str]] = set()
         for node, name in self._targets(module):
             units = units_of(name)
@@ -151,7 +153,8 @@ class UnitMixRule(Rule):
     description = ("additive arithmetic and comparisons must not mix "
                    "watts/joules/hertz/seconds-named quantities")
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: Project) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if isinstance(node, ast.BinOp) and \
                     isinstance(node.op, (ast.Add, ast.Sub)):

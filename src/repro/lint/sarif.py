@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format code-scanning UIs ingest — GitHub's code-scanning tab annotates
+pull-request diffs directly from an uploaded SARIF file. This module
+renders a finished lint run (findings plus per-file errors) as one
+SARIF ``run``; it adds no third dependency, just the minimal subset of
+the schema those consumers require:
+
+* ``tool.driver.rules`` — one descriptor per *registered* rule (not
+  just the ones that fired), so rule metadata is stable across runs;
+* ``results`` — one per finding, ``level: error`` (every repro-lint
+  finding is a correctness problem, not a style nit), with a physical
+  location carrying a POSIX-style relative URI and 1-based line/column;
+* ``invocations[0].toolExecutionNotifications`` — parse/read errors,
+  which are not findings but must not vanish from the report.
+
+The CLI front-end is ``python -m repro.lint --format sarif``; text and
+json formats are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.core import Finding, Rule
+
+__all__ = ["SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _uri(path: str) -> str:
+    """Relative POSIX-style URI for a lint path."""
+    norm = path.replace("\\", "/")
+    while norm.startswith("./"):
+        norm = norm[2:]
+    return norm
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    return {
+        "id": rule.id,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": "error"},
+        "properties": {"family": rule.family},
+    }
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": _uri(finding.path)},
+                "region": {
+                    "startLine": max(finding.line, 1),
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+        "properties": {"family": finding.family},
+    }
+
+
+def to_sarif(findings: Iterable[Finding], rules: Iterable[Rule],
+             errors: Iterable[str] = ()) -> dict:
+    """One SARIF log (as a JSON-ready dict) for a finished lint run."""
+    notifications = [
+        {"level": "error", "message": {"text": error}}
+        for error in errors
+    ]
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://example.invalid/repro/docs/LINTING.md",
+                "rules": [_rule_descriptor(r) for r in rules],
+            },
+        },
+        "results": [_result(f) for f in findings],
+        "invocations": [{
+            "executionSuccessful": not notifications,
+            "toolExecutionNotifications": notifications,
+        }],
+    }
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }

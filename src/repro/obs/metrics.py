@@ -17,6 +17,7 @@ call and no allocation.
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -114,14 +115,20 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[tuple, tuple[str, dict[str, Any], Any]] = {}
+        # the daemon's client threads register instruments concurrently
+        # (e.g. a per-client bytes counter on first reply); the lock
+        # covers registration only — updates on an instrument stay
+        # unsynchronized single-opcode-ish operations
+        self._reg_lock = threading.Lock()
 
-    def _get(self, kind: type, name: str, labels: dict[str, Any]):
+    def _get(self, kind: type, name: str, labels: dict[str, Any]) -> Any:
         key = (name, _label_key(labels))
-        entry = self._metrics.get(key)
-        if entry is None:
-            entry = (name, labels, kind())
-            self._metrics[key] = entry
-        elif not isinstance(entry[2], kind):
+        with self._reg_lock:
+            entry = self._metrics.get(key)
+            if entry is None:
+                entry = (name, labels, kind())
+                self._metrics[key] = entry
+        if not isinstance(entry[2], kind):
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(entry[2]).__name__}, not {kind.__name__}")
@@ -140,9 +147,11 @@ class MetricsRegistry:
 
     def snapshot(self) -> list[dict[str, Any]]:
         """All metrics as plain records, sorted by (name, labels)."""
+        with self._reg_lock:
+            entries = dict(self._metrics)
         out = []
-        for key in sorted(self._metrics):
-            name, labels, metric = self._metrics[key]
+        for key in sorted(entries):
+            name, labels, metric = entries[key]
             out.append({
                 "name": name,
                 "labels": {k: labels[k] for k in sorted(labels)},

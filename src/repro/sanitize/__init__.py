@@ -1,0 +1,173 @@
+"""repro.sanitize — opt-in runtime lock sanitizer (TSan-lite).
+
+The static concurrency rules (:mod:`repro.lint.rules.concurrency`)
+catch what is provable from source; this package catches the rest at
+runtime by instrumenting the daemon stack's own locks. It is **off by
+default and free when off**: the factories below hand back plain
+``threading`` primitives unless a :class:`LockTracker` is active, so
+production code pays nothing for being instrumentable.
+
+Usage, in instrumented code::
+
+    from repro import sanitize
+
+    self._lock = sanitize.tracked_rlock("Daemon._lock")
+    self._buffer = sanitize.guarded(deque(), "Daemon._buffer",
+                                    self._lock)
+    sanitize.guard_fields(self, ("_seq", "epochs"), self._lock)
+
+and in a test or fixture::
+
+    with sanitize.active(sanitize.LockTracker(strict=False)) as tracker:
+        ...exercise the daemon...
+    assert tracker.violations == []
+
+With a tracker active:
+
+* ``tracked_lock``/``tracked_rlock`` return :class:`TrackedLock`
+  proxies that feed the tracker's acquisition-order graph — an order
+  inversion (potential deadlock) or a re-acquired non-reentrant lock
+  is reported even when the run's interleaving got lucky;
+* ``guarded``/``guard_attr`` wrap collections so mutating calls (and,
+  with ``reads=True``, read paths) assert the declared lock is held;
+* ``guard_fields`` makes plain-attribute writes assert their lock.
+
+The pytest fixture in ``tests/conftest.py`` activates a non-strict
+tracker for every test when ``REPRO_SANITIZE=1`` and fails the test on
+any recorded violation; see ``docs/SANITIZER.md``.
+
+Activation is process-global (the daemon's threads all consult the
+same tracker) and intended for tests — activate once per test, not per
+thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Union
+
+from repro.sanitize.tracker import (
+    GuardedProxy,
+    GuardViolationError,
+    LockOrderError,
+    LockTracker,
+    SanitizerError,
+    TrackedLock,
+    Violation,
+)
+from repro.sanitize.tracker import guard_fields as _guard_fields
+
+__all__ = [
+    "GuardViolationError",
+    "GuardedProxy",
+    "LockOrderError",
+    "LockTracker",
+    "SanitizerError",
+    "TrackedLock",
+    "Violation",
+    "activate",
+    "active",
+    "current",
+    "deactivate",
+    "guard_attr",
+    "guard_fields",
+    "guarded",
+    "tracked_lock",
+    "tracked_rlock",
+]
+
+AnyLock = Union[TrackedLock, threading.Lock, threading.RLock]
+
+_active: LockTracker | None = None
+_active_mutex = threading.Lock()
+
+
+def current() -> LockTracker | None:
+    """The active tracker, or None when sanitizing is off."""
+    return _active
+
+
+def activate(tracker: LockTracker) -> LockTracker:
+    """Install ``tracker`` as the process-global active tracker."""
+    global _active
+    with _active_mutex:
+        if _active is not None:
+            raise SanitizerError(
+                "a LockTracker is already active; deactivate it first "
+                "(nested trackers would split the order graph)")
+        _active = tracker
+    return tracker
+
+
+def deactivate() -> None:
+    """Remove the active tracker (idempotent)."""
+    global _active
+    with _active_mutex:
+        _active = None
+
+
+@contextmanager
+def active(tracker: LockTracker | None = None) -> Iterator[LockTracker]:
+    """Context manager: activate ``tracker`` (default: a strict one)
+    for the duration of the block."""
+    tracker = tracker if tracker is not None else LockTracker()
+    activate(tracker)
+    try:
+        yield tracker
+    finally:
+        deactivate()
+
+
+def tracked_lock(name: str) -> AnyLock:
+    """A mutex for ``name`` (class-qualified, e.g. ``"X._lock"``):
+    a :class:`TrackedLock` under an active tracker, else a plain
+    ``threading.Lock``."""
+    tracker = _active
+    if tracker is None:
+        return threading.Lock()
+    return TrackedLock(name, tracker, reentrant=False)
+
+
+def tracked_rlock(name: str) -> AnyLock:
+    """Reentrant variant of :func:`tracked_lock`."""
+    tracker = _active
+    if tracker is None:
+        return threading.RLock()
+    return TrackedLock(name, tracker, reentrant=True)
+
+
+def guarded(obj: Any, name: str, lock: AnyLock, *,
+            reads: bool = False) -> Any:
+    """Wrap collection ``obj`` so mutations (and reads, when
+    ``reads=True``) assert ``lock`` is held. Returns ``obj`` unchanged
+    when sanitizing is off or ``lock`` is an uninstrumented plain
+    lock."""
+    tracker = _active
+    if tracker is None or not isinstance(lock, TrackedLock):
+        return obj
+    return GuardedProxy(obj, name, lock, tracker, reads=reads)
+
+
+def guard_attr(obj: Any, field: str, name: str, lock: AnyLock, *,
+               reads: bool = False) -> None:
+    """In-place variant of :func:`guarded`: rebind ``obj.<field>`` to
+    a guarded wrapper of its current value."""
+    tracker = _active
+    if tracker is None or not isinstance(lock, TrackedLock):
+        return
+    value = getattr(obj, field)
+    if isinstance(value, GuardedProxy):
+        return
+    setattr(obj, field, GuardedProxy(value, name, lock, tracker,
+                                     reads=reads))
+
+
+def guard_fields(obj: Any, fields: tuple[str, ...],
+                 lock: AnyLock) -> None:
+    """Make plain-attribute writes of ``fields`` on ``obj`` assert
+    ``lock`` (no-op when sanitizing is off)."""
+    tracker = _active
+    if tracker is None or not isinstance(lock, TrackedLock):
+        return
+    _guard_fields(obj, fields, lock, tracker)

@@ -1,0 +1,382 @@
+"""Lock tracker: the runtime half of the concurrency story.
+
+The static rules in :mod:`repro.lint.rules.concurrency` prove what they
+can from source; this module checks the rest at runtime, the way TSan
+does for C++ — by instrumenting the synchronisation primitives
+themselves and watching real executions:
+
+* **acquisition order** — every :class:`TrackedLock` acquire records
+  the (lock, lock) edges implied by what the acquiring thread already
+  holds. The first time an edge's reverse is also on record, two
+  threads could take the pair in opposite orders: a latent deadlock,
+  reported even though this particular run got lucky;
+* **re-entry** — acquiring a non-reentrant tracked Lock a second time
+  on the same thread is reported immediately (the real lock would
+  deadlock; under a tracker the proxy reports instead so the test run
+  can finish);
+* **guard discipline** — attributes and collections registered with
+  :func:`~repro.sanitize.guarded` / :func:`~repro.sanitize.guard_fields`
+  check on every (mutating) access that the thread holds the lock
+  declared to protect them.
+
+Violations either raise at the offending call (``strict=True`` — the
+stack trace points at the bug) or accumulate on
+:attr:`LockTracker.violations` for a fixture to assert empty at
+teardown (``strict=False`` — one test failure lists every violation of
+the run).
+
+Lock names are class-qualified (``Daemon._lock``), mirroring the static
+analysis: all instances of a class share one node in the order graph.
+That is deliberate — per-instance locks of one class are almost always
+acquired under the same discipline, and merging them lets a two-client
+test stand in for the N-client production shape.
+
+Everything here is inert unless a tracker is active; see
+:mod:`repro.sanitize` for the zero-cost-off factories.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Iterator
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "GuardViolationError",
+    "LockOrderError",
+    "LockTracker",
+    "SanitizerError",
+    "TrackedLock",
+    "Violation",
+]
+
+
+class SanitizerError(ReproError):
+    """Base class for sanitizer-detected concurrency violations."""
+
+
+class LockOrderError(SanitizerError):
+    """Two tracked locks were acquired in both orders, or a
+    non-reentrant tracked lock was re-acquired on its own thread."""
+
+
+class GuardViolationError(SanitizerError):
+    """A guarded attribute or collection was accessed without holding
+    the lock registered to protect it."""
+
+
+class Violation:
+    """One recorded violation: its kind, message and capture site."""
+
+    __slots__ = ("kind", "message", "stack")
+
+    def __init__(self, kind: str, message: str) -> None:
+        self.kind = kind
+        self.message = message
+        self.stack = "".join(traceback.format_stack(limit=12)[:-2])
+
+    def __repr__(self) -> str:
+        return f"Violation({self.kind}: {self.message})"
+
+    def render(self) -> str:
+        return f"[{self.kind}] {self.message}\n{self.stack}"
+
+
+class TrackedLock:
+    """A Lock/RLock proxy that reports acquisitions to a tracker.
+
+    Supports the subset of the ``threading`` lock interface the repo
+    uses: ``acquire``/``release`` and the context-manager protocol.
+    The underlying primitive is a real lock — tracking adds checks, it
+    never removes mutual exclusion.
+    """
+
+    __slots__ = ("name", "reentrant", "_lock", "_tracker")
+
+    def __init__(self, name: str, tracker: "LockTracker",
+                 *, reentrant: bool) -> None:
+        self.name = name
+        self.reentrant = reentrant
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+        self._tracker = tracker
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        # Report before blocking: a would-be deadlock should be
+        # diagnosed even if this run's interleaving never hangs.
+        self._tracker.note_acquire(self)
+        got = self._lock.acquire(blocking, timeout)
+        if not got:
+            self._tracker.note_release(self)
+        return got
+
+    def release(self) -> None:
+        self._lock.release()
+        self._tracker.note_release(self)
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def held_by_current_thread(self) -> bool:
+        return self.name in self._tracker.held_names()
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"TrackedLock({self.name}, {kind})"
+
+
+class LockTracker:
+    """Records lock acquisitions and guard checks for one test run.
+
+    Parameters
+    ----------
+    strict:
+        True raises at the offending call; False records the violation
+        on :attr:`violations` and lets execution continue (for
+        end-to-end runs asserting a clean log at teardown).
+    """
+
+    def __init__(self, *, strict: bool = True) -> None:
+        self.strict = strict
+        self.violations: list[Violation] = []
+        #: (held name, acquired name) -> first witness description.
+        self._edges: dict[tuple[str, str], str] = {}
+        self._tls = threading.local()
+        self._mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lock events
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held_names(self) -> tuple[str, ...]:
+        """Names of tracked locks held by the calling thread."""
+        return tuple(self._stack())
+
+    def note_acquire(self, lock: TrackedLock) -> None:
+        stack = self._stack()
+        if lock.name in stack and not lock.reentrant:
+            self._report(
+                "lock-order", LockOrderError,
+                f"{lock.name} re-acquired on the same thread; it is a "
+                "non-reentrant Lock, so this self-deadlocks")
+        thread = threading.current_thread().name
+        inversion: tuple[str, str] | None = None
+        with self._mutex:
+            for held in stack:
+                if held == lock.name:
+                    continue
+                edge = (held, lock.name)
+                self._edges.setdefault(
+                    edge, f"thread {thread}: {held} -> {lock.name}")
+                reverse = self._edges.get((lock.name, held))
+                if reverse is not None and inversion is None:
+                    inversion = (held, reverse)
+        # report outside the mutex: _report re-acquires it to append
+        if inversion is not None:
+            held, reverse = inversion
+            self._report(
+                "lock-order", LockOrderError,
+                f"{held} -> {lock.name} inverts an earlier acquisition "
+                f"order ({reverse}); two threads taking these locks in "
+                "opposite orders deadlock")
+        stack.append(lock.name)
+
+    def note_release(self, lock: TrackedLock) -> None:
+        stack = self._stack()
+        # remove the innermost matching entry; tracked locks always
+        # release LIFO under ``with``, but be tolerant of manual use
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == lock.name:
+                del stack[i]
+                return
+
+    # ------------------------------------------------------------------
+    # Guard checks
+    # ------------------------------------------------------------------
+
+    def check_guard(self, what: str, lock: TrackedLock) -> None:
+        """Record/raise unless the calling thread holds ``lock``."""
+        if lock.name in self._stack():
+            return
+        self._report(
+            "guard", GuardViolationError,
+            f"{what} accessed without holding {lock.name} "
+            f"(thread {threading.current_thread().name})")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _report(self, kind: str, exc_type: type,
+                message: str) -> None:
+        violation = Violation(kind, message)
+        with self._mutex:
+            self.violations.append(violation)
+        if self.strict:
+            raise exc_type(message)
+
+    def render_violations(self) -> str:
+        return "\n".join(v.render() for v in self.violations)
+
+
+# ----------------------------------------------------------------------
+# Guarded containers and attributes
+# ----------------------------------------------------------------------
+
+#: Mutating method names per built-in container worth guarding.
+_MUTATOR_NAMES = frozenset({
+    "append", "appendleft", "add", "insert", "extend", "update",
+    "remove", "discard", "pop", "popleft", "popitem", "clear",
+    "setdefault", "sort", "reverse", "__setitem__", "__delitem__",
+    "__iadd__", "__ior__", "__iand__", "__isub__", "__ixor__",
+})
+
+
+class GuardedProxy:
+    """Wrap a collection so accesses assert the guard lock is held.
+
+    Mutating methods always check; read paths check only when
+    ``reads=True`` (e.g. iterating a set another thread mutates is as
+    racy as mutating it). The proxy forwards everything else verbatim,
+    so ``len``/``in``/iteration/indexing behave exactly like the
+    wrapped object.
+    """
+
+    __slots__ = ("_obj", "_name", "_lock", "_tracker", "_check_reads")
+
+    def __init__(self, obj: Any, name: str, lock: TrackedLock,
+                 tracker: LockTracker, *, reads: bool = False) -> None:
+        object.__setattr__(self, "_obj", obj)
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_lock", lock)
+        object.__setattr__(self, "_tracker", tracker)
+        object.__setattr__(self, "_check_reads", reads)
+
+    # -- checks --------------------------------------------------------
+
+    def _check(self, op: str) -> None:
+        self._tracker.check_guard(f"{self._name}.{op}", self._lock)
+
+    def _maybe_check(self, op: str) -> None:
+        if self._check_reads:
+            self._check(op)
+
+    # -- attribute forwarding ------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._obj, name)
+        if name in _MUTATOR_NAMES and callable(attr):
+            checker: Callable[..., Any] = attr
+
+            def checked(*args: Any, _a: Callable[..., Any] = checker,
+                        _n: str = name, **kwargs: Any) -> Any:
+                self._check(_n)
+                return _a(*args, **kwargs)
+
+            return checked
+        if self._check_reads and callable(attr) and \
+                not name.startswith("_"):
+            reader: Callable[..., Any] = attr
+
+            def checked_read(*args: Any,
+                             _a: Callable[..., Any] = reader,
+                             _n: str = name, **kwargs: Any) -> Any:
+                self._check(_n)
+                return _a(*args, **kwargs)
+
+            return checked_read
+        return attr
+
+    # -- container dunders (not routed through __getattr__) ------------
+
+    def __iter__(self) -> Iterator[Any]:
+        self._maybe_check("__iter__")
+        return iter(self._obj)
+
+    def __len__(self) -> int:
+        self._maybe_check("__len__")
+        return len(self._obj)
+
+    def __contains__(self, item: Any) -> bool:
+        self._maybe_check("__contains__")
+        return item in self._obj
+
+    def __getitem__(self, key: Any) -> Any:
+        self._maybe_check("__getitem__")
+        return self._obj[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._check("__setitem__")
+        self._obj[key] = value
+
+    def __delitem__(self, key: Any) -> None:
+        self._check("__delitem__")
+        del self._obj[key]
+
+    def __bool__(self) -> bool:
+        self._maybe_check("__bool__")
+        return bool(self._obj)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GuardedProxy):
+            other = other._obj
+        return bool(self._obj == other)
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(self._obj)  # raises like the wrapped object would
+
+    def __repr__(self) -> str:
+        return f"Guarded({self._name}, {self._obj!r})"
+
+
+def guard_fields(obj: Any, fields: tuple[str, ...],
+                 lock: TrackedLock, tracker: LockTracker) -> None:
+    """Make plain-attribute *writes* on ``obj`` assert ``lock``.
+
+    Swaps ``obj``'s class for a generated subclass whose
+    ``__setattr__`` checks the guard for the named fields. Works for
+    ``__slots__`` classes too (the subclass adds no state). Reads stay
+    unchecked: scalar reads are GIL-atomic and the repo's tests poke
+    daemon internals freely; the race the guard exists to catch is a
+    lost or torn *update*.
+    """
+    cls = type(obj)
+    guards = {field: (lock, tracker) for field in fields}
+    existing = getattr(cls, "_sanitize_guards", None)
+    if existing is not None:
+        # already swapped (e.g. two guard_fields calls): merge
+        merged = dict(existing)
+        merged.update(guards)
+        cls._sanitize_guards = merged
+        return
+
+    def __setattr__(self: Any, name: str, value: Any) -> None:
+        guard = type(self)._sanitize_guards.get(name)
+        if guard is not None:
+            guard_lock, guard_tracker = guard
+            guard_tracker.check_guard(
+                f"{cls.__name__}.{name}", guard_lock)
+        super(subclass, self).__setattr__(name, value)
+
+    subclass = type(cls.__name__, (cls,), {
+        "__slots__": (),
+        "_sanitize_guards": guards,
+        "__setattr__": __setattr__,
+    })
+    object.__setattr__(obj, "__class__", subclass)

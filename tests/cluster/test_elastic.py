@@ -111,6 +111,24 @@ class TestShardBalancer:
         assert plan is not None
         assert all(m.dst == 2 for m in plan.moves)
 
+    def test_empty_shard_seeded_as_receiver(self):
+        # A shard with no nodes never steps work, so it never gets a
+        # wall time; it must still be reachable as a receiver (at an
+        # implicit 0.0 s), or a fully skewed start can never unskew.
+        b = balancer(threshold=1.4)
+        plan = b.observe({0: 4.0}, {0: [0, 1, 2, 3], 1: []})
+        assert plan is not None
+        assert all(m.src == 0 and m.dst == 1 for m in plan.moves)
+        # equalising estimate: per-node cost 1.0, so half the donors go
+        assert [m.node_id for m in plan.moves] == [2, 3]
+
+    def test_empty_shard_needs_measured_work(self):
+        b = balancer()
+        # nothing measured to move: no plan
+        assert b.observe({0: 0.0}, {0: [0, 1], 1: []}) is None
+        # still never empties the donor's last node
+        assert b.observe({0: 5.0}, {0: [7], 1: []}) is None
+
 
 # ----------------------------------------------------------------------
 # Live migration between shard workers
@@ -241,6 +259,36 @@ class TestBalancerInLoop:
             assert bal.fired
             assert ls.migrations == 1
             assert 0 in ls.shard_nodes()[1]
+        finally:
+            ls.close()
+
+        assert got == expected
+
+    def test_skewed_start_unskews_into_empty_shard(self):
+        """All nodes pinned to shard 0 of 2: the real balancer must
+        seed the never-stepped shard 1 (it has no wall time at all),
+        and the migration must not perturb the series."""
+        ids = list(range(4))
+        items = [(i, _spec(i, seed=i)) for i in ids]
+
+        ref = ShardedLockstep(shards=2)
+        try:
+            ref.add_nodes(items, shard=0)
+            expected = _series(ref, ids, 0.0, 5.0)
+        finally:
+            ref.close()
+
+        bal = ShardBalancer(threshold=1.05, warmup=0, cooldown=0)
+        ls = ShardedLockstep(shards=2, balancer=bal)
+        try:
+            ls.add_nodes(items, shard=0)
+            got = _series(ls, ids, 0.0, 5.0)
+            # shard 0's wall time is real (> 0) and shard 1's implicit
+            # 0.0 s beats any threshold, so the first eligible
+            # observation must fire deterministically
+            assert bal.plans >= 1
+            assert ls.migrations >= 1
+            assert ls.shard_nodes()[1] != []
         finally:
             ls.close()
 

@@ -1,0 +1,44 @@
+"""Repo-wide fixtures.
+
+``REPRO_SANITIZE=1`` runs the whole suite under the runtime lock
+sanitizer (:mod:`repro.sanitize`): every test gets a fresh recording
+:class:`~repro.sanitize.LockTracker`, and any lock-order inversion or
+guard violation the test's execution produced fails it at teardown
+with the full violation log. With the variable unset the fixture is
+inert and the sanitizer stays off (its zero-cost-off contract).
+
+Tests that manage their own tracker (``tests/sanitize``,
+``tests/daemon/test_sanitize.py``) carry the ``own_tracker`` marker:
+the fixture skips them — a second activation would raise — and they
+run identically in both modes.
+"""
+
+import os
+
+import pytest
+
+from repro import sanitize
+
+
+@pytest.fixture(autouse=True)
+def _lock_sanitizer(request):
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield
+        return
+    if request.node.get_closest_marker("own_tracker") is not None or \
+            sanitize.current() is not None:
+        # a test-managed tracker is (or will be) active; stay out of
+        # its way
+        yield
+        return
+    tracker = sanitize.LockTracker(strict=False)
+    sanitize.activate(tracker)
+    try:
+        yield
+    finally:
+        sanitize.deactivate()
+    if tracker.violations:
+        pytest.fail(
+            "lock sanitizer recorded "
+            f"{len(tracker.violations)} violation(s):\n"
+            + tracker.render_violations())

@@ -1,0 +1,93 @@
+"""SARIF output: schema shape, rule metadata, CLI integration."""
+
+import json
+
+import pytest
+
+from repro.lint import ALL_RULES, lint_source
+from repro.lint.__main__ import main
+from repro.lint.sarif import SARIF_VERSION, to_sarif
+
+BAD = """import time
+
+def stamp():
+    return time.time()
+"""
+
+
+@pytest.fixture()
+def bad_file(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD)
+    return str(path)
+
+
+class TestToSarif:
+    def test_log_shape(self):
+        log = to_sarif([], ALL_RULES)
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"] == []
+        assert run["invocations"][0]["executionSuccessful"] is True
+
+    def test_all_registered_rules_get_descriptors(self):
+        log = to_sarif([], ALL_RULES)
+        descriptors = log["runs"][0]["tool"]["driver"]["rules"]
+        assert {d["id"] for d in descriptors} == \
+            {r.id for r in ALL_RULES}
+        for d in descriptors:
+            assert d["shortDescription"]["text"]
+            assert d["defaultConfiguration"]["level"] == "error"
+            assert d["properties"]["family"]
+
+    def test_findings_become_results(self):
+        findings = lint_source(BAD, path="./src/bad.py")
+        log = to_sarif(findings, ALL_RULES)
+        (result,) = [r for r in log["runs"][0]["results"]
+                     if r["ruleId"] == "det-wallclock"]
+        loc = result["locations"][0]["physicalLocation"]
+        # URI is relative POSIX style, no leading ./
+        assert loc["artifactLocation"]["uri"] == "src/bad.py"
+        # SARIF lines and columns are 1-based
+        assert loc["region"]["startLine"] == 4
+        assert loc["region"]["startColumn"] >= 1
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+
+    def test_errors_become_notifications(self):
+        log = to_sarif([], ALL_RULES, errors=["x.py: bad syntax"])
+        inv = log["runs"][0]["invocations"][0]
+        assert inv["executionSuccessful"] is False
+        assert inv["toolExecutionNotifications"][0]["message"]["text"] \
+            == "x.py: bad syntax"
+
+
+class TestCliSarif:
+    def test_findings_exit_one_with_parseable_log(self, bad_file,
+                                                  capsys):
+        assert main(["--format", "sarif", bad_file]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        rule_ids = {r["ruleId"] for r in log["runs"][0]["results"]}
+        assert "det-wallclock" in rule_ids
+
+    def test_clean_tree_exits_zero_with_empty_results(self, tmp_path,
+                                                      capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["--format", "sarif", str(tmp_path)]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
+        # descriptors are emitted even when nothing fires
+        assert log["runs"][0]["tool"]["driver"]["rules"]
+
+    def test_parse_error_exits_two_and_is_reported(self, tmp_path,
+                                                   capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        assert main(["--format", "sarif", str(tmp_path)]) == 2
+        log = json.loads(capsys.readouterr().out)
+        inv = log["runs"][0]["invocations"][0]
+        assert inv["executionSuccessful"] is False
+        assert "broken.py" in \
+            inv["toolExecutionNotifications"][0]["message"]["text"]

@@ -1,0 +1,272 @@
+"""Unit tests for the runtime lock sanitizer (repro.sanitize)."""
+
+import threading
+
+import pytest
+
+from repro import sanitize
+from repro.sanitize import (
+    GuardedProxy,
+    GuardViolationError,
+    LockOrderError,
+    LockTracker,
+    SanitizerError,
+    TrackedLock,
+)
+
+pytestmark = pytest.mark.own_tracker
+
+
+class TestActivation:
+    def test_off_by_default_returns_plain_primitives(self):
+        assert sanitize.current() is None
+        lock = sanitize.tracked_lock("X._lock")
+        rlock = sanitize.tracked_rlock("X._rlock")
+        assert not isinstance(lock, TrackedLock)
+        assert not isinstance(rlock, TrackedLock)
+        # and they behave like locks
+        with lock:
+            pass
+        with rlock:
+            with rlock:
+                pass
+
+    def test_guards_are_noops_when_off(self):
+        items = []
+        assert sanitize.guarded(items, "X.items",
+                                sanitize.tracked_lock("X._lock")) \
+            is items
+
+        class Holder:
+            pass
+
+        h = Holder()
+        h.items = items
+        sanitize.guard_attr(h, "items", "X.items",
+                            sanitize.tracked_lock("X._lock"))
+        assert h.items is items
+        sanitize.guard_fields(h, ("items",),
+                              sanitize.tracked_lock("X._lock"))
+        assert type(h) is Holder
+
+    def test_active_installs_and_removes(self):
+        with sanitize.active() as tracker:
+            assert sanitize.current() is tracker
+            assert isinstance(sanitize.tracked_lock("X._lock"),
+                              TrackedLock)
+        assert sanitize.current() is None
+
+    def test_nested_activation_raises(self):
+        with sanitize.active():
+            with pytest.raises(SanitizerError, match="already active"):
+                sanitize.activate(LockTracker())
+
+    def test_deactivate_is_idempotent(self):
+        sanitize.deactivate()
+        sanitize.deactivate()
+        assert sanitize.current() is None
+
+
+class TestLockOrder:
+    def test_inversion_raises_even_without_contention(self):
+        with sanitize.active() as tracker:
+            a = sanitize.tracked_lock("T.a")
+            b = sanitize.tracked_lock("T.b")
+            with a:
+                with b:
+                    pass
+            with pytest.raises(LockOrderError, match="opposite orders"):
+                with b:
+                    with a:
+                        pass
+            assert any(v.kind == "lock-order"
+                       for v in tracker.violations)
+
+    def test_consistent_order_is_clean(self):
+        with sanitize.active() as tracker:
+            a = sanitize.tracked_lock("T.a")
+            b = sanitize.tracked_lock("T.b")
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+            assert tracker.violations == []
+
+    def test_nonreentrant_reacquire_raises(self):
+        with sanitize.active():
+            lock = sanitize.tracked_lock("T.lock")
+            with pytest.raises(LockOrderError, match="re-acquired"):
+                with lock:
+                    with lock:
+                        pass
+
+    def test_rlock_reacquire_is_fine(self):
+        with sanitize.active() as tracker:
+            lock = sanitize.tracked_rlock("T.rlock")
+            with lock:
+                with lock:
+                    pass
+            assert tracker.violations == []
+
+    def test_nonstrict_records_instead_of_raising(self):
+        with sanitize.active(LockTracker(strict=False)) as tracker:
+            a = sanitize.tracked_lock("T.a")
+            b = sanitize.tracked_lock("T.b")
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass  # no raise
+            kinds = [v.kind for v in tracker.violations]
+            assert "lock-order" in kinds
+            assert "opposite orders" in tracker.render_violations()
+
+    def test_cross_thread_inversion_detected(self):
+        with sanitize.active(LockTracker(strict=False)) as tracker:
+            a = sanitize.tracked_lock("T.a")
+            b = sanitize.tracked_lock("T.b")
+
+            def fwd():
+                with a:
+                    with b:
+                        pass
+
+            t = threading.Thread(target=fwd)
+            t.start()
+            t.join()
+            with b:
+                with a:
+                    pass
+            assert any(v.kind == "lock-order"
+                       for v in tracker.violations)
+
+    def test_held_by_current_thread(self):
+        with sanitize.active():
+            lock = sanitize.tracked_lock("T.lock")
+            assert not lock.held_by_current_thread()
+            with lock:
+                assert lock.held_by_current_thread()
+            assert not lock.held_by_current_thread()
+
+
+class TestGuardedProxy:
+    def _fixture(self, obj, *, reads=False, strict=True):
+        tracker = LockTracker(strict=strict)
+        sanitize.activate(tracker)
+        lock = sanitize.tracked_lock("T.lock")
+        proxy = sanitize.guarded(obj, "T.items", lock, reads=reads)
+        return tracker, lock, proxy
+
+    def teardown_method(self):
+        sanitize.deactivate()
+
+    def test_mutation_without_lock_raises(self):
+        _t, _lock, items = self._fixture([])
+        with pytest.raises(GuardViolationError, match="T.items.append"):
+            items.append(1)
+
+    def test_mutation_under_lock_passes(self):
+        _t, lock, items = self._fixture([])
+        with lock:
+            items.append(1)
+        assert list(items) == [1]
+
+    def test_setitem_delitem_checked(self):
+        _t, lock, d = self._fixture({})
+        with lock:
+            d["k"] = 1
+            del d["k"]
+            d["k"] = 2
+        with pytest.raises(GuardViolationError):
+            d["x"] = 1
+        with pytest.raises(GuardViolationError):
+            del d["k"]
+
+    def test_reads_unchecked_by_default(self):
+        tracker, lock, items = self._fixture([])
+        with lock:
+            items.append(1)
+        # all fine without the lock:
+        assert len(items) == 1
+        assert 1 in items
+        assert list(items) == [1]
+        assert items[0] == 1
+        assert tracker.violations == []
+
+    def test_reads_checked_when_requested(self):
+        _t, lock, items = self._fixture(set(), reads=True)
+        with lock:
+            items.add(1)
+            assert len(items) == 1
+        with pytest.raises(GuardViolationError):
+            list(items)
+        with pytest.raises(GuardViolationError):
+            len(items)
+
+    def test_proxy_equates_and_hashes_like_wrapped(self):
+        _t, lock, items = self._fixture((1, 2))
+        assert items == (1, 2)
+        assert items != (2, 1)
+        assert hash(items) == hash((1, 2))
+        tup = self._wrap_second((1, 2), lock)
+        assert items == tup
+
+    def _wrap_second(self, obj, lock):
+        return sanitize.guarded(obj, "T.other", lock)
+
+    def test_repr_names_the_guard(self):
+        _t, _lock, items = self._fixture([1])
+        assert "T.items" in repr(items)
+        assert isinstance(items, GuardedProxy)
+
+
+class TestGuardFields:
+    class Counter:
+        __slots__ = ("n", "label")
+
+        def __init__(self):
+            self.n = 0
+            self.label = "x"
+
+    def teardown_method(self):
+        sanitize.deactivate()
+
+    def test_field_write_without_lock_raises(self):
+        sanitize.activate(LockTracker())
+        lock = sanitize.tracked_lock("C.lock")
+        c = self.Counter()
+        sanitize.guard_fields(c, ("n",), lock)
+        with pytest.raises(GuardViolationError, match="Counter.n"):
+            c.n = 5
+
+    def test_field_write_under_lock_passes(self):
+        sanitize.activate(LockTracker())
+        lock = sanitize.tracked_lock("C.lock")
+        c = self.Counter()
+        sanitize.guard_fields(c, ("n",), lock)
+        with lock:
+            c.n = 5
+        assert c.n == 5
+        # unguarded fields stay free
+        c.label = "y"
+        assert c.label == "y"
+
+    def test_second_call_merges_fields(self):
+        sanitize.activate(LockTracker())
+        lock = sanitize.tracked_lock("C.lock")
+        c = self.Counter()
+        sanitize.guard_fields(c, ("n",), lock)
+        sanitize.guard_fields(c, ("label",), lock)
+        with pytest.raises(GuardViolationError):
+            c.label = "z"
+        with lock:
+            c.n = 1
+            c.label = "z"
+
+    def test_reads_stay_free(self):
+        sanitize.activate(LockTracker())
+        lock = sanitize.tracked_lock("C.lock")
+        c = self.Counter()
+        sanitize.guard_fields(c, ("n",), lock)
+        assert c.n == 0  # no lock needed to read
